@@ -1,0 +1,124 @@
+// TSDB microbenchmarks: ingestion throughput, selector evaluation, and the
+// PromQL operations the CEEMS pipeline leans on (rate over a window, Eq. 1
+// style group_left joins, sum by aggregation). These underpin E4's scaling
+// headroom numbers.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tsdb/promql_eval.h"
+
+using namespace ceems;
+using tsdb::TimeSeriesStore;
+
+namespace {
+
+// Builds a store with `hosts`×`series_per_host` series × `samples` each.
+std::shared_ptr<TimeSeriesStore> make_store(int hosts, int series_per_host,
+                                            int samples) {
+  auto store = std::make_shared<TimeSeriesStore>();
+  for (int h = 0; h < hosts; ++h) {
+    for (int s = 0; s < series_per_host; ++s) {
+      metrics::Labels labels =
+          metrics::Labels{{"hostname", "n" + std::to_string(h)},
+                          {"uuid", std::to_string(s)}}
+              .with_name("m");
+      for (int i = 0; i < samples; ++i) {
+        store->append(labels, i * 30000, i * 10.0);
+      }
+    }
+  }
+  return store;
+}
+
+void BM_append(benchmark::State& state) {
+  TimeSeriesStore store;
+  common::Rng rng(1);
+  std::vector<metrics::Labels> labels;
+  for (int s = 0; s < 1000; ++s) {
+    labels.push_back(metrics::Labels{{"uuid", std::to_string(s)}}
+                         .with_name("m"));
+  }
+  int64_t t = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    store.append(labels[i % labels.size()], t, 1.0);
+    if (++i % labels.size() == 0) t += 30000;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_append);
+
+void BM_select_by_equality(benchmark::State& state) {
+  auto store = make_store(static_cast<int>(state.range(0)), 20, 120);
+  for (auto _ : state) {
+    auto result = store->select(
+        {{"hostname", metrics::LabelMatcher::Op::kEq, "n0"}}, 0,
+        120 * 30000);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["total_series"] = static_cast<double>(state.range(0) * 20);
+}
+BENCHMARK(BM_select_by_equality)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_rate_over_window(benchmark::State& state) {
+  auto store = make_store(static_cast<int>(state.range(0)), 10, 120);
+  tsdb::promql::Engine engine;
+  auto expr = tsdb::promql::parse("sum by (hostname) (rate(m[2m]))");
+  for (auto _ : state) {
+    auto value = engine.eval(*store, expr, 120 * 30000);
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["series"] = static_cast<double>(state.range(0) * 10);
+}
+BENCHMARK(BM_rate_over_window)->Arg(10)->Arg(100)->Arg(400);
+
+void BM_group_left_join(benchmark::State& state) {
+  // The Eq. 1 shape: per-uuid series joined onto per-host series.
+  auto store = std::make_shared<TimeSeriesStore>();
+  int hosts = static_cast<int>(state.range(0));
+  for (int h = 0; h < hosts; ++h) {
+    std::string host = "n" + std::to_string(h);
+    store->append(metrics::Labels{{"hostname", host}}.with_name("node_w"),
+                  30000, 300.0);
+    for (int u = 0; u < 8; ++u) {
+      store->append(metrics::Labels{{"hostname", host},
+                                    {"uuid", std::to_string(u)}}
+                        .with_name("job_share"),
+                    30000, 0.125);
+    }
+  }
+  tsdb::promql::Engine engine;
+  auto expr = tsdb::promql::parse(
+      "job_share * on(hostname) group_left() node_w");
+  for (auto _ : state) {
+    auto value = engine.eval(*store, expr, 30000);
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["result_samples"] = static_cast<double>(hosts * 8);
+}
+BENCHMARK(BM_group_left_join)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_range_query(benchmark::State& state) {
+  auto store = make_store(20, 10, 240);  // 2 h of data
+  tsdb::promql::Engine engine;
+  auto expr = tsdb::promql::parse("sum by (hostname) (rate(m[2m]))");
+  for (auto _ : state) {
+    auto matrix = engine.eval_range(*store, expr, 0, 240 * 30000, 60000);
+    benchmark::DoNotOptimize(matrix);
+  }
+}
+BENCHMARK(BM_range_query);
+
+void BM_purge(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto store = make_store(50, 20, 120);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store->purge_before(60 * 30000));
+  }
+}
+BENCHMARK(BM_purge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// ceems_lb — standalone CEEMS load balancer: access-controlling reverse
+// proxy in front of one or more Prometheus-compatible query backends,
+// verifying compute-unit ownership against a CEEMS API server.
+//
+//   ceems_lb --backends URL[,URL...] --api-server URL
+//            [--port N] [--strategy round-robin|least-connection]
+//            [--admins a,b]
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "cli/flags.h"
+#include "common/logging.h"
+#include "lb/load_balancer.h"
+
+using namespace ceems;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Flags flags(argc, argv,
+                   "--backends URL[,URL...] --api-server URL [--port N] "
+                   "[--strategy round-robin|least-connection] [--admins a,b]");
+  common::set_log_level(common::LogLevel::kInfo);
+
+  std::vector<std::string> backends;
+  for (const auto& url : common::split(flags.get("backends"), ',')) {
+    if (!url.empty()) backends.push_back(url);
+  }
+  if (backends.empty()) {
+    flags.print_usage();
+    return 1;
+  }
+
+  lb::LbConfig config;
+  config.http.port = static_cast<uint16_t>(flags.get_int("port", 9030));
+  config.api_server_url = flags.get("api-server");
+  config.strategy = flags.get("strategy") == "least-connection"
+                        ? lb::Strategy::kLeastConnection
+                        : lb::Strategy::kRoundRobin;
+  for (const auto& admin : common::split(flags.get("admins", "admin"), ',')) {
+    if (!admin.empty()) config.admin_users.insert(admin);
+  }
+
+  auto clock = common::make_real_clock();
+  lb::LoadBalancer balancer(config, backends, clock);
+  balancer.start();
+  std::fprintf(stderr, "lb on %s -> %zu backend(s), ownership via %s\n",
+               balancer.base_url().c_str(), backends.size(),
+               config.api_server_url.empty() ? "(none: admins only)"
+                                             : config.api_server_url.c_str());
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop) std::this_thread::sleep_for(std::chrono::seconds(1));
+  for (const auto& backend : balancer.backend_stats()) {
+    std::fprintf(stderr, "%s: %llu requests, %llu failures\n",
+                 backend.base_url.c_str(),
+                 (unsigned long long)backend.requests,
+                 (unsigned long long)backend.failures);
+  }
+  balancer.stop();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Tiny --flag=value / --flag value parser shared by the CLI binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strutil.h"
+
+namespace ceems::cli {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, std::string usage)
+      : program_(argv[0]), usage_(std::move(usage)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "-h" || arg == "--help") {
+        print_usage();
+        std::exit(0);
+      }
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      std::string name = arg.substr(2);
+      std::size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        values_[name.substr(0, eq)] = name.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[name] = argv[++i];
+      } else {
+        values_[name] = "true";  // bare boolean flag
+      }
+    }
+  }
+
+  std::string get(const std::string& name, const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t get_int(const std::string& name, int64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return common::parse_int64(it->second).value_or(fallback);
+  }
+  double get_double(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return common::parse_double(it->second).value_or(fallback);
+  }
+  bool get_bool(const std::string& name) const {
+    auto it = values_.find(name);
+    return it != values_.end() && it->second != "false";
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void print_usage() const {
+    std::fprintf(stderr, "usage: %s %s\n", program_.c_str(), usage_.c_str());
+  }
+
+ private:
+  std::string program_;
+  std::string usage_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ceems::cli

@@ -1,0 +1,160 @@
+#include "apiserver/reports.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace ceems::apiserver {
+
+EfficiencyReport build_efficiency_report(const reldb::Database& db,
+                                         const ReportThresholds& thresholds) {
+  EfficiencyReport report;
+  std::map<std::string, WasteByOwner> by_user, by_project;
+
+  reldb::Query query;
+  query.where = {{"elapsed_ms", reldb::Predicate::Op::kGe,
+                  reldb::Value(thresholds.min_elapsed_ms)}};
+  reldb::ResultSet units = db.query(kUnitsTable, query);
+  for (const auto& row : units.rows) {
+    Unit unit = unit_from_row(row);
+    if (unit.started_at_ms == 0) continue;
+    double elapsed_hours = static_cast<double>(unit.elapsed_ms) / 3.6e6;
+
+    bool low_cpu = unit.num_cpus > 0 &&
+                   unit.avg_cpu_usage < thresholds.low_cpu_usage;
+    bool low_gpu = unit.num_gpus > 0 &&
+                   unit.avg_gpu_usage < thresholds.low_gpu_usage;
+    if (!low_cpu && !low_gpu) continue;
+
+    InefficientUnit finding;
+    finding.unit = unit;
+    double unused_fraction =
+        std::clamp(1.0 - unit.avg_cpu_usage, 0.0, 1.0);
+    finding.wasted_cpu_hours = unused_fraction *
+                               static_cast<double>(unit.num_cpus) *
+                               elapsed_hours;
+    finding.wasted_energy_joules = unit.total_energy_joules * unused_fraction;
+
+    if (low_cpu) report.low_cpu_units.push_back(finding);
+    if (low_gpu) report.low_gpu_units.push_back(finding);
+    report.total_wasted_cpu_hours += finding.wasted_cpu_hours;
+
+    for (auto* bucket : {&by_user, &by_project}) {
+      const std::string& key =
+          bucket == &by_user ? unit.user : unit.project;
+      WasteByOwner& waste = (*bucket)[key];
+      waste.owner = key;
+      ++waste.flagged_units;
+      waste.wasted_cpu_hours += finding.wasted_cpu_hours;
+      waste.wasted_energy_joules += finding.wasted_energy_joules;
+    }
+  }
+
+  auto by_waste = [](const InefficientUnit& a, const InefficientUnit& b) {
+    return a.wasted_cpu_hours > b.wasted_cpu_hours;
+  };
+  std::sort(report.low_cpu_units.begin(), report.low_cpu_units.end(),
+            by_waste);
+  std::sort(report.low_gpu_units.begin(), report.low_gpu_units.end(),
+            by_waste);
+  if (report.low_cpu_units.size() > thresholds.max_findings)
+    report.low_cpu_units.resize(thresholds.max_findings);
+  if (report.low_gpu_units.size() > thresholds.max_findings)
+    report.low_gpu_units.resize(thresholds.max_findings);
+
+  for (auto* bucket : {&by_user, &by_project}) {
+    auto& out = bucket == &by_user ? report.by_user : report.by_project;
+    for (auto& [key, waste] : *bucket) out.push_back(waste);
+    std::sort(out.begin(), out.end(),
+              [](const WasteByOwner& a, const WasteByOwner& b) {
+                return a.wasted_cpu_hours > b.wasted_cpu_hours;
+              });
+  }
+  return report;
+}
+
+std::string render_efficiency_report(const EfficiencyReport& report,
+                                     std::size_t top_n) {
+  char line[256];
+  std::string out = "== Efficiency report (operator view) ==\n";
+  std::snprintf(line, sizeof(line),
+                "total wasted allocation: %.1f cpu-hours across %zu flagged "
+                "units\n\n",
+                report.total_wasted_cpu_hours,
+                report.low_cpu_units.size() + report.low_gpu_units.size());
+  out += line;
+
+  out += "-- least efficient units (CPU) --\n";
+  for (std::size_t i = 0; i < report.low_cpu_units.size() && i < top_n; ++i) {
+    const InefficientUnit& f = report.low_cpu_units[i];
+    std::snprintf(line, sizeof(line),
+                  "  %-8s %-8s cpus=%-4lld avg_cpu=%4.0f%%  wasted=%.1f "
+                  "cpu-h\n",
+                  f.unit.uuid.c_str(), f.unit.user.c_str(),
+                  (long long)f.unit.num_cpus, f.unit.avg_cpu_usage * 100.0,
+                  f.wasted_cpu_hours);
+    out += line;
+  }
+  if (!report.low_gpu_units.empty()) {
+    out += "-- least efficient units (GPU) --\n";
+    for (std::size_t i = 0; i < report.low_gpu_units.size() && i < top_n;
+         ++i) {
+      const InefficientUnit& f = report.low_gpu_units[i];
+      std::snprintf(line, sizeof(line),
+                    "  %-8s %-8s gpus=%-3lld avg_gpu=%4.0f%%\n",
+                    f.unit.uuid.c_str(), f.unit.user.c_str(),
+                    (long long)f.unit.num_gpus,
+                    f.unit.avg_gpu_usage * 100.0);
+      out += line;
+    }
+  }
+  out += "-- waste by user --\n";
+  for (std::size_t i = 0; i < report.by_user.size() && i < top_n; ++i) {
+    const WasteByOwner& waste = report.by_user[i];
+    std::snprintf(line, sizeof(line),
+                  "  %-10s units=%-4zu wasted=%.1f cpu-h (%.2f kWh "
+                  "attributable)\n",
+                  waste.owner.c_str(), waste.flagged_units,
+                  waste.wasted_cpu_hours,
+                  waste.wasted_energy_joules / 3.6e6);
+    out += line;
+  }
+  return out;
+}
+
+common::Json efficiency_report_to_json(const EfficiencyReport& report,
+                                       std::size_t top_n) {
+  common::JsonObject body;
+  body["total_wasted_cpu_hours"] =
+      common::Json(report.total_wasted_cpu_hours);
+  auto findings_to_json = [&](const std::vector<InefficientUnit>& findings) {
+    common::JsonArray array;
+    for (std::size_t i = 0; i < findings.size() && i < top_n; ++i) {
+      common::JsonObject entry;
+      entry["uuid"] = common::Json(findings[i].unit.uuid);
+      entry["user"] = common::Json(findings[i].unit.user);
+      entry["project"] = common::Json(findings[i].unit.project);
+      entry["avg_cpu_usage"] = common::Json(findings[i].unit.avg_cpu_usage);
+      entry["avg_gpu_usage"] = common::Json(findings[i].unit.avg_gpu_usage);
+      entry["wasted_cpu_hours"] = common::Json(findings[i].wasted_cpu_hours);
+      array.push_back(common::Json(std::move(entry)));
+    }
+    return common::Json(std::move(array));
+  };
+  body["low_cpu_units"] = findings_to_json(report.low_cpu_units);
+  body["low_gpu_units"] = findings_to_json(report.low_gpu_units);
+  common::JsonArray users;
+  for (std::size_t i = 0; i < report.by_user.size() && i < top_n; ++i) {
+    common::JsonObject entry;
+    entry["user"] = common::Json(report.by_user[i].owner);
+    entry["flagged_units"] =
+        common::Json(static_cast<int64_t>(report.by_user[i].flagged_units));
+    entry["wasted_cpu_hours"] =
+        common::Json(report.by_user[i].wasted_cpu_hours);
+    users.push_back(common::Json(std::move(entry)));
+  }
+  body["by_user"] = common::Json(std::move(users));
+  return common::Json(std::move(body));
+}
+
+}  // namespace ceems::apiserver

@@ -1,0 +1,59 @@
+// Operator analytics (§III-B): "This enables the operators to perform data
+// analysis on the job metrics data to optimize the cluster usage, identify
+// users and/or projects that are using the cluster resources
+// inefficiently". The efficiency report flags finished units whose average
+// CPU or GPU utilization fell below a threshold, quantifies the wasted
+// allocation, and ranks users/projects by total waste.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apiserver/schema.h"
+#include "reldb/database.h"
+
+namespace ceems::apiserver {
+
+struct ReportThresholds {
+  double low_cpu_usage = 0.3;   // fraction of allocated CPUs
+  double low_gpu_usage = 0.3;   // fraction of bound GPUs
+  int64_t min_elapsed_ms = 10 * 60 * 1000;  // ignore blips
+  std::size_t max_findings = 50;
+};
+
+struct InefficientUnit {
+  Unit unit;
+  // Allocated-but-unused CPU time, in cpu-hours.
+  double wasted_cpu_hours = 0;
+  // Energy attributed to the unit, scaled by the unused fraction — a rough
+  // "reclaimable" figure for the operator.
+  double wasted_energy_joules = 0;
+};
+
+struct WasteByOwner {
+  std::string owner;  // user or project
+  std::size_t flagged_units = 0;
+  double wasted_cpu_hours = 0;
+  double wasted_energy_joules = 0;
+};
+
+struct EfficiencyReport {
+  std::vector<InefficientUnit> low_cpu_units;  // worst first
+  std::vector<InefficientUnit> low_gpu_units;  // worst first
+  std::vector<WasteByOwner> by_user;           // worst first
+  std::vector<WasteByOwner> by_project;        // worst first
+  double total_wasted_cpu_hours = 0;
+};
+
+EfficiencyReport build_efficiency_report(const reldb::Database& db,
+                                         const ReportThresholds& thresholds = {});
+
+// Text rendering for operator terminals / the jean_zay example.
+std::string render_efficiency_report(const EfficiencyReport& report,
+                                     std::size_t top_n = 10);
+
+// JSON rendering for the /api/v1/reports/efficiency endpoint.
+common::Json efficiency_report_to_json(const EfficiencyReport& report,
+                                       std::size_t top_n = 20);
+
+}  // namespace ceems::apiserver

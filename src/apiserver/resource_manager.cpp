@@ -1,0 +1,118 @@
+#include "apiserver/resource_manager.h"
+
+#include <algorithm>
+
+namespace ceems::apiserver {
+
+Unit SlurmAdapter::to_unit(const slurm::Job& job, const std::string& cluster) {
+  Unit unit;
+  unit.uuid = std::to_string(job.job_id);
+  unit.cluster = cluster;
+  unit.resource_manager = "slurm";
+  unit.name = job.request.name;
+  unit.user = job.request.user;
+  unit.project = job.request.account;
+  unit.partition = job.request.partition;
+  unit.state = std::string(slurm::job_state_name(job.state));
+  unit.created_at_ms = job.submit_time_ms;
+  unit.started_at_ms = job.start_time_ms;
+  unit.ended_at_ms = job.end_time_ms;
+  if (job.start_time_ms != 0) {
+    unit.elapsed_ms = (job.end_time_ms != 0 ? job.end_time_ms
+                                            : job.start_time_ms) -
+                      job.start_time_ms;
+    if (job.end_time_ms == 0) unit.elapsed_ms = 0;  // running: set by updater
+  }
+  unit.num_nodes = job.request.num_nodes;
+  unit.num_cpus =
+      static_cast<int64_t>(job.request.num_nodes) * job.request.cpus_per_node;
+  unit.num_gpus =
+      static_cast<int64_t>(job.request.num_nodes) * job.request.gpus_per_node;
+  return unit;
+}
+
+std::vector<Unit> SlurmAdapter::fetch_units_changed_since(
+    common::TimestampMs since_ms) {
+  std::vector<Unit> units;
+  for (const auto& job : dbd_.jobs_changed_since(since_ms)) {
+    units.push_back(to_unit(job, cluster_));
+  }
+  return units;
+}
+
+void K8sAdapter::report_pod(const std::string& pod_uid,
+                            const std::string& pod_name,
+                            const std::string& service_account,
+                            const std::string& name_space,
+                            double cpu_request_cores,
+                            int64_t memory_request_bytes, int gpu_requests,
+                            const std::string& phase,
+                            common::TimestampMs created_ms,
+                            common::TimestampMs started_ms,
+                            common::TimestampMs ended_ms) {
+  Unit unit;
+  unit.uuid = pod_uid;
+  unit.cluster = cluster_;
+  unit.resource_manager = "k8s";
+  unit.name = pod_name;
+  unit.user = service_account;
+  unit.project = name_space;
+  unit.partition = "default";
+  unit.state = phase;  // Pending / Running / Succeeded / Failed
+  unit.created_at_ms = created_ms;
+  unit.started_at_ms = started_ms;
+  unit.ended_at_ms = ended_ms;
+  unit.num_nodes = 1;
+  unit.num_cpus = static_cast<int64_t>(cpu_request_cores + 0.999);
+  unit.num_gpus = gpu_requests;
+  unit.avg_cpu_mem_bytes = static_cast<double>(memory_request_bytes);
+  events_.emplace_back(std::max({created_ms, started_ms, ended_ms}),
+                       std::move(unit));
+}
+
+std::vector<Unit> K8sAdapter::fetch_units_changed_since(
+    common::TimestampMs since_ms) {
+  std::vector<Unit> out;
+  for (const auto& [changed, unit] : events_) {
+    if (changed >= since_ms) out.push_back(unit);
+  }
+  return out;
+}
+
+void OpenstackAdapter::report_vm(const std::string& vm_uuid,
+                                 const std::string& user,
+                                 const std::string& project, int vcpus,
+                                 int64_t memory_bytes, const std::string& state,
+                                 common::TimestampMs created_ms,
+                                 common::TimestampMs started_ms,
+                                 common::TimestampMs ended_ms) {
+  Unit unit;
+  unit.uuid = vm_uuid;
+  unit.cluster = cluster_;
+  unit.resource_manager = "openstack";
+  unit.name = "vm";
+  unit.user = user;
+  unit.project = project;
+  unit.partition = "nova";
+  unit.state = state;
+  unit.created_at_ms = created_ms;
+  unit.started_at_ms = started_ms;
+  unit.ended_at_ms = ended_ms;
+  unit.num_nodes = 1;
+  unit.num_cpus = vcpus;
+  unit.avg_cpu_mem_bytes = static_cast<double>(memory_bytes);
+  common::TimestampMs changed =
+      std::max({created_ms, started_ms, ended_ms});
+  events_.emplace_back(changed, std::move(unit));
+}
+
+std::vector<Unit> OpenstackAdapter::fetch_units_changed_since(
+    common::TimestampMs since_ms) {
+  std::vector<Unit> out;
+  for (const auto& [changed, unit] : events_) {
+    if (changed >= since_ms) out.push_back(unit);
+  }
+  return out;
+}
+
+}  // namespace ceems::apiserver

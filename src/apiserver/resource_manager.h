@@ -1,0 +1,91 @@
+// Resource-manager adapters — the "agnostic" in the paper's title. The
+// API server's updater only sees this interface; per-manager adapters map
+// native job records into the unified Unit schema. SlurmAdapter wraps the
+// slurmdbd simulator; OpenstackAdapter shows the same contract for a
+// VM-shaped manager (future-work §IV, exercised in tests).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apiserver/schema.h"
+#include "slurm/slurmdbd.h"
+
+namespace ceems::apiserver {
+
+class ResourceManagerAdapter {
+ public:
+  virtual ~ResourceManagerAdapter() = default;
+  virtual std::string manager_name() const = 0;
+  // Units whose records changed at/after `since_ms`.
+  virtual std::vector<Unit> fetch_units_changed_since(
+      common::TimestampMs since_ms) = 0;
+};
+
+using AdapterPtr = std::shared_ptr<ResourceManagerAdapter>;
+
+class SlurmAdapter final : public ResourceManagerAdapter {
+ public:
+  SlurmAdapter(const slurm::SlurmDbd& dbd, std::string cluster)
+      : dbd_(dbd), cluster_(std::move(cluster)) {}
+
+  std::string manager_name() const override { return "slurm"; }
+  std::vector<Unit> fetch_units_changed_since(
+      common::TimestampMs since_ms) override;
+
+  static Unit to_unit(const slurm::Job& job, const std::string& cluster);
+
+ private:
+  const slurm::SlurmDbd& dbd_;
+  std::string cluster_;
+};
+
+// Kubernetes-style adapter (§IV long-term objective): pods become compute
+// units; the namespace plays the project role, the service account the
+// user role — mirroring how Kubelet-managed cgroups would be scraped.
+class K8sAdapter final : public ResourceManagerAdapter {
+ public:
+  explicit K8sAdapter(std::string cluster) : cluster_(std::move(cluster)) {}
+
+  std::string manager_name() const override { return "k8s"; }
+  std::vector<Unit> fetch_units_changed_since(
+      common::TimestampMs since_ms) override;
+
+  // Simulates a pod lifecycle event from the API server watch stream.
+  void report_pod(const std::string& pod_uid, const std::string& pod_name,
+                  const std::string& service_account,
+                  const std::string& name_space, double cpu_request_cores,
+                  int64_t memory_request_bytes, int gpu_requests,
+                  const std::string& phase, common::TimestampMs created_ms,
+                  common::TimestampMs started_ms,
+                  common::TimestampMs ended_ms);
+
+ private:
+  std::string cluster_;
+  std::vector<std::pair<common::TimestampMs, Unit>> events_;
+};
+
+// Minimal Openstack-style adapter: VMs with flavors, fed programmatically.
+// Demonstrates that a second manager plugs into the same schema without
+// touching the updater (the paper's §IV long-term objective).
+class OpenstackAdapter final : public ResourceManagerAdapter {
+ public:
+  explicit OpenstackAdapter(std::string cluster)
+      : cluster_(std::move(cluster)) {}
+
+  std::string manager_name() const override { return "openstack"; }
+  std::vector<Unit> fetch_units_changed_since(
+      common::TimestampMs since_ms) override;
+
+  // Simulates the Nova API reporting a VM lifecycle event.
+  void report_vm(const std::string& vm_uuid, const std::string& user,
+                 const std::string& project, int vcpus, int64_t memory_bytes,
+                 const std::string& state, common::TimestampMs created_ms,
+                 common::TimestampMs started_ms, common::TimestampMs ended_ms);
+
+ private:
+  std::string cluster_;
+  std::vector<std::pair<common::TimestampMs, Unit>> events_;
+};
+
+}  // namespace ceems::apiserver

@@ -1,0 +1,228 @@
+#include "apiserver/updater.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace ceems::apiserver {
+
+using tsdb::promql::Value;
+
+Updater::Updater(reldb::Database& db,
+                 std::shared_ptr<const tsdb::Queryable> tsdb,
+                 tsdb::StorePtr hot_store_for_cleanup,
+                 std::vector<AdapterPtr> adapters, common::ClockPtr clock,
+                 UpdaterConfig config)
+    : db_(db),
+      tsdb_(std::move(tsdb)),
+      hot_store_(std::move(hot_store_for_cleanup)),
+      adapters_(std::move(adapters)),
+      clock_(std::move(clock)),
+      config_(config) {
+  create_ceems_tables(db_);
+}
+
+void Updater::poll_managers(common::TimestampMs now, UpdateStats& stats) {
+  for (const auto& adapter : adapters_) {
+    for (Unit fresh : adapter->fetch_units_changed_since(last_poll_ms_)) {
+      // Preserve existing aggregates: identity/state fields come from the
+      // resource manager, metric columns from previous cycles.
+      if (auto existing_row = db_.get(kUnitsTable, reldb::Value(fresh.uuid))) {
+        Unit existing = unit_from_row(*existing_row);
+        fresh.total_cpu_time_seconds = existing.total_cpu_time_seconds;
+        fresh.avg_cpu_usage = existing.avg_cpu_usage;
+        fresh.avg_cpu_mem_bytes = existing.avg_cpu_mem_bytes;
+        fresh.avg_gpu_usage = existing.avg_gpu_usage;
+        fresh.total_cpu_energy_joules = existing.total_cpu_energy_joules;
+        fresh.total_gpu_energy_joules = existing.total_gpu_energy_joules;
+        fresh.total_energy_joules = existing.total_energy_joules;
+        fresh.total_emissions_grams = existing.total_emissions_grams;
+        fresh.total_io_read_bytes = existing.total_io_read_bytes;
+        fresh.total_io_write_bytes = existing.total_io_write_bytes;
+        if (fresh.ended_at_ms != 0 && existing.ended_at_ms == 0) {
+          newly_ended_.push_back(fresh);
+        }
+      } else if (fresh.ended_at_ms != 0) {
+        // First sighting of an already-finished unit (it started and ended
+        // within one poll interval) — still a cleanup candidate.
+        newly_ended_.push_back(fresh);
+      }
+      if (fresh.started_at_ms != 0) {
+        fresh.elapsed_ms = (fresh.ended_at_ms != 0 ? fresh.ended_at_ms : now) -
+                           fresh.started_at_ms;
+      }
+      db_.upsert(kUnitsTable, unit_to_row(fresh));
+      ++stats.units_upserted;
+    }
+  }
+  last_poll_ms_ = now;
+}
+
+void Updater::update_aggregates(common::TimestampMs now, UpdateStats& stats) {
+  if (last_agg_ms_ < 0) {
+    last_agg_ms_ = now;
+    return;  // first cycle: establish the window start
+  }
+  int64_t window_ms = now - last_agg_ms_;
+  if (window_ms <= 0) return;
+  double window_sec = static_cast<double>(window_ms) / 1000.0;
+  std::string window = common::format_duration_ms(window_ms);
+
+  // Batched per-uuid queries over the window. Every query groups by uuid
+  // so one TSDB pass covers every running unit.
+  auto vector_by_uuid = [&](const std::string& query)
+      -> std::map<std::string, double> {
+    std::map<std::string, double> out;
+    try {
+      Value value = engine_.eval(*tsdb_, query, now);
+      if (value.kind != Value::Kind::kVector) return out;
+      for (const auto& sample : value.vector) {
+        auto uuid = sample.labels.get("uuid");
+        if (uuid) out[std::string(*uuid)] = sample.value;
+      }
+    } catch (const std::exception& e) {
+      CEEMS_LOG_WARN("updater") << "query failed: " << e.what();
+    }
+    return out;
+  };
+
+  auto cpu_time = vector_by_uuid(
+      "sum by (uuid) (increase(ceems_compute_unit_cpu_usage_seconds_total[" +
+      window + "]))");
+  auto mem_avg = vector_by_uuid(
+      "avg by (uuid) (avg_over_time(ceems_compute_unit_memory_current_bytes[" +
+      window + "]))");
+  auto cpu_power = vector_by_uuid("sum by (uuid) (avg_over_time(" +
+                                  config_.cpu_power_metric + "[" + window +
+                                  "]))");
+  auto gpu_power = vector_by_uuid("sum by (uuid) (avg_over_time(" +
+                                  config_.gpu_power_metric + "[" + window +
+                                  "]))");
+  auto gpu_util = vector_by_uuid("avg by (uuid) (avg_over_time(" +
+                                 config_.gpu_util_metric + "[" + window +
+                                 "]))");
+  auto io_read = vector_by_uuid(
+      "sum by (uuid) (increase(ceems_compute_unit_io_read_bytes_total[" +
+      window + "]))");
+  auto io_write = vector_by_uuid(
+      "sum by (uuid) (increase(ceems_compute_unit_io_write_bytes_total[" +
+      window + "]))");
+
+  // Cluster-wide emission factor for the window (scalar).
+  double factor = 0;
+  try {
+    Value value = engine_.eval(
+        *tsdb_,
+        "avg(avg_over_time(" + config_.emission_metric + "{provider=\"" +
+            config_.emission_provider + "\"}[" + window + "]))",
+        now);
+    if (value.kind == Value::Kind::kVector && !value.vector.empty()) {
+      factor = value.vector[0].value;
+    }
+  } catch (const std::exception&) {
+  }
+
+  // Collect all uuids that have any activity this window.
+  std::map<std::string, bool> touched;
+  for (const auto& [uuid, v] : cpu_time) touched[uuid] = true;
+  for (const auto& [uuid, v] : cpu_power) touched[uuid] = true;
+  for (const auto& [uuid, v] : gpu_power) touched[uuid] = true;
+
+  for (const auto& [uuid, ignored] : touched) {
+    auto row = db_.get(kUnitsTable, reldb::Value(uuid));
+    if (!row) continue;  // metrics for a unit the manager hasn't reported yet
+    Unit unit = unit_from_row(*row);
+
+    double prev_elapsed_sec =
+        std::max(0.0, static_cast<double>(unit.elapsed_ms) / 1000.0 -
+                          window_sec);
+    if (unit.started_at_ms != 0 && unit.ended_at_ms == 0) {
+      unit.elapsed_ms = now - unit.started_at_ms;
+    }
+    double elapsed_sec = static_cast<double>(unit.elapsed_ms) / 1000.0;
+
+    auto get = [](const std::map<std::string, double>& m,
+                  const std::string& key) {
+      auto it = m.find(key);
+      return it == m.end() ? 0.0 : it->second;
+    };
+
+    unit.total_cpu_time_seconds += get(cpu_time, uuid);
+    if (elapsed_sec > 0 && unit.num_cpus > 0) {
+      unit.avg_cpu_usage = unit.total_cpu_time_seconds /
+                           (elapsed_sec * static_cast<double>(unit.num_cpus));
+    }
+    // Time-weighted running averages.
+    auto fold_avg = [&](double old_avg, double window_value) {
+      if (elapsed_sec <= 0) return window_value;
+      double effective_window = std::min(window_sec, elapsed_sec);
+      return (old_avg * prev_elapsed_sec + window_value * effective_window) /
+             (prev_elapsed_sec + effective_window);
+    };
+    if (mem_avg.count(uuid))
+      unit.avg_cpu_mem_bytes = fold_avg(unit.avg_cpu_mem_bytes,
+                                        get(mem_avg, uuid));
+    if (gpu_util.count(uuid))
+      unit.avg_gpu_usage = fold_avg(unit.avg_gpu_usage, get(gpu_util, uuid));
+
+    double cpu_energy_inc = get(cpu_power, uuid) * window_sec;
+    double gpu_energy_inc = get(gpu_power, uuid) * window_sec;
+    unit.total_cpu_energy_joules += cpu_energy_inc;
+    unit.total_gpu_energy_joules += gpu_energy_inc;
+    unit.total_energy_joules =
+        unit.total_cpu_energy_joules + unit.total_gpu_energy_joules;
+    unit.total_emissions_grams +=
+        (cpu_energy_inc + gpu_energy_inc) / 3.6e6 * factor;
+    unit.total_io_read_bytes += get(io_read, uuid);
+    unit.total_io_write_bytes += get(io_write, uuid);
+
+    db_.upsert(kUnitsTable, unit_to_row(unit));
+    ++stats.units_aggregated;
+  }
+  last_agg_ms_ = now;
+}
+
+void Updater::cleanup_small_units(UpdateStats& stats) {
+  if (config_.small_unit_cutoff_ms <= 0 || !hot_store_) {
+    newly_ended_.clear();
+    return;
+  }
+  for (const auto& unit : newly_ended_) {
+    int64_t lifetime = unit.ended_at_ms - unit.started_at_ms;
+    if (unit.started_at_ms == 0 || lifetime >= config_.small_unit_cutoff_ms)
+      continue;
+    stats.series_deleted += hot_store_->delete_series(
+        {{"uuid", metrics::LabelMatcher::Op::kEq, unit.uuid}});
+  }
+  newly_ended_.clear();
+}
+
+UpdateStats Updater::update_once() {
+  UpdateStats stats;
+  common::TimestampMs now = clock_->now_ms();
+  poll_managers(now, stats);
+  update_aggregates(now, stats);
+  cleanup_small_units(stats);
+  return stats;
+}
+
+void Updater::start() {
+  if (running_.exchange(true)) return;
+  loop_thread_ = std::thread([this] {
+    while (running_.load()) {
+      common::TimestampMs next = clock_->now_ms() + config_.interval_ms;
+      update_once();
+      if (!clock_->sleep_until(next)) return;
+    }
+  });
+}
+
+void Updater::stop() {
+  if (!running_.exchange(false)) return;
+  clock_->interrupt();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+}  // namespace ceems::apiserver

@@ -1,0 +1,79 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace ceems::common {
+
+TimestampMs RealClock::now_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+bool RealClock::sleep_until(TimestampMs deadline_ms) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (interrupted_) return false;
+    TimestampMs now = now_ms();
+    if (now >= deadline_ms) return true;
+    cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms - now));
+  }
+}
+
+void RealClock::interrupt() {
+  {
+    std::lock_guard lock(mu_);
+    interrupted_ = true;
+  }
+  cv_.notify_all();
+}
+
+TimestampMs SimClock::now_ms() const {
+  std::lock_guard lock(mu_);
+  return now_;
+}
+
+bool SimClock::sleep_until(TimestampMs deadline_ms) {
+  std::unique_lock lock(mu_);
+  ++sleepers_;
+  cv_.wait(lock, [&] { return interrupted_ || now_ >= deadline_ms; });
+  --sleepers_;
+  return !interrupted_;
+}
+
+void SimClock::interrupt() {
+  {
+    std::lock_guard lock(mu_);
+    interrupted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void SimClock::advance(TimestampMs delta_ms) {
+  {
+    std::lock_guard lock(mu_);
+    now_ += delta_ms;
+  }
+  cv_.notify_all();
+}
+
+void SimClock::set(TimestampMs now_ms) {
+  {
+    std::lock_guard lock(mu_);
+    now_ = now_ms;
+  }
+  cv_.notify_all();
+}
+
+int SimClock::sleeper_count() const {
+  std::lock_guard lock(mu_);
+  return sleepers_;
+}
+
+ClockPtr make_real_clock() { return std::make_shared<RealClock>(); }
+
+std::shared_ptr<SimClock> make_sim_clock(TimestampMs start_ms) {
+  return std::make_shared<SimClock>(start_ms);
+}
+
+}  // namespace ceems::common

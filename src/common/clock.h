@@ -1,0 +1,91 @@
+// Clock abstraction shared by every CEEMS component.
+//
+// A monitoring stack is fundamentally about time: scrape intervals, rate()
+// windows, retention cutoffs. To make the whole stack deterministic under
+// test, no component ever calls std::chrono directly — everything receives a
+// Clock. RealClock wraps the system clock; SimClock is a manually advanced
+// clock whose sleepers are woken by advance(), which is what lets the
+// cluster simulator run "three months of Jean-Zay" in milliseconds.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace ceems::common {
+
+// All CEEMS timestamps are milliseconds since the Unix epoch, matching the
+// Prometheus wire format.
+using TimestampMs = int64_t;
+
+constexpr TimestampMs kMillisPerSecond = 1000;
+constexpr TimestampMs kMillisPerMinute = 60 * kMillisPerSecond;
+constexpr TimestampMs kMillisPerHour = 60 * kMillisPerMinute;
+constexpr TimestampMs kMillisPerDay = 24 * kMillisPerHour;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Current time in milliseconds since the epoch.
+  virtual TimestampMs now_ms() const = 0;
+
+  // Blocks until the clock reaches `deadline_ms` or `interrupt` below is
+  // called. Returns false if interrupted before the deadline.
+  virtual bool sleep_until(TimestampMs deadline_ms) = 0;
+
+  // Wakes every sleeper immediately (used for component shutdown).
+  virtual void interrupt() = 0;
+
+  bool sleep_for(TimestampMs duration_ms) {
+    return sleep_until(now_ms() + duration_ms);
+  }
+};
+
+using ClockPtr = std::shared_ptr<Clock>;
+
+// Wall-clock implementation used by live deployments and the examples.
+class RealClock final : public Clock {
+ public:
+  TimestampMs now_ms() const override;
+  bool sleep_until(TimestampMs deadline_ms) override;
+  void interrupt() override;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool interrupted_ = false;
+};
+
+// Deterministic clock for tests and the cluster simulator. Time only moves
+// when advance()/set() is called; sleepers whose deadline is reached are
+// woken in deadline order.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimestampMs start_ms = 0) : now_(start_ms) {}
+
+  TimestampMs now_ms() const override;
+  bool sleep_until(TimestampMs deadline_ms) override;
+  void interrupt() override;
+
+  // Moves time forward, waking any sleeper whose deadline has passed.
+  void advance(TimestampMs delta_ms);
+  void set(TimestampMs now_ms);
+
+  // Number of threads currently blocked in sleep_until. Lets a driver
+  // advance time only once all periodic workers are parked.
+  int sleeper_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  TimestampMs now_;
+  bool interrupted_ = false;
+  int sleepers_ = 0;
+};
+
+ClockPtr make_real_clock();
+std::shared_ptr<SimClock> make_sim_clock(TimestampMs start_ms = 0);
+
+}  // namespace ceems::common

@@ -1,0 +1,350 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strutil.h"
+
+namespace ceems::common {
+
+const Json& Json::at(const std::string& key) const {
+  check(Type::kObject);
+  auto it = object_->find(key);
+  if (it == object_->end())
+    throw std::runtime_error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+std::optional<Json> Json::get(const std::string& key) const {
+  if (type_ != Type::kObject) return std::nullopt;
+  auto it = object_->find(key);
+  if (it == object_->end()) return std::nullopt;
+  return it->second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  check(Type::kObject);
+  return (*object_)[key];
+}
+
+void Json::push_back(Json value) {
+  check(Type::kArray);
+  array_->push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_->size();
+  if (type_ == Type::kObject) return object_->size();
+  return 0;
+}
+
+std::string Json::get_string(const std::string& key, std::string fallback) const {
+  auto value = get(key);
+  if (!value || !value->is_string()) return fallback;
+  return value->as_string();
+}
+
+double Json::get_number(const std::string& key, double fallback) const {
+  auto value = get(key);
+  if (!value || !value->is_number()) return fallback;
+  return value->as_number();
+}
+
+int64_t Json::get_int(const std::string& key, int64_t fallback) const {
+  auto value = get(key);
+  if (!value || !value->is_number()) return fallback;
+  return value->as_int();
+}
+
+bool Json::get_bool(const std::string& key, bool fallback) const {
+  auto value = get(key);
+  if (!value || !value->is_bool()) return fallback;
+  return value->as_bool();
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return number_ == other.number_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return *array_ == *other.array_;
+    case Type::kObject: return *object_ == *other.object_;
+  }
+  return false;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent >= 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: {
+      if (std::isnan(number_) || std::isinf(number_)) {
+        out += "null";  // JSON has no NaN/Inf.
+      } else if (number_ == std::floor(number_) &&
+                 std::fabs(number_) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+        out += buf;
+      } else {
+        out += format_double(number_);
+      }
+      break;
+    }
+    case Type::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : *array_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        item.dump_to(out, indent, depth + 1);
+      }
+      if (!array_->empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : *object_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += '"';
+        out += json_escape(key);
+        out += "\":";
+        if (indent >= 0) out += ' ';
+        value.dump_to(out, indent, depth + 1);
+      }
+      if (!object_->empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json parse() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw JsonParseError("json parse error at offset " +
+                         std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json(nullptr);
+    return parse_number();
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object[std::move(key)] = parse_value();
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Json(std::move(object));
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Json(std::move(array));
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit");
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    auto value = parse_double(text_.substr(start, pos_ - start));
+    if (!value) fail("bad number");
+    return Json(*value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return JsonParser(text).parse(); }
+
+}  // namespace ceems::common

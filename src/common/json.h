@@ -1,0 +1,100 @@
+// Minimal JSON value model, parser and serializer. The CEEMS API server and
+// load balancer speak JSON over HTTP; this is the only JSON implementation
+// in the repo (no external dependency).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ceems::common {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps object keys sorted, which makes serialized output
+// deterministic — handy for golden tests.
+using JsonObject = std::map<std::string, Json>;
+
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(int value) : type_(Type::kNumber), number_(value) {}
+  Json(int64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(uint64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(JsonArray value)
+      : type_(Type::kArray), array_(std::make_shared<JsonArray>(std::move(value))) {}
+  Json(JsonObject value)
+      : type_(Type::kObject),
+        object_(std::make_shared<JsonObject>(std::move(value))) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { check(Type::kBool); return bool_; }
+  double as_number() const { check(Type::kNumber); return number_; }
+  int64_t as_int() const { check(Type::kNumber); return static_cast<int64_t>(number_); }
+  const std::string& as_string() const { check(Type::kString); return string_; }
+  const JsonArray& as_array() const { check(Type::kArray); return *array_; }
+  JsonArray& as_array() { check(Type::kArray); return *array_; }
+  const JsonObject& as_object() const { check(Type::kObject); return *object_; }
+  JsonObject& as_object() { check(Type::kObject); return *object_; }
+
+  // Object accessors. at() throws on a missing key; get() returns nullopt.
+  const Json& at(const std::string& key) const;
+  std::optional<Json> get(const std::string& key) const;
+  Json& operator[](const std::string& key);
+  void push_back(Json value);
+  std::size_t size() const;
+
+  // Convenience typed getters with defaults, for config-style access.
+  std::string get_string(const std::string& key, std::string fallback = "") const;
+  double get_number(const std::string& key, double fallback = 0) const;
+  int64_t get_int(const std::string& key, int64_t fallback = 0) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  std::string dump(int indent = -1) const;
+  static Json parse(std::string_view text);  // throws JsonParseError
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void check(Type expected) const {
+    if (type_ != expected) throw std::runtime_error("json: wrong type access");
+  }
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+std::string json_escape(std::string_view text);
+
+}  // namespace ceems::common

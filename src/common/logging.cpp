@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ceems::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_out_mu;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_out_mu);
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace ceems::common

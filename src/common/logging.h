@@ -1,0 +1,48 @@
+// Minimal leveled, thread-safe logger. Components log through this instead
+// of std::cerr so tests can raise the threshold and keep output quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ceems::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+// Stream-style helper: LogStream(kInfo, "tsdb") << "loaded " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() {
+    if (level_ >= log_level()) log_message(level_, component_, out_.str());
+  }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (level_ >= log_level()) out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream out_;
+};
+
+#define CEEMS_LOG_DEBUG(component) \
+  ::ceems::common::LogStream(::ceems::common::LogLevel::kDebug, component)
+#define CEEMS_LOG_INFO(component) \
+  ::ceems::common::LogStream(::ceems::common::LogLevel::kInfo, component)
+#define CEEMS_LOG_WARN(component) \
+  ::ceems::common::LogStream(::ceems::common::LogLevel::kWarn, component)
+#define CEEMS_LOG_ERROR(component) \
+  ::ceems::common::LogStream(::ceems::common::LogLevel::kError, component)
+
+}  // namespace ceems::common

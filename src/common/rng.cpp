@@ -1,0 +1,56 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ceems::common {
+
+uint64_t Rng::next_u64() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::next_double() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(next_u64() % range);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) {
+  double u = next_double();
+  if (u >= 1.0) u = 0.9999999999;
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_spare_) {
+    have_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_ = r * std::sin(theta);
+  have_spare_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+bool Rng::chance(double probability) { return next_double() < probability; }
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace ceems::common

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generator for the cluster simulator.
+// SplitMix64 core: tiny state, excellent statistical quality for simulation
+// workloads, and — unlike std::mt19937 seeded from random_device — fully
+// reproducible across runs, which the property tests depend on.
+#pragma once
+
+#include <cstdint>
+
+namespace ceems::common {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Exponential with the given mean (inter-arrival times of job churn).
+  double exponential(double mean);
+
+  // Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  // Bernoulli trial.
+  bool chance(double probability);
+
+  // Creates an independent child stream (for per-node/per-job RNGs).
+  Rng fork();
+
+ private:
+  uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0;
+};
+
+}  // namespace ceems::common

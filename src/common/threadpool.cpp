@@ -1,0 +1,73 @@
+#include "common/threadpool.h"
+
+namespace ceems::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
+    : name_(std::move(name)) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(/*drain=*/false); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    if (!accepting_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+  return true;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::shutdown(bool drain) {
+  {
+    std::lock_guard lock(mu_);
+    accepting_ = false;
+    if (!drain) queue_.clear();
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace ceems::common

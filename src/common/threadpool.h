@@ -1,0 +1,49 @@
+// Fixed-size worker pool used by the HTTP server, scrape manager and
+// simulator. Tasks are plain std::function thunks; shutdown drains the queue
+// unless drain=false.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ceems::common {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Returns false if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  // Blocks until every queued and running task has finished.
+  void wait_idle();
+
+  // Stops the workers. If drain is true, queued tasks run first.
+  void shutdown(bool drain = true);
+
+  std::size_t size() const { return workers_.size(); }
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  bool accepting_ = true;
+};
+
+}  // namespace ceems::common

@@ -1,0 +1,196 @@
+#include "common/yamlconf.h"
+
+#include <vector>
+
+#include "common/strutil.h"
+
+namespace ceems::common {
+
+namespace {
+
+struct Line {
+  int indent = 0;
+  std::string content;  // trimmed, comment-stripped
+  std::size_t number = 0;
+};
+
+// Strips a trailing comment that is not inside quotes.
+std::string strip_comment(std::string_view text) {
+  bool in_single = false, in_double = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if (c == '#' && !in_single && !in_double &&
+             (i == 0 || text[i - 1] == ' ' || text[i - 1] == '\t')) {
+      return std::string(text.substr(0, i));
+    }
+  }
+  return std::string(text);
+}
+
+Json parse_scalar(std::string_view text) {
+  text = trim(text);
+  if (text.empty() || text == "~" || text == "null") return Json(nullptr);
+  if (text.size() >= 2 && ((text.front() == '"' && text.back() == '"') ||
+                           (text.front() == '\'' && text.back() == '\''))) {
+    return Json(std::string(text.substr(1, text.size() - 2)));
+  }
+  if (text == "true" || text == "yes") return Json(true);
+  if (text == "false" || text == "no") return Json(false);
+  if (auto i = parse_int64(text)) return Json(*i);
+  if (auto d = parse_double(text)) return Json(*d);
+  if (text.front() == '[' && text.back() == ']') {
+    JsonArray items;
+    std::string_view inner = text.substr(1, text.size() - 2);
+    if (!trim(inner).empty()) {
+      for (const auto& part : split(inner, ',')) {
+        items.push_back(parse_scalar(part));
+      }
+    }
+    return Json(std::move(items));
+  }
+  return Json(std::string(text));
+}
+
+class YamlParser {
+ public:
+  explicit YamlParser(std::string_view text) {
+    std::size_t line_no = 0;
+    for (const auto& raw : split(text, '\n')) {
+      ++line_no;
+      std::string stripped = strip_comment(raw);
+      std::string_view sv = stripped;
+      int indent = 0;
+      while (static_cast<std::size_t>(indent) < sv.size() &&
+             sv[static_cast<std::size_t>(indent)] == ' ')
+        ++indent;
+      std::string_view body = trim(sv);
+      if (body.empty()) continue;
+      if (!sv.empty() && sv[0] == '\t')
+        throw YamlParseError("yaml: tabs are not allowed (line " +
+                             std::to_string(line_no) + ")");
+      lines_.push_back({indent, std::string(body), line_no});
+    }
+  }
+
+  Json parse() {
+    if (lines_.empty()) return Json::object();
+    Json value = parse_block(0, lines_[0].indent);
+    if (pos_ != lines_.size())
+      throw YamlParseError("yaml: bad indentation at line " +
+                           std::to_string(lines_[pos_].number));
+    return value;
+  }
+
+ private:
+  // Parses the block of lines starting at pos_ whose indent == `indent`.
+  Json parse_block(std::size_t /*unused*/, int indent) {
+    if (pos_ >= lines_.size()) return Json(nullptr);
+    if (starts_with(lines_[pos_].content, "- ") || lines_[pos_].content == "-")
+      return parse_list(indent);
+    return parse_map(indent);
+  }
+
+  Json parse_list(int indent) {
+    JsonArray items;
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           (starts_with(lines_[pos_].content, "- ") ||
+            lines_[pos_].content == "-")) {
+      const Line& line = lines_[pos_];
+      std::string_view rest =
+          line.content == "-" ? std::string_view{}
+                              : trim(std::string_view(line.content).substr(2));
+      if (rest.empty()) {
+        // "- " alone: nested block follows with greater indent.
+        ++pos_;
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+          items.push_back(parse_block(pos_, lines_[pos_].indent));
+        } else {
+          items.push_back(Json(nullptr));
+        }
+      } else if (rest.find(": ") != std::string_view::npos ||
+                 ends_with(rest, ":")) {
+        // "- key: value" starts an inline map whose remaining keys are
+        // indented by indent + 2.
+        ++pos_;
+        JsonObject object;
+        parse_map_entry(rest, indent + 2, object);
+        while (pos_ < lines_.size() && lines_[pos_].indent == indent + 2 &&
+               !starts_with(lines_[pos_].content, "- ")) {
+          std::string content = lines_[pos_].content;
+          ++pos_;
+          parse_map_entry(content, indent + 2, object);
+        }
+        items.push_back(Json(std::move(object)));
+      } else {
+        items.push_back(parse_scalar(rest));
+        ++pos_;
+      }
+    }
+    return Json(std::move(items));
+  }
+
+  // Parses one "key: value" or "key:" entry; consumes nested blocks.
+  void parse_map_entry(std::string_view content, int child_indent,
+                       JsonObject& object) {
+    std::size_t colon = find_key_colon(content);
+    if (colon == std::string_view::npos)
+      throw YamlParseError("yaml: expected 'key: value', got '" +
+                           std::string(content) + "'");
+    std::string key(trim(content.substr(0, colon)));
+    if (key.size() >= 2 && ((key.front() == '"' && key.back() == '"') ||
+                            (key.front() == '\'' && key.back() == '\''))) {
+      key = key.substr(1, key.size() - 2);
+    }
+    std::string_view rest = trim(content.substr(colon + 1));
+    if (!rest.empty()) {
+      object[key] = parse_scalar(rest);
+      return;
+    }
+    // Value is a nested block (or empty).
+    if (pos_ < lines_.size() && lines_[pos_].indent >= child_indent) {
+      object[key] = parse_block(pos_, lines_[pos_].indent);
+    } else if (pos_ < lines_.size() && lines_[pos_].indent > 0 &&
+               lines_[pos_].indent < child_indent &&
+               starts_with(lines_[pos_].content, "- ")) {
+      // Lists are commonly indented at the same level as the key.
+      object[key] = parse_list(lines_[pos_].indent);
+    } else {
+      object[key] = Json(nullptr);
+    }
+  }
+
+  Json parse_map(int indent) {
+    JsonObject object;
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           !starts_with(lines_[pos_].content, "- ")) {
+      std::string content = lines_[pos_].content;
+      ++pos_;
+      parse_map_entry(content, indent + 2, object);
+    }
+    return Json(std::move(object));
+  }
+
+  static std::size_t find_key_colon(std::string_view text) {
+    bool in_single = false, in_double = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      char c = text[i];
+      if (c == '\'' && !in_double) in_single = !in_single;
+      else if (c == '"' && !in_single) in_double = !in_double;
+      else if (c == ':' && !in_single && !in_double &&
+               (i + 1 == text.size() || text[i + 1] == ' '))
+        return i;
+    }
+    return std::string_view::npos;
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json parse_yaml(std::string_view text) { return YamlParser(text).parse(); }
+
+}  // namespace ceems::common

@@ -1,0 +1,30 @@
+// YAML-subset parser for the single CEEMS configuration file. The paper's
+// stack reads one YAML file where every component picks its own section;
+// this parser supports the subset that configuration needs:
+//   - nested maps via 2-space indentation
+//   - block lists ("- item" / "- key: value" maps)
+//   - scalars: strings (bare or quoted), ints, floats, bools, null
+//   - inline lists [a, b, c]
+//   - comments (# to end of line)
+// Anchors, multi-line strings and flow maps are intentionally unsupported.
+// The parse result is a common::Json tree so downstream code has one value
+// model for both YAML config and JSON APIs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+
+namespace ceems::common {
+
+class YamlParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Parses YAML text into a Json tree. Throws YamlParseError on bad input.
+Json parse_yaml(std::string_view text);
+
+}  // namespace ceems::common

@@ -1,0 +1,37 @@
+// Single-file YAML configuration (§II-D: "All the CEEMS components can be
+// configured in a single YAML file where each component will read its
+// relevant configuration"). load_stack_config reads the sections shared by
+// every component; load_sim_config reads the simulation-only section.
+#pragma once
+
+#include <string>
+
+#include "core/stack.h"
+
+namespace ceems::core {
+
+struct SimSetupConfig {
+  double cluster_scale = 0.02;   // fraction of the 1400-node Jean-Zay
+  double jobs_per_day = 3000;
+  uint64_t seed = 42;
+  int64_t sim_step_ms = 10 * common::kMillisPerSecond;
+};
+
+// Parses the `simulation:` section.
+SimSetupConfig load_sim_config(const common::Json& root);
+
+// Parses the `ceems:` section (scrape, rules, updater, longterm, lb,
+// emissions, auth). Unknown keys are ignored; missing keys keep defaults.
+StackConfig load_stack_config(const common::Json& root);
+
+// Convenience: parse both from YAML text. Throws YamlParseError.
+struct LoadedConfig {
+  SimSetupConfig sim;
+  StackConfig stack;
+};
+LoadedConfig parse_config_text(const std::string& yaml_text);
+
+// A commented reference config, used by the quickstart example and tests.
+std::string reference_config_yaml();
+
+}  // namespace ceems::core

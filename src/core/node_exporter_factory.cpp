@@ -1,0 +1,55 @@
+#include "core/node_exporter_factory.h"
+
+#include "exporter/cgroup_collector.h"
+#include "exporter/ebpf_collector.h"
+#include "exporter/gpu_collector.h"
+#include "exporter/gpu_map_collector.h"
+#include "exporter/ipmi_collector.h"
+#include "exporter/node_collector.h"
+#include "exporter/rapl_collector.h"
+
+namespace ceems::core {
+
+std::string nodegroup_of(const node::NodeSpec& spec) {
+  if (spec.gpus.empty()) {
+    return spec.cpu_vendor == node::CpuVendor::kIntel ? "intel-cpu"
+                                                      : "amd-cpu";
+  }
+  return spec.ipmi_includes_gpu ? "gpu-incl" : "gpu-excl";
+}
+
+std::unique_ptr<exporter::Exporter> make_ceems_exporter(
+    const node::NodeSimPtr& node, common::ClockPtr clock,
+    exporter::ExporterConfig config, bool merge_gpu_exporter) {
+  auto out = std::make_unique<exporter::Exporter>(std::move(config), clock);
+  out->add_collector(std::make_shared<exporter::CgroupCollector>(
+      node->fs(), simfs::kSlurmScope));
+  out->add_collector(std::make_shared<exporter::NodeCollector>(node->fs()));
+  out->add_collector(std::make_shared<exporter::RaplCollector>(node->fs()));
+  out->add_collector(std::make_shared<exporter::IpmiCollector>(
+      [node] { return node::format_dcmi_output(node->ipmi().read()); }));
+  // §IV roadmap collectors (network via eBPF, FLOPS/caching via perf),
+  // implemented against the simulator's kernel-side stand-in.
+  out->add_collector(std::make_shared<exporter::EbpfCollector>(
+      [node] { return node->ebpf_stats(); }));
+  if (!node->spec().gpus.empty()) {
+    out->add_collector(std::make_shared<exporter::GpuMapCollector>(
+        [node] { return node->workloads(); }, node->gpus()));
+    if (merge_gpu_exporter) {
+      out->add_collector(
+          std::make_shared<exporter::GpuCollector>(node->gpus()));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<exporter::Exporter> make_gpu_exporter(
+    const node::NodeSimPtr& node, common::ClockPtr clock,
+    exporter::ExporterConfig config) {
+  config.enable_self_metrics = false;
+  auto out = std::make_unique<exporter::Exporter>(std::move(config), clock);
+  out->add_collector(std::make_shared<exporter::GpuCollector>(node->gpus()));
+  return out;
+}
+
+}  // namespace ceems::core

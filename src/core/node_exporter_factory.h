@@ -1,0 +1,29 @@
+// Builds the per-node exporter from a simulated node: cgroup + node + RAPL
+// + IPMI collectors, plus the DCGM/AMD-SMI-style GPU collectors and the
+// job→GPU map on GPU nodes. The paper deploys the GPU exporter as a
+// separate process next to the CEEMS exporter; both modes are supported
+// (merged = one scrape target per node, separate = two).
+#pragma once
+
+#include <memory>
+
+#include "exporter/exporter.h"
+#include "node/node_sim.h"
+
+namespace ceems::core {
+
+// The scrape label that routes a node to its recording-rule group.
+std::string nodegroup_of(const node::NodeSpec& spec);
+
+// CEEMS exporter for the node (cgroup, node, RAPL, IPMI collectors; GPU
+// map + GPU telemetry collectors included when `merge_gpu_exporter`).
+std::unique_ptr<exporter::Exporter> make_ceems_exporter(
+    const node::NodeSimPtr& node, common::ClockPtr clock,
+    exporter::ExporterConfig config = {}, bool merge_gpu_exporter = true);
+
+// Stand-alone DCGM/AMD-SMI-style exporter (separate deployment mode).
+std::unique_ptr<exporter::Exporter> make_gpu_exporter(
+    const node::NodeSimPtr& node, common::ClockPtr clock,
+    exporter::ExporterConfig config = {});
+
+}  // namespace ceems::core

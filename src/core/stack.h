@@ -1,0 +1,123 @@
+// CeemsStack — the full Fig. 1 architecture wired over a simulated
+// cluster:
+//
+//   exporters (one per node) ──scrape──▶ hot TSDB ──replicate──▶ long-term
+//        │                                  │ recording rules        store
+//        └─ /metrics over HTTP or local     ▼                         │
+//           transport                  cardinality cleanup            ▼
+//                                                        Thanos-style query
+//   SLURM dbd ──poll──▶ API server (units DB + aggregates)   API servers ×N
+//                              ▲   │ direct-DB ownership          ▲
+//                              │   ▼                              │
+//   Grafana-style clients ──▶ CEEMS LB (access control + balancing)
+//
+// Driving modes mirror ScrapeManager's: pipeline_step()/update_api() for
+// deterministic simulated-time runs, start()/stop() background loops for
+// wall-clock demos.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apiserver/api_server.h"
+#include "apiserver/updater.h"
+#include "core/node_exporter_factory.h"
+#include "core/rules_library.h"
+#include "emissions/electricity_maps.h"
+#include "emissions/owid.h"
+#include "emissions/rte.h"
+#include "exporter/emissions_collector.h"
+#include "lb/load_balancer.h"
+#include "slurm/cluster_sim.h"
+#include "tsdb/http_api.h"
+#include "tsdb/longterm.h"
+#include "tsdb/rules.h"
+#include "tsdb/scrape.h"
+
+namespace ceems::core {
+
+struct StackConfig {
+  int64_t scrape_interval_ms = 30 * common::kMillisPerSecond;
+  std::string rate_window = "2m";
+  // Nodes get real HTTP exporters up to this count; the rest use the local
+  // transport (identical parse path, no listening socket) — see E4.
+  std::size_t http_exporter_count = 8;
+  std::size_t query_backend_count = 2;  // Thanos-style query replicas
+  lb::Strategy lb_strategy = lb::Strategy::kRoundRobin;
+  std::set<std::string> admin_users = {"admin"};
+  std::string country_code = "FR";
+  std::string emission_provider = "rte";
+  apiserver::UpdaterConfig updater;
+  tsdb::LongTermConfig longterm;
+  bool include_equal_split_baseline = false;
+  // §IV-roadmap rules: network power attributed by eBPF-measured traffic
+  // share instead of the equal split of Eq. (1)'s last term.
+  bool include_ebpf_network_rules = true;
+  // Operational alerting rules (exporter down, power anomaly, ...).
+  bool include_alert_rules = true;
+  std::string db_wal_path;  // empty = in-memory DB
+  http::BasicAuthConfig exporter_auth;  // applied to every exporter
+};
+
+class CeemsStack {
+ public:
+  CeemsStack(slurm::ClusterSim& sim, StackConfig config);
+  ~CeemsStack();
+
+  // --- deterministic pipeline (simulated time) ---
+  // Scrapes all targets if a scrape is due, evaluates recording rules,
+  // replicates to the long-term store and compacts. Call after sim steps.
+  void pipeline_step();
+  // Forces a scrape+rules pass regardless of the interval.
+  void pipeline_step_forced();
+  // Runs the API-server updater once (resource-manager poll + aggregates).
+  apiserver::UpdateStats update_api();
+
+  // --- servers (HTTP endpoints for LB / dashboards / examples) ---
+  void start_servers();
+  void stop_servers();
+
+  // --- accessors ---
+  tsdb::StorePtr hot_store() { return hot_store_; }
+  std::shared_ptr<tsdb::LongTermStore> longterm() { return longterm_; }
+  tsdb::ScrapeManager& scraper() { return *scraper_; }
+  tsdb::RuleEngine& rules() { return *rules_; }
+  reldb::Database& db() { return *db_; }
+  apiserver::ApiServer& api_server() { return *api_server_; }
+  apiserver::Updater& updater() { return *updater_; }
+  lb::LoadBalancer& load_balancer() { return *lb_; }
+  const StackConfig& config() const { return config_; }
+  std::string lb_url() const { return lb_->base_url(); }
+  std::string api_url() const { return api_server_->base_url(); }
+  std::vector<std::string> query_backend_urls() const;
+
+ private:
+  slurm::ClusterSim& sim_;
+  StackConfig config_;
+  common::ClockPtr clock_;
+
+  std::vector<std::unique_ptr<exporter::Exporter>> exporters_;
+  std::unique_ptr<exporter::Exporter> emissions_exporter_;
+
+  tsdb::StorePtr hot_store_;
+  std::unique_ptr<tsdb::ScrapeManager> scraper_;
+  std::unique_ptr<tsdb::RuleEngine> rules_;
+  std::shared_ptr<tsdb::LongTermStore> longterm_;
+
+  // Thanos-style query frontends over the long-term store.
+  struct QueryBackend {
+    std::unique_ptr<http::Server> server;
+    std::unique_ptr<tsdb::PromApi> api;
+  };
+  std::vector<QueryBackend> query_backends_;
+
+  std::unique_ptr<reldb::Database> db_;
+  std::unique_ptr<apiserver::ApiServer> api_server_;
+  std::unique_ptr<apiserver::Updater> updater_;
+  std::unique_ptr<lb::LoadBalancer> lb_;
+
+  common::TimestampMs last_scrape_ms_ = -1;
+  bool servers_running_ = false;
+};
+
+}  // namespace ceems::core

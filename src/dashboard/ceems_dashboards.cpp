@@ -1,0 +1,111 @@
+#include "dashboard/ceems_dashboards.h"
+
+#include <cstdio>
+
+namespace ceems::dashboard {
+
+using common::Json;
+
+std::string render_user_aggregate_dashboard(GrafanaClient& client,
+                                            common::TimestampMs from_ms,
+                                            common::TimestampMs to_ms) {
+  auto body = client.api_get("/api/v1/usage?scope=user&from=" +
+                             std::to_string(from_ms) + "&to=" +
+                             std::to_string(to_ms));
+  if (!body) return "(usage unavailable)\n";
+
+  for (const auto& row : body->at("data").as_array()) {
+    if (row.get_string("user") != client.user()) continue;
+    char pct[16];
+    std::vector<Stat> stats;
+    std::snprintf(pct, sizeof(pct), "%.1f %%",
+                  row.get_number("avg_cpu_usage") * 100.0);
+    stats.push_back({"Avg CPU usage", pct});
+    std::snprintf(pct, sizeof(pct), "%.1f %%",
+                  row.get_number("avg_gpu_usage") * 100.0);
+    stats.push_back({"Avg GPU usage", pct});
+    stats.push_back(
+        {"Avg CPU memory", format_bytes(row.get_number("avg_cpu_mem_bytes"))});
+    stats.push_back(
+        {"Total energy", format_joules(row.get_number("total_energy_joules"))});
+    stats.push_back({"Total emissions",
+                     format_co2(row.get_number("total_emissions_grams"))});
+    stats.push_back({"Compute units",
+                     std::to_string(row.get_int("num_units"))});
+    return render_stats("Aggregate usage of " + client.user(), stats);
+  }
+  return "(no usage recorded for " + client.user() + ")\n";
+}
+
+std::string render_user_job_list(GrafanaClient& client,
+                                 common::TimestampMs from_ms,
+                                 common::TimestampMs to_ms,
+                                 std::size_t limit) {
+  auto body = client.api_get(
+      "/api/v1/units?from=" + std::to_string(from_ms) + "&to=" +
+      std::to_string(to_ms) + "&limit=" + std::to_string(limit));
+  if (!body) return "(units unavailable)\n";
+
+  std::vector<std::vector<std::string>> rows;
+  char buf[32];
+  for (const auto& unit : body->at("data").as_array()) {
+    std::snprintf(buf, sizeof(buf), "%.1f %%",
+                  unit.get_number("avg_cpu_usage") * 100.0);
+    rows.push_back({
+        unit.get_string("uuid"),
+        unit.get_string("name"),
+        unit.get_string("partition"),
+        unit.get_string("state"),
+        format_duration(unit.get_int("elapsed_ms")),
+        buf,
+        format_bytes(unit.get_number("avg_cpu_mem_bytes")),
+        format_joules(unit.get_number("total_energy_joules")),
+        format_co2(unit.get_number("total_emissions_grams")),
+    });
+  }
+  return render_table(
+      "Compute units of " + client.user(),
+      {"JobID", "Name", "Partition", "State", "Elapsed", "CPU", "Memory",
+       "Energy", "Emissions"},
+      rows);
+}
+
+std::string render_job_timeseries(GrafanaClient& client,
+                                  const std::string& uuid,
+                                  common::TimestampMs from_ms,
+                                  common::TimestampMs to_ms, int64_t step_ms) {
+  auto cpu = client.range_query(
+      "sum(rate(ceems_compute_unit_cpu_usage_seconds_total{uuid=\"" + uuid +
+          "\"}[2m]))",
+      from_ms, to_ms, step_ms);
+  auto mem = client.range_query(
+      "sum(ceems_compute_unit_memory_current_bytes{uuid=\"" + uuid + "\"})",
+      from_ms, to_ms, step_ms);
+  auto power = client.range_query(
+      "sum(ceems_job_power_watts{uuid=\"" + uuid + "\"})", from_ms, to_ms,
+      step_ms);
+
+  std::string out;
+  if (!cpu.ok) {
+    return "(query denied or failed: " + cpu.error + ")\n";
+  }
+  std::vector<ChartSeries> cpu_chart;
+  for (const auto& series : cpu.range)
+    cpu_chart.push_back({"CPU cores used", series.points});
+  out += render_chart("Job " + uuid + " — CPU usage (cores)", cpu_chart);
+  if (mem.ok) {
+    std::vector<ChartSeries> mem_chart;
+    for (const auto& series : mem.range)
+      mem_chart.push_back({"resident bytes", series.points});
+    out += render_chart("Job " + uuid + " — memory", mem_chart);
+  }
+  if (power.ok && !power.range.empty()) {
+    std::vector<ChartSeries> power_chart;
+    for (const auto& series : power.range)
+      power_chart.push_back({"estimated watts", series.points});
+    out += render_chart("Job " + uuid + " — estimated power (W)", power_chart);
+  }
+  return out;
+}
+
+}  // namespace ceems::dashboard

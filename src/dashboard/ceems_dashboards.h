@@ -1,0 +1,31 @@
+// The three Fig. 2 dashboards, rebuilt against the CEEMS data sources:
+//   Fig. 2a — aggregate usage of a user over a period (CPU/GPU usage,
+//             memory, energy, emissions stat tiles);
+//   Fig. 2b — the user's compute units with per-unit aggregates;
+//   Fig. 2c — time-series CPU metrics of one unit (queried through the LB,
+//             so access control applies).
+#pragma once
+
+#include "dashboard/grafana_client.h"
+#include "dashboard/panels.h"
+
+namespace ceems::dashboard {
+
+// Fig. 2a.
+std::string render_user_aggregate_dashboard(GrafanaClient& client,
+                                            common::TimestampMs from_ms,
+                                            common::TimestampMs to_ms);
+
+// Fig. 2b.
+std::string render_user_job_list(GrafanaClient& client,
+                                 common::TimestampMs from_ms,
+                                 common::TimestampMs to_ms,
+                                 std::size_t limit = 20);
+
+// Fig. 2c.
+std::string render_job_timeseries(GrafanaClient& client,
+                                  const std::string& uuid,
+                                  common::TimestampMs from_ms,
+                                  common::TimestampMs to_ms, int64_t step_ms);
+
+}  // namespace ceems::dashboard

@@ -1,0 +1,108 @@
+#include "dashboard/grafana_client.h"
+
+#include <cstdio>
+
+#include "common/strutil.h"
+
+namespace ceems::dashboard {
+
+using common::Json;
+
+http::HeaderMap GrafanaClient::auth_headers() const {
+  http::HeaderMap headers;
+  headers["X-Grafana-User"] = user_;
+  return headers;
+}
+
+QueryResult GrafanaClient::instant_query(const std::string& query,
+                                         common::TimestampMs t_ms) {
+  QueryResult out;
+  char time_buf[32];
+  std::snprintf(time_buf, sizeof(time_buf), "%.3f",
+                static_cast<double>(t_ms) / 1000.0);
+  std::string url = prometheus_url_ + "/api/v1/query?query=" +
+                    http::url_encode(query) + "&time=" + time_buf;
+  auto result = client_.get(url, auth_headers());
+  out.http_status = result.response.status;
+  if (!result.ok) {
+    out.error = result.error;
+    return out;
+  }
+  if (result.response.status != 200) {
+    out.error = result.response.body;
+    return out;
+  }
+  try {
+    Json body = Json::parse(result.response.body);
+    for (const auto& entry : body.at("data").at("result").as_array()) {
+      double value =
+          common::parse_double(entry.at("value").as_array()[1].as_string())
+              .value_or(0);
+      out.instant.emplace_back(entry.at("metric"), value);
+    }
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = std::string("bad response json: ") + e.what();
+  }
+  return out;
+}
+
+QueryResult GrafanaClient::range_query(const std::string& query,
+                                       common::TimestampMs start_ms,
+                                       common::TimestampMs end_ms,
+                                       int64_t step_ms) {
+  QueryResult out;
+  // Plain decimal seconds: scientific notation would put a '+' in the
+  // query string, which decodes to a space.
+  char start_buf[32], end_buf[32];
+  std::snprintf(start_buf, sizeof(start_buf), "%.3f",
+                static_cast<double>(start_ms) / 1000.0);
+  std::snprintf(end_buf, sizeof(end_buf), "%.3f",
+                static_cast<double>(end_ms) / 1000.0);
+  std::string url = prometheus_url_ + "/api/v1/query_range?query=" +
+                    http::url_encode(query) + "&start=" + start_buf +
+                    "&end=" + end_buf + "&step=" +
+                    common::format_duration_ms(step_ms);
+  auto result = client_.get(url, auth_headers());
+  out.http_status = result.response.status;
+  if (!result.ok) {
+    out.error = result.error;
+    return out;
+  }
+  if (result.response.status != 200) {
+    out.error = result.response.body;
+    return out;
+  }
+  try {
+    Json body = Json::parse(result.response.body);
+    for (const auto& entry : body.at("data").at("result").as_array()) {
+      QueryResult::RangeSeries series;
+      series.labels = entry.at("metric");
+      for (const auto& pair : entry.at("values").as_array()) {
+        tsdb::SamplePoint point;
+        point.t = static_cast<common::TimestampMs>(
+            pair.as_array()[0].as_number() * 1000.0);
+        point.v = common::parse_double(pair.as_array()[1].as_string())
+                      .value_or(0);
+        series.points.push_back(point);
+      }
+      out.range.push_back(std::move(series));
+    }
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = std::string("bad response json: ") + e.what();
+  }
+  return out;
+}
+
+std::optional<Json> GrafanaClient::api_get(const std::string& path_and_query) {
+  auto result = client_.get(api_server_url_ + path_and_query, auth_headers());
+  if (!result.ok || result.response.status != 200) return std::nullopt;
+  try {
+    return Json::parse(result.response.body);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ceems::dashboard

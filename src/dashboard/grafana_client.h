@@ -1,0 +1,60 @@
+// Grafana analogue, client side: a data-source client that queries the
+// Prometheus API (through the CEEMS LB) and the CEEMS API server, always
+// forwarding the signed-in user via the X-Grafana-User header — the exact
+// convention the LB's access control depends on (§II-B.c,
+// send_user_header in Grafana's config).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "http/client.h"
+#include "tsdb/storage.h"
+
+namespace ceems::dashboard {
+
+struct QueryResult {
+  bool ok = false;
+  int http_status = 0;
+  std::string error;
+  // Instant queries: one (labels-as-json, value) pair per series.
+  std::vector<std::pair<common::Json, double>> instant;
+  // Range queries: series of (t_ms, value) points.
+  struct RangeSeries {
+    common::Json labels;
+    std::vector<tsdb::SamplePoint> points;
+  };
+  std::vector<RangeSeries> range;
+};
+
+class GrafanaClient {
+ public:
+  GrafanaClient(std::string prometheus_url, std::string api_server_url,
+                std::string user)
+      : prometheus_url_(std::move(prometheus_url)),
+        api_server_url_(std::move(api_server_url)),
+        user_(std::move(user)) {}
+
+  const std::string& user() const { return user_; }
+
+  QueryResult instant_query(const std::string& query,
+                            common::TimestampMs t_ms);
+  QueryResult range_query(const std::string& query,
+                          common::TimestampMs start_ms,
+                          common::TimestampMs end_ms, int64_t step_ms);
+
+  // GET against the CEEMS API server data source; returns parsed JSON body.
+  std::optional<common::Json> api_get(const std::string& path_and_query);
+
+ private:
+  http::HeaderMap auth_headers() const;
+
+  std::string prometheus_url_;
+  std::string api_server_url_;
+  std::string user_;
+  http::Client client_;
+};
+
+}  // namespace ceems::dashboard

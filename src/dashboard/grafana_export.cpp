@@ -1,0 +1,206 @@
+#include "dashboard/grafana_export.h"
+
+#include <fstream>
+
+namespace ceems::dashboard {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+
+namespace {
+
+Json datasource_ref(const std::string& uid, const std::string& type) {
+  JsonObject ref;
+  ref["type"] = Json(type);
+  ref["uid"] = Json(uid);
+  return Json(std::move(ref));
+}
+
+Json grid(int x, int y, int w, int h) {
+  JsonObject pos;
+  pos["x"] = Json(static_cast<int64_t>(x));
+  pos["y"] = Json(static_cast<int64_t>(y));
+  pos["w"] = Json(static_cast<int64_t>(w));
+  pos["h"] = Json(static_cast<int64_t>(h));
+  return Json(std::move(pos));
+}
+
+Json prom_target(const std::string& expr, const std::string& legend,
+                 const std::string& ds_uid) {
+  JsonObject target;
+  target["datasource"] = datasource_ref(ds_uid, "prometheus");
+  target["expr"] = Json(expr);
+  target["legendFormat"] = Json(legend);
+  target["refId"] = Json("A");
+  return Json(std::move(target));
+}
+
+Json timeseries_panel(int id, const std::string& title,
+                      const std::string& expr, const std::string& legend,
+                      const std::string& unit, const std::string& ds_uid,
+                      int x, int y, int w = 12, int h = 8) {
+  JsonObject panel;
+  panel["id"] = Json(static_cast<int64_t>(id));
+  panel["type"] = Json("timeseries");
+  panel["title"] = Json(title);
+  panel["datasource"] = datasource_ref(ds_uid, "prometheus");
+  panel["gridPos"] = grid(x, y, w, h);
+  JsonObject defaults;
+  defaults["unit"] = Json(unit);
+  JsonObject field_config;
+  field_config["defaults"] = Json(std::move(defaults));
+  panel["fieldConfig"] = Json(std::move(field_config));
+  JsonArray targets;
+  targets.push_back(prom_target(expr, legend, ds_uid));
+  panel["targets"] = Json(std::move(targets));
+  return Json(std::move(panel));
+}
+
+Json stat_panel(int id, const std::string& title, const std::string& expr,
+                const std::string& unit, const std::string& ds_uid, int x,
+                int y) {
+  Json panel = timeseries_panel(id, title, expr, "", unit, ds_uid, x, y, 4, 5);
+  panel["type"] = Json("stat");
+  return panel;
+}
+
+Json dashboard_shell(const std::string& uid, const std::string& title,
+                     JsonArray panels) {
+  JsonObject dashboard;
+  dashboard["uid"] = Json(uid);
+  dashboard["title"] = Json(title);
+  dashboard["schemaVersion"] = Json(static_cast<int64_t>(36));
+  dashboard["style"] = Json("dark");
+  dashboard["tags"] = Json(JsonArray{Json("ceems"), Json("energy")});
+  dashboard["timezone"] = Json("browser");
+  JsonObject time;
+  time["from"] = Json("now-6h");
+  time["to"] = Json("now");
+  dashboard["time"] = Json(std::move(time));
+  dashboard["panels"] = Json(std::move(panels));
+  return Json(std::move(dashboard));
+}
+
+Json uuid_variable() {
+  JsonObject variable;
+  variable["name"] = Json("uuid");
+  variable["label"] = Json("Job ID");
+  variable["type"] = Json("textbox");
+  JsonObject current;
+  current["text"] = Json("");
+  current["value"] = Json("");
+  variable["current"] = Json(std::move(current));
+  JsonObject templating;
+  JsonArray list;
+  list.push_back(Json(std::move(variable)));
+  templating["list"] = Json(std::move(list));
+  return Json(std::move(templating));
+}
+
+}  // namespace
+
+Json user_dashboard_json(const std::string& prometheus_ds_uid,
+                         const std::string& api_ds_uid) {
+  JsonArray panels;
+  // Fig. 2a stat tiles, driven by the API server data source (table-style
+  // JSON API; in Grafana this uses the JSON API / Infinity plugin).
+  panels.push_back(stat_panel(1, "Total energy (kWh)",
+                              "/api/v1/usage?scope=user", "kwatth",
+                              api_ds_uid, 0, 0));
+  panels.push_back(stat_panel(2, "Total emissions (gCO2e)",
+                              "/api/v1/usage?scope=user", "massg",
+                              api_ds_uid, 4, 0));
+  panels.push_back(stat_panel(3, "Avg CPU usage", "/api/v1/usage?scope=user",
+                              "percentunit", api_ds_uid, 8, 0));
+  panels.push_back(stat_panel(4, "Avg GPU usage", "/api/v1/usage?scope=user",
+                              "percentunit", api_ds_uid, 12, 0));
+  // Fig. 2b unit table.
+  Json table = timeseries_panel(5, "Compute units", "/api/v1/units", "",
+                                "none", api_ds_uid, 0, 5, 24, 12);
+  table["type"] = Json("table");
+  panels.push_back(std::move(table));
+  Json dashboard = dashboard_shell("ceems-user", "CEEMS / User usage",
+                                   std::move(panels));
+  (void)prometheus_ds_uid;
+  return dashboard;
+}
+
+Json job_dashboard_json(const std::string& prometheus_ds_uid) {
+  JsonArray panels;
+  panels.push_back(timeseries_panel(
+      1, "CPU usage (cores)",
+      "sum(rate(ceems_compute_unit_cpu_usage_seconds_total{uuid=\"$uuid\"}[2m]))",
+      "cores", "none", prometheus_ds_uid, 0, 0));
+  panels.push_back(timeseries_panel(
+      2, "Memory",
+      "sum(ceems_compute_unit_memory_current_bytes{uuid=\"$uuid\"})",
+      "resident", "bytes", prometheus_ds_uid, 12, 0));
+  panels.push_back(timeseries_panel(
+      3, "Estimated power", "sum(ceems_job_power_watts{uuid=\"$uuid\"})",
+      "watts", "watt", prometheus_ds_uid, 0, 8));
+  panels.push_back(timeseries_panel(
+      4, "GPU power", "sum(ceems_job_gpu_power_watts{uuid=\"$uuid\"})",
+      "watts", "watt", prometheus_ds_uid, 12, 8));
+  panels.push_back(timeseries_panel(
+      5, "Emission rate",
+      "sum(ceems_job_emissions_g_per_hour{uuid=\"$uuid\"})", "gCO2e/h",
+      "none", prometheus_ds_uid, 0, 16));
+  panels.push_back(timeseries_panel(
+      6, "Network",
+      "sum(rate(ceems_compute_unit_network_tx_bytes_total{uuid=\"$uuid\"}[2m]))"
+      " + sum(rate(ceems_compute_unit_network_rx_bytes_total{uuid=\"$uuid\"}[2m]))",
+      "bytes/s", "Bps", prometheus_ds_uid, 12, 16));
+  Json dashboard = dashboard_shell("ceems-job", "CEEMS / Job detail",
+                                   std::move(panels));
+  dashboard["templating"] = uuid_variable();
+  return dashboard;
+}
+
+Json operator_dashboard_json(const std::string& prometheus_ds_uid) {
+  JsonArray panels;
+  panels.push_back(timeseries_panel(
+      1, "Cluster power (IPMI)", "sum(instance:ipmi_watts)", "total",
+      "watt", prometheus_ds_uid, 0, 0));
+  panels.push_back(timeseries_panel(
+      2, "Attributed job power by node group",
+      "sum by (nodegroup) (ceems_job_power_watts)", "{{nodegroup}}", "watt",
+      prometheus_ds_uid, 12, 0));
+  panels.push_back(timeseries_panel(
+      3, "Targets down", "count(up == 0) or vector(0)", "down", "none",
+      prometheus_ds_uid, 0, 8));
+  panels.push_back(timeseries_panel(
+      4, "Firing alerts", "count(ALERTS{alertstate=\"firing\"}) or vector(0)",
+      "alerts", "none", prometheus_ds_uid, 12, 8));
+  panels.push_back(timeseries_panel(
+      5, "Emission factor", "avg(ceems_emissions_gCo2_kWh) by (provider)",
+      "{{provider}}", "none", prometheus_ds_uid, 0, 16));
+  panels.push_back(timeseries_panel(
+      6, "Running compute units", "sum(ceems_compute_units)", "units",
+      "none", prometheus_ds_uid, 12, 16));
+  return dashboard_shell("ceems-operator", "CEEMS / Operator",
+                         std::move(panels));
+}
+
+bool export_grafana_dashboards(const std::string& dir,
+                               const std::string& prometheus_ds_uid,
+                               const std::string& api_ds_uid) {
+  struct Entry {
+    const char* file;
+    Json json;
+  };
+  Entry entries[] = {
+      {"ceems-user.json", user_dashboard_json(prometheus_ds_uid, api_ds_uid)},
+      {"ceems-job.json", job_dashboard_json(prometheus_ds_uid)},
+      {"ceems-operator.json", operator_dashboard_json(prometheus_ds_uid)},
+  };
+  for (const auto& entry : entries) {
+    std::ofstream out(dir + "/" + entry.file, std::ios::trunc);
+    if (!out.good()) return false;
+    out << entry.json.dump(2) << "\n";
+    if (!out.good()) return false;
+  }
+  return true;
+}
+
+}  // namespace ceems::dashboard

@@ -1,0 +1,31 @@
+// Grafana dashboard provisioning (the artefacts behind Fig. 2): generates
+// real Grafana dashboard JSON (schema v36-ish) wired to a Prometheus data
+// source that points at the CEEMS LB and to the CEEMS API server. Drop the
+// output into Grafana's provisioning directory and the paper's three
+// dashboards appear. The upstream CEEMS repo ships equivalent JSON; here
+// it is generated so panel queries always match this build's metric names.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+
+namespace ceems::dashboard {
+
+// Fig. 2a+2b: per-user aggregate tiles and the unit table.
+common::Json user_dashboard_json(const std::string& prometheus_ds_uid,
+                                 const std::string& api_ds_uid);
+
+// Fig. 2c: time-series panels for one job (templated $uuid variable).
+common::Json job_dashboard_json(const std::string& prometheus_ds_uid);
+
+// Operator dashboard: cluster power, per-group attribution, alerts.
+common::Json operator_dashboard_json(const std::string& prometheus_ds_uid);
+
+// Writes all three to <dir>/ceems-{user,job,operator}.json. Returns false
+// on IO failure.
+bool export_grafana_dashboards(const std::string& dir,
+                               const std::string& prometheus_ds_uid = "ceems-lb",
+                               const std::string& api_ds_uid = "ceems-api");
+
+}  // namespace ceems::dashboard

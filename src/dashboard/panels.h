@@ -1,0 +1,41 @@
+// Text panel renderers — the Grafana analogue's display side. Dashboards
+// are rendered as unicode tables, stat rows and ASCII sparkline charts, so
+// the Fig. 2 dashboards reproduce as terminal output in the examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tsdb/storage.h"
+
+namespace ceems::dashboard {
+
+// | col | col |  table with a title bar.
+std::string render_table(const std::string& title,
+                         const std::vector<std::string>& columns,
+                         const std::vector<std::vector<std::string>>& rows);
+
+// Row of big-number stat tiles (Fig. 2a style).
+struct Stat {
+  std::string label;
+  std::string value;
+};
+std::string render_stats(const std::string& title,
+                         const std::vector<Stat>& stats);
+
+// ASCII time-series chart (Fig. 2c style): one braille-ish line per series.
+struct ChartSeries {
+  std::string name;
+  std::vector<tsdb::SamplePoint> points;
+};
+std::string render_chart(const std::string& title,
+                         const std::vector<ChartSeries>& series, int width = 72,
+                         int height = 12);
+
+// Human units.
+std::string format_bytes(double bytes);
+std::string format_joules(double joules);  // J / kJ / MJ / kWh
+std::string format_co2(double grams);
+std::string format_duration(int64_t millis);
+
+}  // namespace ceems::dashboard

@@ -1,0 +1,105 @@
+#include "emissions/electricity_maps.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ceems::emissions {
+
+namespace {
+// Per-zone mix parameters: baseline intensity and diurnal swing amplitude.
+struct ZoneModel {
+  double base;
+  double swing;
+  double solar_dip;  // midday renewable dip (negative contribution)
+};
+
+const std::map<std::string, ZoneModel>& zone_models() {
+  static const std::map<std::string, ZoneModel> models = {
+      {"FR", {45, 18, 8}},   {"DE", {340, 90, 120}}, {"GB", {210, 60, 40}},
+      {"ES", {150, 40, 70}}, {"IT", {300, 70, 60}},  {"PL", {610, 60, 30}},
+      {"SE", {38, 8, 4}},    {"NO", {28, 5, 2}},     {"US", {350, 70, 50}},
+      {"JP", {440, 60, 40}}, {"CN", {560, 50, 30}},  {"IN", {690, 60, 50}},
+  };
+  return models;
+}
+}  // namespace
+
+ElectricityMapsProvider::ElectricityMapsProvider(common::ClockPtr clock,
+                                                 EMapsConfig config)
+    : clock_(std::move(clock)), config_(config) {}
+
+std::optional<double> ElectricityMapsProvider::model_gco2_per_kwh(
+    const std::string& zone, common::TimestampMs t_ms) {
+  auto it = zone_models().find(zone);
+  if (it == zone_models().end()) return std::nullopt;
+  const ZoneModel& model = it->second;
+  double t_hours = static_cast<double>(t_ms) / common::kMillisPerHour;
+  double hour_of_day = std::fmod(t_hours, 24.0);
+  double evening =
+      model.swing * std::exp(-std::pow(hour_of_day - 19.0, 2) / 10.0);
+  double solar =
+      -model.solar_dip * std::exp(-std::pow(hour_of_day - 13.0, 2) / 9.0);
+  double wobble = 0.04 * model.base *
+                  std::sin(t_hours * 0.7 + static_cast<double>(zone[0]));
+  return std::max(10.0, model.base + evening + solar + wobble);
+}
+
+std::optional<EmissionFactor> ElectricityMapsProvider::factor(
+    const std::string& zone, common::TimestampMs t_ms) {
+  {
+    std::lock_guard lock(mu_);
+    common::TimestampMs now = clock_->now_ms();
+    // Rolling-hour quota.
+    if (config_.max_requests_per_hour > 0) {
+      auto cutoff = now - common::kMillisPerHour;
+      request_log_.erase(
+          std::remove_if(request_log_.begin(), request_log_.end(),
+                         [&](common::TimestampMs t) { return t < cutoff; }),
+          request_log_.end());
+      if (static_cast<int>(request_log_.size()) >=
+          config_.max_requests_per_hour) {
+        ++requests_rejected_;
+        return std::nullopt;  // HTTP 429 on the real API
+      }
+      request_log_.push_back(now);
+    }
+    ++requests_made_;
+  }
+  auto value = model_gco2_per_kwh(zone, t_ms);
+  if (!value) return std::nullopt;
+  return EmissionFactor{*value, "emaps", /*realtime=*/true};
+}
+
+uint64_t ElectricityMapsProvider::requests_made() const {
+  std::lock_guard lock(mu_);
+  return requests_made_;
+}
+
+uint64_t ElectricityMapsProvider::requests_rejected() const {
+  std::lock_guard lock(mu_);
+  return requests_rejected_;
+}
+
+std::optional<EmissionFactor> CachingProvider::factor(
+    const std::string& zone, common::TimestampMs t_ms) {
+  std::lock_guard lock(mu_);
+  auto it = cache_.find(zone);
+  if (it != cache_.end() && t_ms - it->second.fetched_ms < ttl_ms_) {
+    ++cache_hits_;
+    return it->second.factor;
+  }
+  auto fresh = inner_->factor(zone, t_ms);
+  if (fresh) {
+    cache_[zone] = {*fresh, t_ms};
+    return fresh;
+  }
+  // Upstream unavailable: serve stale if we have anything (better a stale
+  // factor than none — matches CEEMS behaviour).
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second.factor;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ceems::emissions

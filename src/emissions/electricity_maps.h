@@ -1,0 +1,70 @@
+// Simulated Electricity Maps API (§II-A.c): multi-zone real-time carbon
+// intensity with the free-tier constraint the paper works around — a rate
+// limit on API requests. The provider enforces the limit and the caching
+// wrapper shows how CEEMS stays under it while still exporting a fresh
+// factor every scrape.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "emissions/provider.h"
+
+namespace ceems::emissions {
+
+struct EMapsConfig {
+  // Free-tier style quota: requests per rolling hour (0 = unlimited).
+  int max_requests_per_hour = 60;
+};
+
+class ElectricityMapsProvider final : public Provider {
+ public:
+  explicit ElectricityMapsProvider(common::ClockPtr clock,
+                                   EMapsConfig config = {});
+
+  std::string name() const override { return "emaps"; }
+  std::optional<EmissionFactor> factor(const std::string& zone,
+                                       common::TimestampMs t_ms) override;
+
+  // Continuous per-zone model, exposed for tests.
+  static std::optional<double> model_gco2_per_kwh(const std::string& zone,
+                                                  common::TimestampMs t_ms);
+  uint64_t requests_made() const;
+  uint64_t requests_rejected() const;
+
+ private:
+  common::ClockPtr clock_;
+  EMapsConfig config_;
+  mutable std::mutex mu_;
+  std::vector<common::TimestampMs> request_log_;  // rolling hour window
+  uint64_t requests_made_ = 0;
+  uint64_t requests_rejected_ = 0;
+};
+
+// Caching wrapper: refreshes from the wrapped provider at most every
+// `ttl_ms` per zone and serves the cached factor in between — the pattern
+// that keeps CEEMS under the free-tier quota.
+class CachingProvider final : public Provider {
+ public:
+  CachingProvider(ProviderPtr inner, int64_t ttl_ms)
+      : inner_(std::move(inner)), ttl_ms_(ttl_ms) {}
+
+  std::string name() const override { return inner_->name(); }
+  std::optional<EmissionFactor> factor(const std::string& zone,
+                                       common::TimestampMs t_ms) override;
+
+  uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct Entry {
+    EmissionFactor factor;
+    common::TimestampMs fetched_ms = 0;
+  };
+  ProviderPtr inner_;
+  int64_t ttl_ms_;
+  std::mutex mu_;
+  std::map<std::string, Entry> cache_;
+  uint64_t cache_hits_ = 0;
+};
+
+}  // namespace ceems::emissions

@@ -1,0 +1,24 @@
+#include "emissions/owid.h"
+
+namespace ceems::emissions {
+
+OwidProvider::OwidProvider() {
+  // Yearly-average carbon intensity of electricity, gCO2e/kWh (OWID 2023
+  // vintage, rounded).
+  factors_ = {
+      {"FR", 56},  {"DE", 381}, {"US", 369}, {"GB", 238}, {"ES", 174},
+      {"IT", 331}, {"PL", 662}, {"SE", 41},  {"NO", 30},  {"FI", 79},
+      {"CH", 46},  {"AT", 158}, {"BE", 153}, {"NL", 268}, {"DK", 151},
+      {"PT", 166}, {"IE", 282}, {"CZ", 415}, {"JP", 462}, {"KR", 432},
+      {"CN", 582}, {"IN", 713}, {"AU", 549}, {"CA", 128}, {"BR", 96},
+  };
+}
+
+std::optional<EmissionFactor> OwidProvider::factor(const std::string& zone,
+                                                   common::TimestampMs) {
+  auto it = factors_.find(zone);
+  if (it == factors_.end()) return std::nullopt;
+  return EmissionFactor{it->second, "owid", /*realtime=*/false};
+}
+
+}  // namespace ceems::emissions

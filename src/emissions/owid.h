@@ -1,0 +1,25 @@
+// Static emission factors per country, OWID-style (yearly averages from the
+// Our World In Data CO2 explorer the paper cites). Values are lifecycle
+// gCO2e/kWh for electricity generation, ~2023 vintage.
+#pragma once
+
+#include <map>
+
+#include "emissions/provider.h"
+
+namespace ceems::emissions {
+
+class OwidProvider final : public Provider {
+ public:
+  OwidProvider();
+  std::string name() const override { return "owid"; }
+  std::optional<EmissionFactor> factor(const std::string& zone,
+                                       common::TimestampMs t_ms) override;
+
+  const std::map<std::string, double>& table() const { return factors_; }
+
+ private:
+  std::map<std::string, double> factors_;
+};
+
+}  // namespace ceems::emissions

@@ -1,0 +1,18 @@
+#include "emissions/provider.h"
+
+namespace ceems::emissions {
+
+std::optional<EmissionFactor> ProviderChain::factor(const std::string& zone,
+                                                    common::TimestampMs t_ms) {
+  for (const auto& provider : providers_) {
+    if (auto result = provider->factor(zone, t_ms)) return result;
+  }
+  return std::nullopt;
+}
+
+double emissions_grams(double joules, double gco2_per_kwh) {
+  // 1 kWh = 3.6e6 J.
+  return joules / 3.6e6 * gco2_per_kwh;
+}
+
+}  // namespace ceems::emissions

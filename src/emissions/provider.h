@@ -1,0 +1,55 @@
+// Emission-factor providers (§II-A.c). The factor — grams of CO2-equivalent
+// per kWh — depends on the momentary energy mix, so CEEMS combines a static
+// historical source (OWID) with real-time sources (RTE for France,
+// Electricity Maps for many zones). Real-time providers are simulated with
+// deterministic diurnal/seasonal mix models since the live APIs are not
+// reachable offline (DESIGN.md substitution table); the chain/caching/rate-
+// limit code paths are the real thing.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace ceems::emissions {
+
+struct EmissionFactor {
+  double gco2_per_kwh = 0;
+  std::string provider;   // "owid", "rte", "emaps"
+  bool realtime = false;  // static yearly average vs live mix
+};
+
+class Provider {
+ public:
+  virtual ~Provider() = default;
+  virtual std::string name() const = 0;
+  // Factor for an ISO-3166 alpha-2 zone ("FR", "DE", ...) at time t.
+  // nullopt when the zone is unknown or the provider is unavailable
+  // (rate-limited, simulated outage).
+  virtual std::optional<EmissionFactor> factor(
+      const std::string& zone, common::TimestampMs t_ms) = 0;
+};
+
+using ProviderPtr = std::shared_ptr<Provider>;
+
+// First-available-wins chain, real-time providers first, OWID as fallback —
+// the composition the paper describes.
+class ProviderChain final : public Provider {
+ public:
+  explicit ProviderChain(std::vector<ProviderPtr> providers)
+      : providers_(std::move(providers)) {}
+  std::string name() const override { return "chain"; }
+  std::optional<EmissionFactor> factor(const std::string& zone,
+                                       common::TimestampMs t_ms) override;
+
+ private:
+  std::vector<ProviderPtr> providers_;
+};
+
+// grams CO2e for `joules` at `gco2_per_kwh`.
+double emissions_grams(double joules, double gco2_per_kwh);
+
+}  // namespace ceems::emissions

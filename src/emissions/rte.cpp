@@ -1,0 +1,43 @@
+#include "emissions/rte.h"
+
+#include <cmath>
+
+namespace ceems::emissions {
+
+double RteProvider::model_gco2_per_kwh(common::TimestampMs t_ms) {
+  // Quantize to the 15-minute publication grid.
+  int64_t slot = t_ms / (15 * common::kMillisPerMinute);
+  double t_hours = static_cast<double>(slot) * 0.25;
+
+  double hour_of_day = std::fmod(t_hours, 24.0);
+  double day_of_year = std::fmod(t_hours / 24.0, 365.0);
+
+  // Baseline ~35 g (nuclear+hydro). Morning (08h) and evening (19h) peaks
+  // bring gas online; winter adds load.
+  double base = 35.0;
+  double morning_peak =
+      18.0 * std::exp(-std::pow(hour_of_day - 8.0, 2) / 8.0);
+  double evening_peak =
+      26.0 * std::exp(-std::pow(hour_of_day - 19.0, 2) / 6.0);
+  double seasonal =
+      14.0 * std::cos(2.0 * M_PI * (day_of_year - 15.0) / 365.0);
+  // Deterministic "weather" wobble from the slot index.
+  double wobble = 6.0 * std::sin(static_cast<double>(slot % 97) * 0.261);
+  double value = base + morning_peak + evening_peak + seasonal + wobble;
+  return std::max(15.0, value);
+}
+
+std::optional<EmissionFactor> RteProvider::factor(const std::string& zone,
+                                                  common::TimestampMs t_ms) {
+  if (zone != "FR") return std::nullopt;  // RTE only covers France
+  if (availability_ < 1.0) {
+    // Deterministic outage windows based on the 15-minute slot.
+    uint64_t slot = static_cast<uint64_t>(t_ms / (15 * common::kMillisPerMinute));
+    uint64_t hash = slot * 0x9E3779B97F4A7C15ULL;
+    double u = static_cast<double>(hash >> 11) * 0x1.0p-53;
+    if (u > availability_) return std::nullopt;
+  }
+  return EmissionFactor{model_gco2_per_kwh(t_ms), "rte", /*realtime=*/true};
+}
+
+}  // namespace ceems::emissions

@@ -1,0 +1,30 @@
+// Simulated RTE eco2mix real-time emission factor for France. The real API
+// publishes gCO2/kWh every 15 minutes; the simulation reproduces its key
+// statistical features: a low nuclear-dominated baseline, a diurnal swing
+// (gas peakers at morning/evening peaks), a seasonal winter uplift, and
+// 15-minute quantization. Deterministic in the timestamp, so experiments
+// are reproducible.
+#pragma once
+
+#include "emissions/provider.h"
+
+namespace ceems::emissions {
+
+class RteProvider final : public Provider {
+ public:
+  // `availability` < 1.0 simulates API outages (deterministic in t).
+  explicit RteProvider(double availability = 1.0)
+      : availability_(availability) {}
+
+  std::string name() const override { return "rte"; }
+  std::optional<EmissionFactor> factor(const std::string& zone,
+                                       common::TimestampMs t_ms) override;
+
+  // The underlying continuous model, exposed for tests/benches.
+  static double model_gco2_per_kwh(common::TimestampMs t_ms);
+
+ private:
+  double availability_;
+};
+
+}  // namespace ceems::emissions

@@ -1,0 +1,30 @@
+// cgroup collector: walks the resource manager's cgroup scope and emits
+// per-compute-unit CPU/memory/IO accounting (§II-A.a). Metric names follow
+// the CEEMS exporter's scheme: ceems_compute_unit_*.
+#pragma once
+
+#include "exporter/collector.h"
+#include "simfs/cgroup.h"
+
+namespace ceems::exporter {
+
+class CgroupCollector final : public Collector {
+ public:
+  // `scope` is the cgroup directory holding one child per workload
+  // (e.g. /sys/fs/cgroup/system.slice/slurmstepd.scope); child names are
+  // "<prefix><uuid>", "job_" for SLURM.
+  CgroupCollector(simfs::FsPtr fs, std::string scope,
+                  std::string child_prefix = "job_",
+                  std::string manager = "slurm");
+
+  std::string name() const override { return "cgroup"; }
+  std::vector<metrics::MetricFamily> collect(common::TimestampMs now) override;
+
+ private:
+  simfs::FsPtr fs_;
+  std::string scope_;
+  std::string child_prefix_;
+  std::string manager_;
+};
+
+}  // namespace ceems::exporter

@@ -1,0 +1,4 @@
+#include "exporter/collector.h"
+
+// Interface-only translation unit (keeps the vtable anchored here).
+namespace ceems::exporter {}

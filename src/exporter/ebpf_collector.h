@@ -1,0 +1,39 @@
+// eBPF/perf collector — the paper's §IV roadmap items ("adding network and
+// IO stats to CEEMS exporter using extended Berkley Packet Filtering
+// (eBPF) framework and adding performance metrics like FLOPS, caching, and
+// memory IO bandwidth ... from Linux's perf framework"), implemented
+// against the simulator's kernel-side stand-in (NodeSim::ebpf_stats).
+//
+// Exported per compute unit:
+//   ceems_compute_unit_network_tx_bytes_total / _rx_bytes_total
+//   ceems_compute_unit_network_tx_packets_total / _rx_packets_total
+//   ceems_compute_unit_perf_instructions_total
+//   ceems_compute_unit_perf_flops_total
+//   ceems_compute_unit_perf_cache_misses_total
+// plus node-level NIC totals for the extended (per-job-share) network
+// power rule.
+#pragma once
+
+#include <functional>
+
+#include "exporter/collector.h"
+#include "node/node_sim.h"
+
+namespace ceems::exporter {
+
+class EbpfCollector final : public Collector {
+ public:
+  using StatsSource = std::function<std::vector<node::EbpfWorkloadStats>()>;
+
+  explicit EbpfCollector(StatsSource source, std::string manager = "slurm")
+      : source_(std::move(source)), manager_(std::move(manager)) {}
+
+  std::string name() const override { return "ebpf"; }
+  std::vector<metrics::MetricFamily> collect(common::TimestampMs now) override;
+
+ private:
+  StatsSource source_;
+  std::string manager_;
+};
+
+}  // namespace ceems::exporter

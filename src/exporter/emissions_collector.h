@@ -1,0 +1,29 @@
+// Emissions collector (§II-A.c): exports the current emission factor per
+// provider so recording rules can turn watts into gCO2e/h. Static and
+// real-time providers are exported side by side, letting operators pick in
+// their rules (or mix, e.g. real-time with static fallback via the chain).
+#pragma once
+
+#include <vector>
+
+#include "emissions/provider.h"
+#include "exporter/collector.h"
+
+namespace ceems::exporter {
+
+class EmissionsCollector final : public Collector {
+ public:
+  EmissionsCollector(std::vector<emissions::ProviderPtr> providers,
+                     std::string country_code)
+      : providers_(std::move(providers)),
+        country_code_(std::move(country_code)) {}
+
+  std::string name() const override { return "emissions"; }
+  std::vector<metrics::MetricFamily> collect(common::TimestampMs now) override;
+
+ private:
+  std::vector<emissions::ProviderPtr> providers_;
+  std::string country_code_;
+};
+
+}  // namespace ceems::exporter

@@ -1,0 +1,61 @@
+#include "exporter/exporter.h"
+
+#include <chrono>
+
+#include "metrics/text_format.h"
+
+namespace ceems::exporter {
+
+Exporter::Exporter(ExporterConfig config, common::ClockPtr clock)
+    : config_(std::move(config)),
+      clock_(std::move(clock)),
+      server_(config_.http),
+      registry_(std::make_shared<metrics::Registry>()) {
+  scrapes_ = registry_->counter("ceems_exporter_scrapes_total",
+                                "Scrape requests served.");
+  last_duration_ = registry_->gauge(
+      "ceems_exporter_last_scrape_duration_seconds",
+      "Wall time of the most recent collector sweep.");
+  if (config_.enable_self_metrics) {
+    collectors_.push_back(std::make_shared<SelfCollector>(registry_));
+  }
+  server_.handle("/metrics", [this](const http::Request& request) {
+    return handle_metrics(request);
+  });
+}
+
+Exporter::~Exporter() { stop(); }
+
+void Exporter::add_collector(CollectorPtr collector) {
+  collectors_.push_back(std::move(collector));
+}
+
+void Exporter::start() { server_.start(); }
+void Exporter::stop() { server_.stop(); }
+
+std::string Exporter::render(common::TimestampMs now) {
+  auto started = std::chrono::steady_clock::now();
+  std::vector<metrics::MetricFamily> families;
+  for (const auto& collector : collectors_) {
+    auto collected = collector->collect(now);
+    families.insert(families.end(),
+                    std::make_move_iterator(collected.begin()),
+                    std::make_move_iterator(collected.end()));
+  }
+  scrapes_->inc();
+  last_duration_->set(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count());
+  return metrics::encode_families(families);
+}
+
+http::Response Exporter::handle_metrics(const http::Request& /*request*/) {
+  return http::Response::text(200, render(clock_->now_ms()),
+                              "text/plain; version=0.0.4; charset=utf-8");
+}
+
+uint64_t Exporter::scrapes_total() const {
+  return static_cast<uint64_t>(scrapes_->value());
+}
+
+}  // namespace ceems::exporter

@@ -1,0 +1,56 @@
+// The CEEMS exporter (§II-B.a): an HTTP server on each compute node that
+// renders all enabled collectors into the Prometheus text format on every
+// GET /metrics. Supports basic auth (the paper's DoS protection; TLS is a
+// connection-filter hook, see http::ServerConfig) and tracks its own
+// scrape statistics for the E1 benchmark.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exporter/collector.h"
+#include "exporter/self_collector.h"
+#include "http/server.h"
+#include "metrics/registry.h"
+
+namespace ceems::exporter {
+
+struct ExporterConfig {
+  http::ServerConfig http;
+  bool enable_self_metrics = true;
+};
+
+class Exporter {
+ public:
+  Exporter(ExporterConfig config, common::ClockPtr clock);
+  ~Exporter();
+
+  // Collectors run in registration order on each scrape.
+  void add_collector(CollectorPtr collector);
+
+  void start();
+  void stop();
+  uint16_t port() const { return server_.port(); }
+  std::string metrics_url() const {
+    return server_.base_url() + "/metrics";
+  }
+
+  // Renders the metrics payload directly (no HTTP) — used by unit tests
+  // and the E1 bench to measure pure scrape cost.
+  std::string render(common::TimestampMs now);
+
+  uint64_t scrapes_total() const;
+
+ private:
+  http::Response handle_metrics(const http::Request& request);
+
+  ExporterConfig config_;
+  common::ClockPtr clock_;
+  http::Server server_;
+  std::vector<CollectorPtr> collectors_;
+  std::shared_ptr<metrics::Registry> registry_;
+  std::shared_ptr<metrics::Counter> scrapes_;
+  std::shared_ptr<metrics::Gauge> last_duration_;
+};
+
+}  // namespace ceems::exporter

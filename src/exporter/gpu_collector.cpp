@@ -1,0 +1,68 @@
+#include "exporter/gpu_collector.h"
+
+namespace ceems::exporter {
+
+using metrics::Labels;
+using metrics::MetricFamily;
+using metrics::MetricType;
+
+std::vector<metrics::MetricFamily> GpuCollector::collect(
+    common::TimestampMs /*now*/) {
+  MetricFamily nv_power{"DCGM_FI_DEV_POWER_USAGE",
+                        "GPU power draw in watts.",
+                        MetricType::kGauge,
+                        {}};
+  MetricFamily nv_util{"DCGM_FI_DEV_GPU_UTIL",
+                       "GPU utilization percent.",
+                       MetricType::kGauge,
+                       {}};
+  MetricFamily nv_fb{"DCGM_FI_DEV_FB_USED",
+                     "GPU framebuffer used in MiB.",
+                     MetricType::kGauge,
+                     {}};
+  MetricFamily nv_energy{"DCGM_FI_DEV_TOTAL_ENERGY_CONSUMPTION",
+                         "Cumulative GPU energy in millijoules.",
+                         MetricType::kCounter,
+                         {}};
+  MetricFamily amd_power{"amd_gpu_power",
+                         "AMD GPU power draw in microwatts.",
+                         MetricType::kGauge,
+                         {}};
+  MetricFamily amd_util{"amd_gpu_use_percent",
+                        "AMD GPU utilization percent.",
+                        MetricType::kGauge,
+                        {}};
+
+  for (const auto& device : bank_.snapshot()) {
+    if (device.vendor == node::GpuVendor::kNvidia) {
+      Labels labels{{"gpu", std::to_string(device.ordinal)},
+                    {"UUID", device.uuid},
+                    {"modelName", device.model}};
+      nv_power.add(labels, device.power_w);
+      nv_util.add(labels, device.utilization * 100.0);
+      nv_fb.add(labels, static_cast<double>(device.memory_used_bytes) /
+                            (1024.0 * 1024.0));
+      nv_energy.add(labels, device.lifetime_energy_j * 1000.0);
+    } else {
+      Labels labels{{"gpu_id", std::to_string(device.ordinal)},
+                    {"model", device.model}};
+      amd_power.add(labels, device.power_w * 1e6);
+      amd_util.add(labels, device.utilization * 100.0);
+    }
+  }
+
+  std::vector<MetricFamily> out;
+  if (!nv_power.metrics.empty()) {
+    out.push_back(std::move(nv_power));
+    out.push_back(std::move(nv_util));
+    out.push_back(std::move(nv_fb));
+    out.push_back(std::move(nv_energy));
+  }
+  if (!amd_power.metrics.empty()) {
+    out.push_back(std::move(amd_power));
+    out.push_back(std::move(amd_util));
+  }
+  return out;
+}
+
+}  // namespace ceems::exporter

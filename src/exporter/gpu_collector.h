@@ -1,0 +1,28 @@
+// GPU telemetry collector (§II-A.d). CEEMS itself does not read GPUs; it
+// relies on the NVIDIA DCGM exporter or the AMD SMI exporter deployed
+// alongside. This collector reproduces both exporters' metric names from
+// the simulated GpuBank so the recording rules look exactly like the ones
+// written against the production exporters:
+//   NVIDIA: DCGM_FI_DEV_POWER_USAGE{gpu,UUID,modelName},
+//           DCGM_FI_DEV_GPU_UTIL, DCGM_FI_DEV_FB_USED,
+//           DCGM_FI_DEV_TOTAL_ENERGY_CONSUMPTION (mJ counter)
+//   AMD:    amd_gpu_power{gpu_id} (µW), amd_gpu_use_percent{gpu_id}
+#pragma once
+
+#include "exporter/collector.h"
+#include "node/gpu.h"
+
+namespace ceems::exporter {
+
+class GpuCollector final : public Collector {
+ public:
+  explicit GpuCollector(const node::GpuBank& bank) : bank_(bank) {}
+
+  std::string name() const override { return "gpu"; }
+  std::vector<metrics::MetricFamily> collect(common::TimestampMs now) override;
+
+ private:
+  const node::GpuBank& bank_;
+};
+
+}  // namespace ceems::exporter

@@ -1,0 +1,35 @@
+// GPU-to-workload map collector (§II-A.d): "the indices of GPU devices
+// bound to a workload will not be available post-mortem ... thus CEEMS
+// collects and stores the map information of workload ID to GPU indices."
+// On a real node the Go exporter recovers the binding from the job
+// environment / cgroup device lists; here it is read from the node
+// simulator's workload snapshot (documented substitution) — the exported
+// metric is identical:
+//   ceems_compute_unit_gpu_index_flag{uuid,index,gpu_uuid,manager} 1
+#pragma once
+
+#include <functional>
+
+#include "exporter/collector.h"
+#include "node/node_sim.h"
+
+namespace ceems::exporter {
+
+class GpuMapCollector final : public Collector {
+ public:
+  using WorkloadSource = std::function<std::vector<node::WorkloadInfo>()>;
+
+  GpuMapCollector(WorkloadSource source, const node::GpuBank& bank,
+                  std::string manager = "slurm")
+      : source_(std::move(source)), bank_(bank), manager_(std::move(manager)) {}
+
+  std::string name() const override { return "gpu_map"; }
+  std::vector<metrics::MetricFamily> collect(common::TimestampMs now) override;
+
+ private:
+  WorkloadSource source_;
+  const node::GpuBank& bank_;
+  std::string manager_;
+};
+
+}  // namespace ceems::exporter

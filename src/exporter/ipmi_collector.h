@@ -1,0 +1,27 @@
+// IPMI-DCMI collector (§II-A.b): runs the DCMI power-reading command and
+// exports the whole-node wattage. The command is injected as a callable so
+// the same parsing path serves the simulator (format_dcmi_output of the
+// BMC model) and, on a real node, `ipmitool dcmi power reading` output.
+#pragma once
+
+#include <functional>
+
+#include "exporter/collector.h"
+#include "node/ipmi.h"
+
+namespace ceems::exporter {
+
+class IpmiCollector final : public Collector {
+ public:
+  using DcmiCommand = std::function<std::string()>;
+
+  explicit IpmiCollector(DcmiCommand command) : command_(std::move(command)) {}
+
+  std::string name() const override { return "ipmi"; }
+  std::vector<metrics::MetricFamily> collect(common::TimestampMs now) override;
+
+ private:
+  DcmiCommand command_;
+};
+
+}  // namespace ceems::exporter

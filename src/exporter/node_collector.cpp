@@ -1,0 +1,69 @@
+#include "exporter/node_collector.h"
+
+namespace ceems::exporter {
+
+using metrics::Labels;
+using metrics::MetricFamily;
+using metrics::MetricType;
+
+std::vector<metrics::MetricFamily> NodeCollector::collect(
+    common::TimestampMs /*now*/) {
+  std::vector<MetricFamily> out;
+
+  if (auto stat = simfs::read_proc_stat(*fs_)) {
+    MetricFamily cpu{"node_cpu_seconds_total",
+                     "Seconds the node CPUs spent in each mode.",
+                     MetricType::kCounter,
+                     {}};
+    // USER_HZ = 100 jiffies per second.
+    auto seconds = [](int64_t jiffies) {
+      return static_cast<double>(jiffies) / 100.0;
+    };
+    cpu.add(Labels{{"mode", "user"}}, seconds(stat->aggregate.user));
+    cpu.add(Labels{{"mode", "system"}}, seconds(stat->aggregate.system));
+    cpu.add(Labels{{"mode", "idle"}}, seconds(stat->aggregate.idle));
+    cpu.add(Labels{{"mode", "iowait"}}, seconds(stat->aggregate.iowait));
+    out.push_back(std::move(cpu));
+
+    MetricFamily cpus{"node_cpus",
+                      "Logical CPUs on the node.",
+                      MetricType::kGauge,
+                      {}};
+    cpus.add(Labels{}, static_cast<double>(stat->cpus.size()));
+    out.push_back(std::move(cpus));
+
+    MetricFamily boot{"node_boot_time_seconds",
+                      "Unix time the node booted.",
+                      MetricType::kGauge,
+                      {}};
+    boot.add(Labels{}, static_cast<double>(stat->boot_time_sec));
+    out.push_back(std::move(boot));
+  }
+
+  if (auto mem = simfs::read_meminfo(*fs_)) {
+    MetricFamily total{"node_memory_MemTotal_bytes",
+                       "Total node memory.",
+                       MetricType::kGauge,
+                       {}};
+    total.add(Labels{}, static_cast<double>(mem->mem_total_kb) * 1024.0);
+    out.push_back(std::move(total));
+
+    MetricFamily available{"node_memory_MemAvailable_bytes",
+                           "Available node memory.",
+                           MetricType::kGauge,
+                           {}};
+    available.add(Labels{},
+                  static_cast<double>(mem->mem_available_kb) * 1024.0);
+    out.push_back(std::move(available));
+
+    MetricFamily free{"node_memory_MemFree_bytes",
+                      "Free node memory.",
+                      MetricType::kGauge,
+                      {}};
+    free.add(Labels{}, static_cast<double>(mem->mem_free_kb) * 1024.0);
+    out.push_back(std::move(free));
+  }
+  return out;
+}
+
+}  // namespace ceems::exporter

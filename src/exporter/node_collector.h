@@ -1,0 +1,22 @@
+// Node collector: whole-node CPU and memory from /proc (§II-A.a, "node-
+// level metrics ... from /sys and /proc"). These are the denominators of
+// Eq. 1 (T_node, M_node). Metric names follow node_exporter conventions.
+#pragma once
+
+#include "exporter/collector.h"
+#include "simfs/procfs.h"
+
+namespace ceems::exporter {
+
+class NodeCollector final : public Collector {
+ public:
+  explicit NodeCollector(simfs::FsPtr fs) : fs_(std::move(fs)) {}
+
+  std::string name() const override { return "node"; }
+  std::vector<metrics::MetricFamily> collect(common::TimestampMs now) override;
+
+ private:
+  simfs::FsPtr fs_;
+};
+
+}  // namespace ceems::exporter

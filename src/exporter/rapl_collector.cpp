@@ -1,0 +1,48 @@
+#include "exporter/rapl_collector.h"
+
+#include "common/strutil.h"
+
+namespace ceems::exporter {
+
+using metrics::Labels;
+using metrics::MetricFamily;
+using metrics::MetricType;
+
+std::vector<metrics::MetricFamily> RaplCollector::collect(
+    common::TimestampMs /*now*/) {
+  MetricFamily package{"ceems_rapl_package_joules_total",
+                       "Cumulative package energy from RAPL.",
+                       MetricType::kCounter,
+                       {}};
+  MetricFamily dram{"ceems_rapl_dram_joules_total",
+                    "Cumulative DRAM energy from RAPL.",
+                    MetricType::kCounter,
+                    {}};
+
+  for (const auto& reading : node::read_rapl(*fs_)) {
+    std::string key = reading.domain + "/" + std::to_string(reading.index);
+    DomainState& state = state_[key];
+    if (state.last_uj >= 0) {
+      state.joules_total += node::rapl_joules_between(
+          state.last_uj, reading.energy_uj, reading.max_energy_range_uj);
+    } else {
+      state.joules_total = static_cast<double>(reading.energy_uj) * 1e-6;
+    }
+    state.last_uj = reading.energy_uj;
+
+    Labels labels{{"index", std::to_string(reading.index)},
+                  {"path", "intel-rapl:" + std::to_string(reading.index)}};
+    if (common::starts_with(reading.domain, "package")) {
+      package.add(labels, state.joules_total);
+    } else if (reading.domain == "dram") {
+      dram.add(labels, state.joules_total);
+    }
+  }
+
+  std::vector<MetricFamily> out;
+  if (!package.metrics.empty()) out.push_back(std::move(package));
+  if (!dram.metrics.empty()) out.push_back(std::move(dram));
+  return out;
+}
+
+}  // namespace ceems::exporter

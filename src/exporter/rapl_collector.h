@@ -1,0 +1,31 @@
+// RAPL collector (§II-A.b): reads the powercap sysfs counters and exports
+// cumulative joules per domain. The raw hardware counter wraps at
+// max_energy_range_uj; the collector carries a software accumulator across
+// scrapes so the exported counter never wraps — the same wrap-healing the
+// Go exporter does.
+#pragma once
+
+#include <map>
+
+#include "exporter/collector.h"
+#include "node/rapl.h"
+
+namespace ceems::exporter {
+
+class RaplCollector final : public Collector {
+ public:
+  explicit RaplCollector(simfs::FsPtr fs) : fs_(std::move(fs)) {}
+
+  std::string name() const override { return "rapl"; }
+  std::vector<metrics::MetricFamily> collect(common::TimestampMs now) override;
+
+ private:
+  struct DomainState {
+    int64_t last_uj = -1;
+    double joules_total = 0;
+  };
+  simfs::FsPtr fs_;
+  std::map<std::string, DomainState> state_;  // key: domain + index
+};
+
+}  // namespace ceems::exporter

@@ -1,0 +1,59 @@
+#include "exporter/self_collector.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace ceems::exporter {
+
+using metrics::Labels;
+using metrics::MetricFamily;
+using metrics::MetricType;
+
+std::size_t process_resident_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  std::size_t size_pages = 0, resident_pages = 0;
+  statm >> size_pages >> resident_pages;
+  return resident_pages * static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+}
+
+double process_cpu_seconds() {
+  std::ifstream stat("/proc/self/stat");
+  std::string token;
+  // Fields 14 and 15 are utime/stime in clock ticks; field 2 (comm) may
+  // contain spaces but is parenthesized — skip to the closing paren.
+  std::string line;
+  std::getline(stat, line);
+  std::size_t close = line.rfind(')');
+  if (close == std::string::npos) return 0;
+  std::istringstream rest(line.substr(close + 2));
+  long long utime = 0, stime = 0;
+  std::string field;
+  for (int i = 3; i <= 13; ++i) rest >> field;
+  rest >> utime >> stime;
+  return static_cast<double>(utime + stime) /
+         static_cast<double>(::sysconf(_SC_CLK_TCK));
+}
+
+std::vector<metrics::MetricFamily> SelfCollector::collect(
+    common::TimestampMs /*now*/) {
+  std::vector<MetricFamily> out = registry_->collect();
+
+  MetricFamily rss{"process_resident_memory_bytes",
+                   "Resident memory of the exporter process.",
+                   MetricType::kGauge,
+                   {}};
+  rss.add(Labels{}, static_cast<double>(process_resident_bytes()));
+  out.push_back(std::move(rss));
+
+  MetricFamily cpu{"process_cpu_seconds_total",
+                   "Cumulative CPU time of the exporter process.",
+                   MetricType::kCounter,
+                   {}};
+  cpu.add(Labels{}, process_cpu_seconds());
+  out.push_back(std::move(cpu));
+  return out;
+}
+
+}  // namespace ceems::exporter

@@ -1,0 +1,33 @@
+// Self-telemetry of the exporter process. E1 (DESIGN.md) checks the
+// paper's prose claims — "the exporter consumes 15-20 MB of memory and
+// each scrape request takes less than 1 microsecond of CPU time" — so this
+// collector reads the REAL /proc/self/statm of the host process plus the
+// instrument registry (scrape counts and durations maintained by the
+// Exporter).
+#pragma once
+
+#include <memory>
+
+#include "exporter/collector.h"
+#include "metrics/registry.h"
+
+namespace ceems::exporter {
+
+// Resident set size of the calling process in bytes (real procfs read).
+std::size_t process_resident_bytes();
+// Cumulative CPU time of the calling process in seconds (utime+stime).
+double process_cpu_seconds();
+
+class SelfCollector final : public Collector {
+ public:
+  explicit SelfCollector(std::shared_ptr<metrics::Registry> registry)
+      : registry_(std::move(registry)) {}
+
+  std::string name() const override { return "self"; }
+  std::vector<metrics::MetricFamily> collect(common::TimestampMs now) override;
+
+ private:
+  std::shared_ptr<metrics::Registry> registry_;
+};
+
+}  // namespace ceems::exporter

@@ -1,0 +1,60 @@
+// Blocking HTTP/1.1 client with optional connection reuse. Used by the
+// scrape manager (GET /metrics against every node), the LB (proxying to
+// Prometheus backends) and the API server (ownership checks).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "http/message.h"
+
+namespace ceems::http {
+
+struct ClientConfig {
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 5000;
+  BasicAuthConfig basic_auth;
+};
+
+// Result of a request; `ok` is false on transport errors (connect refused,
+// timeout, malformed response), with `error` describing the failure. HTTP
+// error statuses are NOT transport errors.
+struct FetchResult {
+  bool ok = false;
+  std::string error;
+  Response response;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+
+  // url must be http://host:port/path?query
+  FetchResult get(const std::string& url, const HeaderMap& headers = {});
+  FetchResult post(const std::string& url, const std::string& body,
+                   const std::string& content_type = "application/json",
+                   const HeaderMap& headers = {});
+  FetchResult request(const std::string& method, const std::string& url,
+                      const std::string& body, const HeaderMap& headers);
+
+ private:
+  struct ParsedUrl {
+    std::string host;
+    uint16_t port = 80;
+    std::string target;
+  };
+  static std::optional<ParsedUrl> parse_url(const std::string& url);
+  int connect_to(const ParsedUrl& url, std::string& error);
+
+  ClientConfig config_;
+  // Kept-alive connection to the most recent host:port.
+  int cached_fd_ = -1;
+  std::string cached_endpoint_;
+};
+
+}  // namespace ceems::http

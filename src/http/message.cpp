@@ -1,0 +1,232 @@
+#include "http/message.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace ceems::http {
+
+bool CaseInsensitiveLess::operator()(const std::string& a,
+                                     const std::string& b) const {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(), [](char x, char y) {
+        return std::tolower(static_cast<unsigned char>(x)) <
+               std::tolower(static_cast<unsigned char>(y));
+      });
+}
+
+std::string Request::path() const {
+  std::size_t q = target.find('?');
+  return url_decode(q == std::string::npos ? target : target.substr(0, q));
+}
+
+std::map<std::string, std::string> Request::query_params() const {
+  std::map<std::string, std::string> params;
+  std::size_t q = target.find('?');
+  if (q == std::string::npos) return params;
+  for (const auto& pair : common::split(target.substr(q + 1), '&')) {
+    if (pair.empty()) continue;
+    std::size_t eq = pair.find('=');
+    std::string key = url_decode(eq == std::string::npos ? pair : pair.substr(0, eq));
+    std::string value = eq == std::string::npos ? "" : url_decode(pair.substr(eq + 1));
+    params.emplace(std::move(key), std::move(value));  // first wins
+  }
+  return params;
+}
+
+std::vector<std::string> Request::query_param_all(const std::string& key) const {
+  std::vector<std::string> values;
+  std::size_t q = target.find('?');
+  if (q == std::string::npos) return values;
+  for (const auto& pair : common::split(target.substr(q + 1), '&')) {
+    std::size_t eq = pair.find('=');
+    std::string k = url_decode(eq == std::string::npos ? pair : pair.substr(0, eq));
+    if (k == key)
+      values.push_back(eq == std::string::npos ? "" : url_decode(pair.substr(eq + 1)));
+  }
+  return values;
+}
+
+std::optional<std::string> Request::header(const std::string& name) const {
+  auto it = headers.find(name);
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+Response Response::text(int status, std::string body, std::string content_type) {
+  Response response;
+  response.status = status;
+  response.headers["Content-Type"] = std::move(content_type);
+  response.body = std::move(body);
+  return response;
+}
+
+Response Response::json(int status, std::string body) {
+  return text(status, std::move(body), "application/json");
+}
+
+Response Response::not_found(const std::string& what) {
+  return json(404, "{\"status\":\"error\",\"error\":\"" + what + "\"}");
+}
+
+Response Response::bad_request(const std::string& what) {
+  return json(400, "{\"status\":\"error\",\"error\":\"" + what + "\"}");
+}
+
+Response Response::unauthorized(const std::string& realm) {
+  Response response = text(401, "unauthorized\n");
+  response.headers["WWW-Authenticate"] = "Basic realm=\"" + realm + "\"";
+  return response;
+}
+
+Response Response::forbidden(const std::string& what) {
+  return json(403, "{\"status\":\"error\",\"error\":\"" + what + "\"}");
+}
+
+Response Response::internal_error(const std::string& what) {
+  return json(500, "{\"status\":\"error\",\"error\":\"" + what + "\"}");
+}
+
+std::string status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '%' && i + 2 < text.size()) {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(text[i + 1]), lo = hex(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    if (c == '+') {
+      out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string url_encode(std::string_view text) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    bool unreserved = std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '-' || c == '_' || c == '.' || c == '~';
+    if (unreserved) {
+      out += c;
+    } else {
+      out += '%';
+      out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+      out += hex[static_cast<unsigned char>(c) & 0xF];
+    }
+  }
+  return out;
+}
+
+namespace {
+constexpr char kBase64Chars[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+}  // namespace
+
+std::string base64_encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 2 < data.size()) {
+    unsigned n = (static_cast<unsigned char>(data[i]) << 16) |
+                 (static_cast<unsigned char>(data[i + 1]) << 8) |
+                 static_cast<unsigned char>(data[i + 2]);
+    out += kBase64Chars[(n >> 18) & 63];
+    out += kBase64Chars[(n >> 12) & 63];
+    out += kBase64Chars[(n >> 6) & 63];
+    out += kBase64Chars[n & 63];
+    i += 3;
+  }
+  if (i + 1 == data.size()) {
+    unsigned n = static_cast<unsigned char>(data[i]) << 16;
+    out += kBase64Chars[(n >> 18) & 63];
+    out += kBase64Chars[(n >> 12) & 63];
+    out += "==";
+  } else if (i + 2 == data.size()) {
+    unsigned n = (static_cast<unsigned char>(data[i]) << 16) |
+                 (static_cast<unsigned char>(data[i + 1]) << 8);
+    out += kBase64Chars[(n >> 18) & 63];
+    out += kBase64Chars[(n >> 12) & 63];
+    out += kBase64Chars[(n >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::optional<std::string> base64_decode(std::string_view text) {
+  auto value_of = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    return -1;
+  };
+  std::string out;
+  int buffer = 0, bits = 0;
+  for (char c : text) {
+    if (c == '=') break;
+    int v = value_of(c);
+    if (v < 0) return std::nullopt;
+    buffer = (buffer << 6) | v;
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out += static_cast<char>((buffer >> bits) & 0xFF);
+    }
+  }
+  return out;
+}
+
+std::string basic_auth_header(const std::string& user,
+                              const std::string& password) {
+  return "Basic " + base64_encode(user + ":" + password);
+}
+
+std::optional<std::pair<std::string, std::string>> decode_basic_auth(
+    const std::string& header_value) {
+  if (!common::starts_with(header_value, "Basic ")) return std::nullopt;
+  auto decoded = base64_decode(common::trim(
+      std::string_view(header_value).substr(6)));
+  if (!decoded) return std::nullopt;
+  std::size_t colon = decoded->find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  return std::make_pair(decoded->substr(0, colon), decoded->substr(colon + 1));
+}
+
+}  // namespace ceems::http

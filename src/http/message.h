@@ -1,0 +1,73 @@
+// HTTP request/response types shared by server and client, plus the
+// wire-format parsing helpers. CEEMS speaks plain HTTP/1.1: the scrape
+// manager GETs /metrics, the API server serves JSON, the LB reverse-proxies
+// PromQL queries.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ceems::http {
+
+// Case-insensitive header map, as HTTP requires.
+struct CaseInsensitiveLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+using HeaderMap = std::map<std::string, std::string, CaseInsensitiveLess>;
+
+// Shared by server (verification) and client (credential injection).
+struct BasicAuthConfig {
+  std::string username;
+  std::string password;
+  bool enabled() const { return !username.empty(); }
+};
+
+struct Request {
+  std::string method;
+  std::string target;  // raw path + query, e.g. "/api/v1/query?query=up"
+  HeaderMap headers;
+  std::string body;
+
+  // Path without the query string.
+  std::string path() const;
+  // Decoded query parameters (first value wins on duplicates).
+  std::map<std::string, std::string> query_params() const;
+  // All values for a repeated parameter (PromQL match[] style).
+  std::vector<std::string> query_param_all(const std::string& key) const;
+  std::optional<std::string> header(const std::string& name) const;
+};
+
+struct Response {
+  int status = 200;
+  HeaderMap headers;
+  std::string body;
+
+  static Response text(int status, std::string body,
+                       std::string content_type = "text/plain; charset=utf-8");
+  static Response json(int status, std::string body);
+  static Response not_found(const std::string& what = "not found");
+  static Response bad_request(const std::string& what);
+  static Response unauthorized(const std::string& realm = "ceems");
+  static Response forbidden(const std::string& what = "forbidden");
+  static Response internal_error(const std::string& what);
+};
+
+std::string status_reason(int status);
+
+// Percent-decoding / encoding for URLs and query strings.
+std::string url_decode(std::string_view text);
+std::string url_encode(std::string_view text);
+
+// Basic-auth helpers. encode produces the full header value
+// ("Basic dXNlcjpwYXNz"); decode returns user:password on success.
+std::string basic_auth_header(const std::string& user,
+                              const std::string& password);
+std::optional<std::pair<std::string, std::string>> decode_basic_auth(
+    const std::string& header_value);
+
+std::string base64_encode(std::string_view data);
+std::optional<std::string> base64_decode(std::string_view text);
+
+}  // namespace ceems::http

@@ -1,0 +1,253 @@
+#include "http/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace ceems::http {
+
+namespace {
+constexpr std::size_t kReadChunk = 16 * 1024;
+constexpr int kIdleTimeoutMs = 5000;
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string serialize_response(const Response& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_reason(response.status) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+void Server::handle(const std::string& path, Handler handler) {
+  std::lock_guard lock(routes_mu_);
+  exact_routes_.emplace_back(path, std::move(handler));
+}
+
+void Server::handle_prefix(const std::string& prefix, Handler handler) {
+  std::lock_guard lock(routes_mu_);
+  prefix_routes_.emplace_back(prefix, std::move(handler));
+}
+
+void Server::set_default_handler(Handler handler) {
+  std::lock_guard lock(routes_mu_);
+  default_handler_ = std::move(handler);
+}
+
+std::string Server::base_url() const {
+  return "http://" + config_.bind_address + ":" + std::to_string(port_);
+}
+
+void Server::start() {
+  if (running_.load()) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("http: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("http: bad bind address " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("http: bind failed on " + config_.bind_address +
+                             ":" + std::to_string(config_.port));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("http: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  workers_ = std::make_unique<common::ThreadPool>(config_.worker_threads,
+                                                  "http-worker");
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  CEEMS_LOG_INFO("http") << "listening on " << base_url();
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (workers_) workers_->shutdown(/*drain=*/true);
+  workers_.reset();
+}
+
+void Server::accept_loop() {
+  while (running_.load()) {
+    sockaddr_in peer_addr{};
+    socklen_t peer_len = sizeof(peer_addr);
+    int client_fd = ::accept(listen_fd_,
+                             reinterpret_cast<sockaddr*>(&peer_addr),
+                             &peer_len);
+    if (client_fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    char peer_buf[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &peer_addr.sin_addr, peer_buf, sizeof(peer_buf));
+    std::string peer(peer_buf);
+
+    if (config_.connection_filter && !config_.connection_filter(peer)) {
+      ::close(client_fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    bool queued = workers_->submit(
+        [this, client_fd, peer] { serve_connection(client_fd, peer); });
+    if (!queued) ::close(client_fd);
+  }
+}
+
+std::optional<Request> Server::read_request(int fd, std::string& buffer,
+                                            bool& keep_alive) {
+  // Read until we have the full header block.
+  std::size_t header_end;
+  for (;;) {
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buffer.size() > config_.max_body_bytes) return std::nullopt;
+    pollfd pfd{fd, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, kIdleTimeoutMs);
+    if (pr <= 0) return std::nullopt;
+    char chunk[kReadChunk];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return std::nullopt;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  Request request;
+  std::string_view head(buffer.data(), header_end);
+  auto lines = common::split(head, '\n');
+  if (lines.empty()) return std::nullopt;
+  auto first = common::split_fields(lines[0]);
+  if (first.size() < 2) return std::nullopt;
+  request.method = first[0];
+  request.target = first[1];
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = common::trim(lines[i]);
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name(common::trim(line.substr(0, colon)));
+    std::string value(common::trim(line.substr(colon + 1)));
+    request.headers[name] = value;
+  }
+
+  std::size_t body_len = 0;
+  if (auto cl = request.header("Content-Length")) {
+    auto parsed = common::parse_int64(*cl);
+    if (!parsed || *parsed < 0 ||
+        static_cast<std::size_t>(*parsed) > config_.max_body_bytes)
+      return std::nullopt;
+    body_len = static_cast<std::size_t>(*parsed);
+  }
+  std::size_t body_start = header_end + 4;
+  while (buffer.size() < body_start + body_len) {
+    pollfd pfd{fd, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, kIdleTimeoutMs);
+    if (pr <= 0) return std::nullopt;
+    char chunk[kReadChunk];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return std::nullopt;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  request.body = buffer.substr(body_start, body_len);
+  buffer.erase(0, body_start + body_len);
+
+  auto connection = request.header("Connection");
+  keep_alive = !(connection && common::to_lower(*connection) == "close");
+  return request;
+}
+
+Response Server::dispatch(const Request& request) {
+  if (config_.basic_auth.enabled()) {
+    auto auth = request.header("Authorization");
+    auto creds = auth ? decode_basic_auth(*auth) : std::nullopt;
+    if (!creds || creds->first != config_.basic_auth.username ||
+        creds->second != config_.basic_auth.password) {
+      return Response::unauthorized();
+    }
+  }
+  std::string path = request.path();
+  Handler handler;
+  {
+    std::lock_guard lock(routes_mu_);
+    for (const auto& [route, h] : exact_routes_) {
+      if (route == path) {
+        handler = h;
+        break;
+      }
+    }
+    if (!handler) {
+      for (const auto& [prefix, h] : prefix_routes_) {
+        if (common::starts_with(path, prefix)) {
+          handler = h;
+          break;
+        }
+      }
+    }
+    if (!handler) handler = default_handler_;
+  }
+  if (!handler) return Response::not_found("no route for " + path);
+  try {
+    return handler(request);
+  } catch (const std::exception& e) {
+    CEEMS_LOG_ERROR("http") << "handler error on " << path << ": " << e.what();
+    return Response::internal_error(e.what());
+  }
+}
+
+void Server::serve_connection(int client_fd, const std::string& /*peer*/) {
+  std::string buffer;
+  bool keep_alive = true;
+  while (running_.load() && keep_alive) {
+    auto request = read_request(client_fd, buffer, keep_alive);
+    if (!request) break;
+    ++inflight_;
+    Response response = dispatch(*request);
+    ++requests_served_;
+    --inflight_;
+    if (!send_all(client_fd, serialize_response(response, keep_alive))) break;
+  }
+  ::close(client_fd);
+}
+
+}  // namespace ceems::http

@@ -1,0 +1,93 @@
+// HTTP/1.1 server over POSIX sockets: one accept thread plus a fixed worker
+// pool. Supports keep-alive, Content-Length bodies, exact and prefix route
+// registration, and optional basic auth — everything CEEMS components need
+// and nothing more.
+//
+// The paper notes the exporter "supports basic auth and TLS to protect it
+// from DoS/DDoS". Basic auth is implemented here; TLS is replaced by a
+// pluggable ConnectionFilter hook (see DESIGN.md substitution table) since
+// no crypto stack is available offline. The filter sees the peer before any
+// bytes are parsed, which is where a TLS handshake would sit.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "http/message.h"
+
+namespace ceems::http {
+
+using Handler = std::function<Response(const Request&)>;
+
+// Returns true to accept the connection. Stands in for the TLS handshake /
+// IP allowlists of a production deployment.
+using ConnectionFilter = std::function<bool(const std::string& peer_address)>;
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; bound port available via port()
+  std::size_t worker_threads = 4;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  BasicAuthConfig basic_auth;
+  ConnectionFilter connection_filter;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Registers a handler for an exact path.
+  void handle(const std::string& path, Handler handler);
+  // Registers a handler for every path beginning with `prefix`.
+  void handle_prefix(const std::string& prefix, Handler handler);
+  // Fallback when no route matches (default: 404).
+  void set_default_handler(Handler handler);
+
+  // Binds, listens and starts the accept loop. Throws std::runtime_error
+  // when the socket cannot be bound.
+  void start();
+  void stop();
+
+  uint16_t port() const { return port_; }
+  std::string base_url() const;
+  bool running() const { return running_.load(); }
+
+  // Total requests served (for tests and the LB's least-connection state).
+  uint64_t requests_served() const { return requests_served_.load(); }
+  // Requests currently being handled.
+  int inflight() const { return inflight_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int client_fd, const std::string& peer);
+  std::optional<Request> read_request(int fd, std::string& buffer,
+                                      bool& keep_alive);
+  Response dispatch(const Request& request);
+
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<int> inflight_{0};
+  std::thread accept_thread_;
+  std::unique_ptr<common::ThreadPool> workers_;
+
+  std::mutex routes_mu_;
+  std::vector<std::pair<std::string, Handler>> exact_routes_;
+  std::vector<std::pair<std::string, Handler>> prefix_routes_;
+  Handler default_handler_;
+};
+
+}  // namespace ceems::http

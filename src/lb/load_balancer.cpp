@@ -1,0 +1,165 @@
+#include "lb/load_balancer.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ceems::lb {
+
+LoadBalancer::LoadBalancer(LbConfig config,
+                           std::vector<std::string> backend_urls,
+                           common::ClockPtr clock)
+    : config_(std::move(config)),
+      clock_(std::move(clock)),
+      server_(config_.http) {
+  for (auto& url : backend_urls) {
+    auto backend = std::make_unique<Backend>();
+    backend->base_url = std::move(url);
+    backends_.push_back(std::move(backend));
+  }
+  server_.handle_prefix("/api/v1/", [this](const http::Request& request) {
+    return handle_proxy(request);
+  });
+  server_.handle("/health", [](const http::Request&) {
+    return http::Response::json(200, "{\"status\":\"ok\"}");
+  });
+}
+
+LoadBalancer::~LoadBalancer() { stop(); }
+
+void LoadBalancer::start() { server_.start(); }
+void LoadBalancer::stop() { server_.stop(); }
+
+bool LoadBalancer::check_ownership(const std::string& user,
+                                   const std::set<std::string>& uuids) {
+  if (api_server_) {
+    for (const auto& uuid : uuids) {
+      if (!api_server_->verify_ownership(user, uuid)) return false;
+    }
+    return true;
+  }
+  if (config_.api_server_url.empty()) return false;
+  // HTTP fallback (§II-C): ask the API server's verify endpoint.
+  std::string url = config_.api_server_url + "/api/v1/units/verify?";
+  bool first = true;
+  for (const auto& uuid : uuids) {
+    if (!first) url += "&";
+    first = false;
+    url += "uuid=" + http::url_encode(uuid);
+  }
+  http::Client client;
+  http::HeaderMap headers;
+  headers[apiserver::kGrafanaUserHeader] = user;
+  auto result = client.get(url, headers);
+  return result.ok && result.response.status == 200;
+}
+
+LoadBalancer::Backend* LoadBalancer::pick_backend() {
+  if (backends_.empty()) return nullptr;
+  if (config_.strategy == Strategy::kRoundRobin) {
+    std::size_t index =
+        round_robin_next_.fetch_add(1) % backends_.size();
+    return backends_[index].get();
+  }
+  // Least connection.
+  Backend* best = nullptr;
+  int best_inflight = std::numeric_limits<int>::max();
+  for (const auto& backend : backends_) {
+    int inflight = backend->inflight.load();
+    if (inflight < best_inflight) {
+      best_inflight = inflight;
+      best = backend.get();
+    }
+  }
+  return best;
+}
+
+http::Response LoadBalancer::handle_proxy(const http::Request& request) {
+  std::string user =
+      request.header(apiserver::kGrafanaUserHeader).value_or("");
+  if (user.empty()) {
+    ++denied_;
+    return http::Response::forbidden("missing X-Grafana-User header");
+  }
+  bool admin = config_.admin_users.count(user) > 0;
+
+  // Introspect the PromQL query (query endpoints only; /api/v1/series uses
+  // match[] selectors which go through the same code).
+  std::string path = request.path();
+  std::vector<std::string> queries;
+  if (path == "/api/v1/query" || path == "/api/v1/query_range") {
+    auto params = request.query_params();
+    auto it = params.find("query");
+    if (it != params.end()) queries.push_back(it->second);
+  } else if (path == "/api/v1/series") {
+    queries = request.query_param_all("match[]");
+  }
+
+  if (!admin) {
+    if (queries.empty()) {
+      ++denied_;
+      return http::Response::forbidden("only query endpoints are allowed");
+    }
+    std::set<std::string> uuids;
+    for (const auto& query : queries) {
+      IntrospectResult result = introspect_query(query);
+      if (!result.parse_ok) {
+        ++denied_;
+        return http::Response::bad_request("unparsable query: " +
+                                           result.error);
+      }
+      if (result.has_unverifiable_selector) {
+        ++denied_;
+        return http::Response::forbidden(
+            "query must pin uuid=\"...\" on every selector");
+      }
+      uuids.insert(result.uuids.begin(), result.uuids.end());
+    }
+    if (!check_ownership(user, uuids)) {
+      ++denied_;
+      return http::Response::forbidden("user " + user +
+                                       " does not own the queried units");
+    }
+  }
+
+  http::HeaderMap headers = request.headers;
+  headers.erase("Host");
+  headers.erase("Content-Length");
+  headers.erase("Connection");
+
+  // Failover: a backend that fails at the transport level is skipped and
+  // the request retried on the next one, up to one full rotation.
+  std::string last_error = "no backends configured";
+  for (std::size_t attempt = 0; attempt < backends_.size(); ++attempt) {
+    Backend* backend = pick_backend();
+    if (!backend) break;
+    ++backend->inflight;
+    ++backend->requests;
+    http::Client client;
+    auto result = client.request(request.method,
+                                 backend->base_url + request.target,
+                                 request.body, headers);
+    --backend->inflight;
+    if (result.ok) return result.response;
+    ++backend->failures;
+    last_error = result.error;
+  }
+  return http::Response::json(
+      502, "{\"status\":\"error\",\"error\":\"backends unreachable: " +
+               last_error + "\"}");
+}
+
+std::vector<BackendStats> LoadBalancer::backend_stats() const {
+  std::vector<BackendStats> out;
+  for (const auto& backend : backends_) {
+    BackendStats stats;
+    stats.base_url = backend->base_url;
+    stats.requests = backend->requests.load();
+    stats.failures = backend->failures.load();
+    stats.inflight = backend->inflight.load();
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace ceems::lb

@@ -1,0 +1,86 @@
+// CEEMS load balancer (§II-B.c): the missing access-control element of the
+// Prometheus/Grafana pair. A reverse proxy in front of one or more
+// Prometheus/Thanos backends that
+//   1. identifies the requesting user from the X-Grafana-User header,
+//   2. introspects the PromQL query for compute-unit uuids,
+//   3. checks ownership — directly against the CEEMS DB when the DB is
+//      reachable, otherwise via an HTTP round trip to the API server's
+//      verify endpoint (both paths of §II-C),
+//   4. on success, forwards to a backend picked by the configured strategy
+//      (round-robin or least-connection) and relays the response.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apiserver/api_server.h"
+#include "http/client.h"
+#include "http/server.h"
+#include "lb/query_introspect.h"
+
+namespace ceems::lb {
+
+enum class Strategy { kRoundRobin, kLeastConnection };
+
+struct LbConfig {
+  http::ServerConfig http;
+  Strategy strategy = Strategy::kRoundRobin;
+  std::set<std::string> admin_users;
+  // API-server verify endpoint, used when no direct DB handle is set.
+  std::string api_server_url;
+};
+
+struct BackendStats {
+  std::string base_url;
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+  int inflight = 0;
+};
+
+class LoadBalancer {
+ public:
+  LoadBalancer(LbConfig config, std::vector<std::string> backend_urls,
+               common::ClockPtr clock);
+  ~LoadBalancer();
+
+  // Direct-DB ownership path (preferred per §II-C). When unset, the LB
+  // calls the API server over HTTP.
+  void set_api_server(const apiserver::ApiServer* api_server) {
+    api_server_ = api_server;
+  }
+
+  void start();
+  void stop();
+  uint16_t port() const { return server_.port(); }
+  std::string base_url() const { return server_.base_url(); }
+
+  std::vector<BackendStats> backend_stats() const;
+  uint64_t denied_total() const { return denied_.load(); }
+
+  // Exposed for unit tests without sockets.
+  http::Response handle_proxy(const http::Request& request);
+
+ private:
+  struct Backend {
+    std::string base_url;
+    std::atomic<int> inflight{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> failures{0};
+  };
+
+  bool check_ownership(const std::string& user,
+                       const std::set<std::string>& uuids);
+  Backend* pick_backend();
+
+  LbConfig config_;
+  common::ClockPtr clock_;
+  http::Server server_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::atomic<std::size_t> round_robin_next_{0};
+  std::atomic<uint64_t> denied_{0};
+  const apiserver::ApiServer* api_server_ = nullptr;
+};
+
+}  // namespace ceems::lb

@@ -1,0 +1,64 @@
+#include "lb/query_introspect.h"
+
+namespace ceems::lb {
+
+namespace {
+
+using tsdb::promql::Expr;
+using tsdb::promql::ExprPtr;
+
+void walk(const ExprPtr& expr, IntrospectResult& result) {
+  if (!expr) return;
+  switch (expr->kind) {
+    case Expr::Kind::kVectorSelector:
+    case Expr::Kind::kMatrixSelector: {
+      bool found_uuid_eq = false;
+      for (const auto& matcher : expr->matchers) {
+        if (matcher.name == "uuid") {
+          if (matcher.op == metrics::LabelMatcher::Op::kEq &&
+              !matcher.value.empty()) {
+            result.uuids.insert(matcher.value);
+            found_uuid_eq = true;
+          } else {
+            // uuid!=, uuid=~ ... cannot be verified against ownership.
+            result.has_unverifiable_selector = true;
+          }
+        }
+      }
+      if (!found_uuid_eq) result.has_unverifiable_selector = true;
+      break;
+    }
+    case Expr::Kind::kBinary:
+      walk(expr->lhs, result);
+      walk(expr->rhs, result);
+      break;
+    case Expr::Kind::kUnary:
+      walk(expr->lhs, result);
+      break;
+    case Expr::Kind::kAggregate:
+      walk(expr->agg_expr, result);
+      walk(expr->agg_param, result);
+      break;
+    case Expr::Kind::kCall:
+      for (const auto& arg : expr->args) walk(arg, result);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+IntrospectResult introspect_query(const std::string& query) {
+  IntrospectResult result;
+  try {
+    ExprPtr expr = tsdb::promql::parse(query);
+    result.parse_ok = true;
+    walk(expr, result);
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+}  // namespace ceems::lb

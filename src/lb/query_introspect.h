@@ -1,0 +1,30 @@
+// PromQL query introspection for access control (§II-B.c): the LB parses
+// the incoming query, walks every vector/matrix selector and pulls out the
+// compute-unit uuids it references. The access rule mirrors CEEMS:
+//   * every selector over a compute-unit metric must pin uuid with an
+//     equality matcher (regex/negative matchers cannot be verified and are
+//     rejected for non-admins);
+//   * node-level metrics (no uuid label) are operator data — admin only.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "tsdb/promql_ast.h"
+
+namespace ceems::lb {
+
+struct IntrospectResult {
+  bool parse_ok = false;
+  std::string error;
+  // uuids referenced via uuid="..." equality matchers.
+  std::set<std::string> uuids;
+  // True if some selector has no equality uuid matcher (uuid-less metric,
+  // regex matcher, ...) — such queries need admin rights.
+  bool has_unverifiable_selector = false;
+};
+
+IntrospectResult introspect_query(const std::string& query);
+
+}  // namespace ceems::lb

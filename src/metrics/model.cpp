@@ -1,0 +1,45 @@
+#include "metrics/model.h"
+
+#include <cctype>
+
+namespace ceems::metrics {
+
+std::string_view metric_type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kUntyped: return "untyped";
+  }
+  return "untyped";
+}
+
+namespace {
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool is_name_char(char c) {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+}  // namespace
+
+bool is_valid_metric_name(std::string_view name) {
+  if (name.empty() || !is_name_start(name[0])) return false;
+  for (char c : name) {
+    if (!is_name_char(c)) return false;
+  }
+  return true;
+}
+
+bool is_valid_label_name(std::string_view name) {
+  if (name.empty()) return false;
+  char first = name[0];
+  if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_'))
+    return false;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_'))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace ceems::metrics

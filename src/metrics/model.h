@@ -1,0 +1,51 @@
+// Core sample / metric-family model shared by the exporter (producer side)
+// and the TSDB (consumer side).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "metrics/labels.h"
+
+namespace ceems::metrics {
+
+using common::TimestampMs;
+
+enum class MetricType { kCounter, kGauge, kUntyped };
+
+std::string_view metric_type_name(MetricType type);
+
+// One (labels, timestamp, value) observation.
+struct Sample {
+  Labels labels;
+  TimestampMs timestamp_ms = 0;
+  double value = 0;
+};
+
+// One metric within a family: label set (without __name__) plus value.
+struct Metric {
+  Labels labels;  // family name excluded
+  double value = 0;
+  // Optional explicit timestamp; 0 means "stamped at scrape time".
+  TimestampMs timestamp_ms = 0;
+};
+
+// A named group of metrics sharing HELP/TYPE metadata, mirroring one
+// exposition-format block.
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kUntyped;
+  std::vector<Metric> metrics;
+
+  void add(Labels labels, double value, TimestampMs timestamp_ms = 0) {
+    metrics.push_back({std::move(labels), value, timestamp_ms});
+  }
+};
+
+// Validates metric / label names per the Prometheus data model.
+bool is_valid_metric_name(std::string_view name);
+bool is_valid_label_name(std::string_view name);
+
+}  // namespace ceems::metrics

@@ -1,0 +1,92 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ceems::metrics {
+
+void Counter::inc(double delta) {
+  if (delta < 0) throw std::invalid_argument("counter cannot decrease");
+  std::lock_guard lock(mu_);
+  value_ += delta;
+}
+
+double Counter::value() const {
+  std::lock_guard lock(mu_);
+  return value_;
+}
+
+void Gauge::set(double value) {
+  std::lock_guard lock(mu_);
+  value_ = value;
+}
+
+void Gauge::add(double delta) {
+  std::lock_guard lock(mu_);
+  value_ += delta;
+}
+
+double Gauge::value() const {
+  std::lock_guard lock(mu_);
+  return value_;
+}
+
+std::shared_ptr<Counter> Registry::counter(const std::string& name,
+                                           const std::string& help,
+                                           const Labels& labels) {
+  if (!is_valid_metric_name(name))
+    throw std::invalid_argument("invalid metric name: " + name);
+  std::lock_guard lock(mu_);
+  Family& family = families_[name];
+  if (family.help.empty()) {
+    family.help = help;
+    family.type = MetricType::kCounter;
+  }
+  auto& child = family.counters[labels];
+  if (!child) child = std::make_shared<Counter>();
+  return child;
+}
+
+std::shared_ptr<Gauge> Registry::gauge(const std::string& name,
+                                       const std::string& help,
+                                       const Labels& labels) {
+  if (!is_valid_metric_name(name))
+    throw std::invalid_argument("invalid metric name: " + name);
+  std::lock_guard lock(mu_);
+  Family& family = families_[name];
+  if (family.help.empty()) {
+    family.help = help;
+    family.type = MetricType::kGauge;
+  }
+  auto& child = family.gauges[labels];
+  if (!child) child = std::make_shared<Gauge>();
+  return child;
+}
+
+std::vector<MetricFamily> Registry::collect() const {
+  std::lock_guard lock(mu_);
+  std::vector<MetricFamily> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    MetricFamily mf{name, family.help, family.type, {}};
+    for (const auto& [labels, counter] : family.counters) {
+      mf.add(labels, counter->value());
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      mf.add(labels, gauge->value());
+    }
+    // Deterministic order for tests/golden output.
+    std::sort(mf.metrics.begin(), mf.metrics.end(),
+              [](const Metric& a, const Metric& b) {
+                return a.labels < b.labels;
+              });
+    out.push_back(std::move(mf));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricFamily& a, const MetricFamily& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace ceems::metrics

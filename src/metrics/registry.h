@@ -1,0 +1,67 @@
+// Instrument registry for a process's own metrics (the exporter's
+// self-telemetry: scrape counters, request durations, build info). Modeled
+// after prometheus/client_golang: named families with per-labelset child
+// instruments, collected into MetricFamily snapshots at scrape time.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/model.h"
+
+namespace ceems::metrics {
+
+// Monotonic counter. Thread-safe.
+class Counter {
+ public:
+  void inc(double delta = 1.0);
+  double value() const;
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0;
+};
+
+// Settable gauge. Thread-safe.
+class Gauge {
+ public:
+  void set(double value);
+  void add(double delta);
+  double value() const;
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0;
+};
+
+class Registry {
+ public:
+  // Returns the child instrument for (name, labels), creating family and
+  // child on first use. The returned pointers stay valid for the lifetime
+  // of the registry.
+  std::shared_ptr<Counter> counter(const std::string& name,
+                                   const std::string& help,
+                                   const Labels& labels = {});
+  std::shared_ptr<Gauge> gauge(const std::string& name,
+                               const std::string& help,
+                               const Labels& labels = {});
+
+  // Snapshot of all instruments as metric families.
+  std::vector<MetricFamily> collect() const;
+
+ private:
+  struct Family {
+    std::string help;
+    MetricType type;
+    std::unordered_map<Labels, std::shared_ptr<Counter>, LabelsHash> counters;
+    std::unordered_map<Labels, std::shared_ptr<Gauge>, LabelsHash> gauges;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Family> families_;
+};
+
+}  // namespace ceems::metrics

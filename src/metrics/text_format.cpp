@@ -1,0 +1,195 @@
+#include "metrics/text_format.h"
+
+#include <map>
+
+#include "common/strutil.h"
+
+namespace ceems::metrics {
+
+using common::format_double;
+using common::parse_double;
+using common::parse_int64;
+using common::split_fields;
+using common::starts_with;
+using common::trim;
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string encode_families(const std::vector<MetricFamily>& families) {
+  std::string out;
+  for (const auto& family : families) {
+    if (!family.help.empty()) {
+      out += "# HELP ";
+      out += family.name;
+      out += ' ';
+      out += family.help;
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += family.name;
+    out += ' ';
+    out += metric_type_name(family.type);
+    out += '\n';
+    for (const auto& metric : family.metrics) {
+      out += family.name;
+      if (!metric.labels.empty()) {
+        out += '{';
+        bool first = true;
+        for (const auto& [name, value] : metric.labels.pairs()) {
+          if (!first) out += ',';
+          first = false;
+          out += name;
+          out += "=\"";
+          out += escape_label_value(value);
+          out += '"';
+        }
+        out += '}';
+      }
+      out += ' ';
+      out += format_double(metric.value);
+      if (metric.timestamp_ms != 0) {
+        out += ' ';
+        out += std::to_string(metric.timestamp_ms);
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Parses the {a="b",c="d"} label block. `pos` points at '{' on entry and
+// one past '}' on exit.
+Labels parse_label_block(std::string_view line, std::size_t& pos) {
+  std::vector<Labels::Pair> pairs;
+  ++pos;  // consume '{'
+  for (;;) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == ',')) ++pos;
+    if (pos < line.size() && line[pos] == '}') {
+      ++pos;
+      return Labels(std::move(pairs));
+    }
+    std::size_t name_start = pos;
+    while (pos < line.size() && line[pos] != '=') ++pos;
+    if (pos >= line.size())
+      throw ExpositionParseError("unterminated label block: " +
+                                 std::string(line));
+    std::string name(trim(line.substr(name_start, pos - name_start)));
+    ++pos;  // '='
+    if (pos >= line.size() || line[pos] != '"')
+      throw ExpositionParseError("label value must be quoted: " +
+                                 std::string(line));
+    ++pos;  // '"'
+    std::string value;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\' && pos + 1 < line.size()) {
+        char e = line[pos + 1];
+        if (e == 'n') value += '\n';
+        else if (e == '\\') value += '\\';
+        else if (e == '"') value += '"';
+        else value += e;
+        pos += 2;
+      } else {
+        value += line[pos++];
+      }
+    }
+    if (pos >= line.size())
+      throw ExpositionParseError("unterminated label value: " +
+                                 std::string(line));
+    ++pos;  // closing '"'
+    if (!is_valid_label_name(name))
+      throw ExpositionParseError("invalid label name '" + name + "'");
+    pairs.emplace_back(std::move(name), std::move(value));
+  }
+}
+
+}  // namespace
+
+ParsedExposition parse_exposition(std::string_view text) {
+  ParsedExposition result;
+  std::map<std::string, std::size_t> family_index;
+
+  auto family_for = [&](const std::string& name) -> MetricFamily& {
+    auto it = family_index.find(name);
+    if (it == family_index.end()) {
+      it = family_index.emplace(name, result.families.size()).first;
+      result.families.push_back(MetricFamily{name, "", MetricType::kUntyped, {}});
+    }
+    return result.families[it->second];
+  };
+
+  for (std::string_view raw : common::split(text, '\n')) {
+    std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name type"; other comments skipped.
+      std::string_view rest = trim(line.substr(1));
+      if (starts_with(rest, "HELP ")) {
+        rest = trim(rest.substr(5));
+        std::size_t space = rest.find(' ');
+        std::string name(space == std::string_view::npos ? rest
+                                                         : rest.substr(0, space));
+        std::string help(space == std::string_view::npos
+                             ? std::string_view{}
+                             : trim(rest.substr(space + 1)));
+        family_for(name).help = help;
+      } else if (starts_with(rest, "TYPE ")) {
+        auto fields = split_fields(rest.substr(5));
+        if (fields.size() >= 2) {
+          MetricType type = MetricType::kUntyped;
+          if (fields[1] == "counter") type = MetricType::kCounter;
+          else if (fields[1] == "gauge") type = MetricType::kGauge;
+          family_for(fields[0]).type = type;
+        }
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ' &&
+           line[pos] != '\t')
+      ++pos;
+    std::string name(line.substr(0, pos));
+    if (!is_valid_metric_name(name))
+      throw ExpositionParseError("invalid metric name in line: " +
+                                 std::string(line));
+    Labels labels;
+    if (pos < line.size() && line[pos] == '{')
+      labels = parse_label_block(line, pos);
+    auto fields = split_fields(line.substr(pos));
+    if (fields.empty())
+      throw ExpositionParseError("missing value in line: " + std::string(line));
+    auto value = parse_double(fields[0]);
+    if (!value)
+      throw ExpositionParseError("bad sample value '" + fields[0] + "'");
+    TimestampMs timestamp = 0;
+    if (fields.size() >= 2) {
+      auto ts = parse_int64(fields[1]);
+      if (!ts)
+        throw ExpositionParseError("bad timestamp '" + fields[1] + "'");
+      timestamp = *ts;
+    }
+
+    MetricFamily& family = family_for(name);
+    family.metrics.push_back({labels, *value, timestamp});
+    result.samples.push_back(
+        Sample{labels.with_name(name), timestamp, *value});
+  }
+  return result;
+}
+
+}  // namespace ceems::metrics

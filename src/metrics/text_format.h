@@ -1,0 +1,41 @@
+// Prometheus text exposition format: the wire format between the CEEMS
+// exporter and the TSDB scrape manager.
+//
+//   # HELP node_cpu_seconds_total Seconds the CPUs spent in each mode.
+//   # TYPE node_cpu_seconds_total counter
+//   node_cpu_seconds_total{cpu="0",mode="user"} 12345.6
+//
+// encode_families produces that text; parse_exposition reads it back into
+// samples (with the family name folded into __name__). The parser is
+// tolerant the same way Prometheus is: unknown comment lines are skipped,
+// but malformed sample lines raise ExpositionParseError so scrape failures
+// become visible (up == 0) rather than silently dropped data.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "metrics/model.h"
+
+namespace ceems::metrics {
+
+class ExpositionParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+std::string encode_families(const std::vector<MetricFamily>& families);
+
+struct ParsedExposition {
+  std::vector<Sample> samples;  // labels include __name__
+  // HELP/TYPE metadata keyed by family name, preserved for re-export.
+  std::vector<MetricFamily> families;
+};
+
+ParsedExposition parse_exposition(std::string_view text);
+
+// Escapes a label value for the exposition format (\, ", \n).
+std::string escape_label_value(std::string_view value);
+
+}  // namespace ceems::metrics

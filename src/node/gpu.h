@@ -1,0 +1,54 @@
+// GPU device simulation plus the DCGM / AMD-SMI style telemetry interface
+// the companion exporters expose (§II-A.d: CEEMS relies on the NVIDIA DCGM
+// exporter or the AMD SMI exporter running alongside it). GpuBank models
+// the devices; the exporter module renders their telemetry with the exact
+// DCGM_FI_DEV_* / amd_gpu_* metric names so downstream recording rules look
+// like production ones.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "node/spec.h"
+
+namespace ceems::node {
+
+struct GpuTelemetry {
+  int ordinal = 0;
+  std::string uuid;    // DCGM-style "GPU-xxxxxxxx"
+  std::string model;
+  GpuVendor vendor = GpuVendor::kNvidia;
+  double power_w = 0;
+  double utilization = 0;       // 0..1 (DCGM reports percent)
+  int64_t memory_used_bytes = 0;
+  int64_t memory_total_bytes = 0;
+  double lifetime_energy_j = 0;  // total energy consumption counter
+};
+
+class GpuBank {
+ public:
+  // `hostname` seeds deterministic per-device UUIDs.
+  GpuBank(const NodeSpec& spec, const std::string& hostname);
+
+  std::size_t size() const { return devices_.size(); }
+
+  // Called by NodeSim each step with per-GPU power/utilization state.
+  void update(const std::vector<double>& per_gpu_w,
+              const std::vector<double>& per_gpu_util,
+              const std::vector<int64_t>& per_gpu_mem_bytes, int64_t dt_ms);
+
+  std::vector<GpuTelemetry> snapshot() const;
+  std::optional<GpuTelemetry> device(int ordinal) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<GpuTelemetry> devices_;
+};
+
+// Deterministic DCGM-style UUID, e.g. "GPU-5f2c1a3e9d4b0817".
+std::string make_gpu_uuid(const std::string& hostname, int ordinal);
+
+}  // namespace ceems::node

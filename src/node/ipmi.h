@@ -1,0 +1,65 @@
+// IPMI-DCMI power reading simulation. On a real node the exporter shells
+// out to `ipmitool dcmi power reading`; here the BMC is modelled directly.
+// The properties the paper leans on are preserved:
+//   - the reading covers the *whole node* (unlike RAPL), minus GPUs on the
+//     second server type;
+//   - the BMC refreshes slowly, so readings are stale up to
+//     ipmi_update_interval_ms and quantized to whole watts;
+//   - querying it too often is pointless (and on real BMCs, harmful) — the
+//     simulated interface returns the cached sample between refreshes and
+//     counts how many queries hit the cache (observable in tests/benches).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+#include "node/spec.h"
+
+namespace ceems::node {
+
+struct DcmiPowerReading {
+  int64_t watts = 0;            // "Instantaneous power reading"
+  int64_t min_watts = 0;        // session minimum
+  int64_t max_watts = 0;        // session maximum
+  int64_t avg_watts = 0;        // session average
+  common::TimestampMs sample_time_ms = 0;  // when the BMC sampled
+};
+
+class IpmiDcmi {
+ public:
+  IpmiDcmi(common::ClockPtr clock, int64_t update_interval_ms)
+      : clock_(std::move(clock)), update_interval_ms_(update_interval_ms) {}
+
+  // Called by NodeSim with the true instantaneous node power; the BMC picks
+  // it up only when its refresh interval elapses.
+  void offer_power(double true_watts);
+
+  // What `ipmitool dcmi power reading` would print, as structured data.
+  DcmiPowerReading read() const;
+
+  uint64_t cached_reads() const { return cached_reads_; }
+  uint64_t total_reads() const { return total_reads_; }
+
+ private:
+  common::ClockPtr clock_;
+  int64_t update_interval_ms_;
+
+  mutable std::mutex mu_;
+  DcmiPowerReading current_{};
+  double min_seen_ = 0, max_seen_ = 0, sum_ = 0;
+  int64_t samples_ = 0;
+  common::TimestampMs last_update_ms_ = -1;
+  mutable uint64_t cached_reads_ = 0;
+  mutable uint64_t total_reads_ = 0;
+};
+
+// Renders/parses the ipmitool output format so the exporter's IPMI
+// collector exercises a realistic parsing path:
+//   Instantaneous power reading:          213 Watts
+//   Minimum during sampling period:       180 Watts
+//   ...
+std::string format_dcmi_output(const DcmiPowerReading& reading);
+DcmiPowerReading parse_dcmi_output(const std::string& text);
+
+}  // namespace ceems::node

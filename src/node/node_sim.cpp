@@ -1,0 +1,286 @@
+#include "node/node_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ceems::node {
+
+namespace {
+// USER_HZ: jiffies per second in /proc/stat.
+constexpr double kJiffiesPerMs = 0.1;
+}  // namespace
+
+NodeSim::NodeSim(NodeSpec spec, common::ClockPtr clock, uint64_t seed)
+    : model_(std::move(spec)),
+      clock_(std::move(clock)),
+      fs_(std::make_shared<simfs::PseudoFs>()),
+      rng_(seed),
+      rapl_(fs_, model_.spec()),
+      ipmi_(clock_, model_.spec().ipmi_update_interval_ms),
+      gpus_(model_.spec(), model_.spec().hostname) {
+  proc_stat_.cpus.resize(static_cast<std::size_t>(model_.spec().total_cpus()));
+  proc_stat_.boot_time_sec = clock_->now_ms() / 1000;
+  publish_procfs();
+  // Prime the BMC with idle power so the first scrape sees a reading.
+  last_power_ = model_.node_power({});
+  ipmi_.offer_power(last_power_.ipmi_w);
+}
+
+void NodeSim::add_workload(const WorkloadPlacement& placement,
+                           const WorkloadBehavior& behavior) {
+  std::lock_guard lock(mu_);
+  if (workloads_.count(placement.job_id))
+    throw std::invalid_argument("job " + std::to_string(placement.job_id) +
+                                " already on node " + hostname());
+  for (int ordinal : placement.gpu_ordinals) {
+    if (ordinal < 0 ||
+        static_cast<std::size_t>(ordinal) >= model_.spec().gpus.size())
+      throw std::invalid_argument("gpu ordinal out of range");
+  }
+  Workload workload;
+  workload.placement = placement;
+  workload.behavior = behavior;
+  std::string path = std::string(simfs::kSlurmScope) + "/job_" +
+                     std::to_string(placement.job_id);
+  workload.cgroup = std::make_unique<simfs::CgroupWriter>(fs_, path);
+  workload.memory_stat.max_bytes = placement.memory_limit_bytes;
+  workload.cgroup->update_memory(workload.memory_stat);
+  workload.cgroup->set_procs({placement.job_id * 100 + 1});
+  workload.rng = rng_.fork();
+  workloads_.emplace(placement.job_id, std::move(workload));
+}
+
+void NodeSim::remove_workload(int64_t job_id) {
+  std::lock_guard lock(mu_);
+  auto it = workloads_.find(job_id);
+  if (it == workloads_.end()) return;
+  it->second.cgroup->destroy();
+  workloads_.erase(it);
+}
+
+bool NodeSim::has_workload(int64_t job_id) const {
+  std::lock_guard lock(mu_);
+  return workloads_.count(job_id) > 0;
+}
+
+std::vector<WorkloadInfo> NodeSim::workloads() const {
+  std::lock_guard lock(mu_);
+  std::vector<WorkloadInfo> out;
+  out.reserve(workloads_.size());
+  for (const auto& [id, workload] : workloads_) {
+    out.push_back({workload.placement, workload.cgroup->path()});
+  }
+  return out;
+}
+
+int NodeSim::allocated_cpus() const {
+  std::lock_guard lock(mu_);
+  int total = 0;
+  for (const auto& [id, workload] : workloads_) {
+    total += workload.placement.alloc_cpus;
+  }
+  return total;
+}
+
+void NodeSim::step(int64_t dt_ms) {
+  std::lock_guard lock(mu_);
+  double dt_sec = static_cast<double>(dt_ms) / 1000.0;
+
+  // 1. Sample each workload's utilization for this step and update its
+  // cgroup accounting.
+  std::vector<WorkloadUsage> usages;
+  usages.reserve(workloads_.size());
+  for (auto& [id, workload] : workloads_) {
+    workload.age_seconds += dt_sec;
+    const WorkloadBehavior& behavior = workload.behavior;
+
+    double cpu_util = std::clamp(
+        workload.rng.normal(behavior.cpu_util_mean, behavior.cpu_util_jitter),
+        0.0, 1.0);
+    double gpu_util =
+        workload.placement.gpu_ordinals.empty()
+            ? 0.0
+            : std::clamp(workload.rng.normal(behavior.gpu_util_mean,
+                                             behavior.gpu_util_jitter),
+                         0.0, 1.0);
+    workload.current_cpu_util = cpu_util;
+    workload.current_gpu_util = gpu_util;
+
+    // cgroup cpu accounting: usage_usec integrates util × allocated CPUs.
+    int64_t cpu_delta_usec = static_cast<int64_t>(
+        cpu_util * workload.placement.alloc_cpus * dt_sec * 1e6);
+    workload.cpu_stat.usage_usec += cpu_delta_usec;
+    workload.cpu_stat.user_usec += cpu_delta_usec * 85 / 100;
+    workload.cpu_stat.system_usec += cpu_delta_usec * 15 / 100;
+    workload.cgroup->update_cpu(workload.cpu_stat);
+
+    // Memory ramps toward its target over memory_ramp_seconds.
+    double target = behavior.memory_target_fraction *
+                    static_cast<double>(workload.placement.memory_limit_bytes);
+    double ramp =
+        behavior.memory_ramp_seconds <= 0
+            ? 1.0
+            : std::min(1.0, workload.age_seconds / behavior.memory_ramp_seconds);
+    workload.memory_stat.current_bytes = static_cast<int64_t>(target * ramp);
+    workload.memory_stat.peak_bytes = std::max(
+        workload.memory_stat.peak_bytes, workload.memory_stat.current_bytes);
+    workload.memory_stat.anon_bytes =
+        workload.memory_stat.current_bytes * 9 / 10;
+    workload.memory_stat.file_bytes =
+        workload.memory_stat.current_bytes / 10;
+    workload.cgroup->update_memory(workload.memory_stat);
+
+    workload.io_stat.rbytes += static_cast<int64_t>(
+        behavior.io_read_bytes_per_sec * dt_sec);
+    workload.io_stat.wbytes += static_cast<int64_t>(
+        behavior.io_write_bytes_per_sec * dt_sec);
+    workload.io_stat.rios += static_cast<int64_t>(
+        behavior.io_read_bytes_per_sec * dt_sec / 65536);
+    workload.io_stat.wios += static_cast<int64_t>(
+        behavior.io_write_bytes_per_sec * dt_sec / 65536);
+    workload.cgroup->update_io(workload.io_stat);
+
+    // eBPF/perf counters (§IV future work): network volume follows the
+    // behavior rates; instruction-level counters follow actual CPU time.
+    workload.ebpf.job_id = id;
+    workload.ebpf.net_tx_bytes +=
+        static_cast<int64_t>(behavior.net_tx_bytes_per_sec * dt_sec);
+    workload.ebpf.net_rx_bytes +=
+        static_cast<int64_t>(behavior.net_rx_bytes_per_sec * dt_sec);
+    workload.ebpf.net_tx_packets += static_cast<int64_t>(
+        behavior.net_tx_bytes_per_sec * dt_sec / 1400);  // ~MTU
+    workload.ebpf.net_rx_packets += static_cast<int64_t>(
+        behavior.net_rx_bytes_per_sec * dt_sec / 1400);
+    double cpu_seconds = cpu_util * workload.placement.alloc_cpus * dt_sec;
+    int64_t instructions = static_cast<int64_t>(
+        cpu_seconds * behavior.instructions_per_cpu_sec);
+    workload.ebpf.instructions += instructions;
+    workload.ebpf.flops += static_cast<int64_t>(
+        static_cast<double>(instructions) * behavior.flop_fraction);
+    workload.ebpf.cache_misses += static_cast<int64_t>(
+        static_cast<double>(instructions) * behavior.cache_miss_rate);
+
+    WorkloadUsage usage;
+    usage.job_id = id;
+    usage.alloc_cpus = workload.placement.alloc_cpus;
+    usage.cpu_util = cpu_util;
+    usage.memory_bytes = workload.memory_stat.current_bytes;
+    usage.memory_activity = behavior.memory_activity;
+    usage.gpu_ordinals = workload.placement.gpu_ordinals;
+    usage.gpu_util = gpu_util;
+    usage.gpu_memory_bytes = static_cast<int64_t>(
+        behavior.gpu_memory_fraction *
+        (workload.placement.gpu_ordinals.empty()
+             ? 0.0
+             : static_cast<double>(
+                   model_.spec()
+                       .gpus[static_cast<std::size_t>(
+                           workload.placement.gpu_ordinals[0])]
+                       .memory_bytes)));
+    usages.push_back(std::move(usage));
+  }
+
+  // 2. Power model: node components, RAPL integration, BMC refresh, GPUs.
+  last_power_ = model_.node_power(usages);
+  rapl_.integrate(last_power_.cpu_pkg_w, last_power_.dram_w, dt_ms);
+  ipmi_.offer_power(last_power_.ipmi_w);
+  lifetime_energy_j_ += last_power_.node_dc_w * dt_sec;
+
+  std::vector<double> per_gpu_util(model_.spec().gpus.size(), 0.0);
+  std::vector<int64_t> per_gpu_mem(model_.spec().gpus.size(), 0);
+  for (const auto& usage : usages) {
+    for (int ordinal : usage.gpu_ordinals) {
+      per_gpu_util[static_cast<std::size_t>(ordinal)] = usage.gpu_util;
+      per_gpu_mem[static_cast<std::size_t>(ordinal)] = usage.gpu_memory_bytes;
+    }
+  }
+  gpus_.update(last_power_.per_gpu_w, per_gpu_util, per_gpu_mem, dt_ms);
+
+  // 3. /proc/stat: whole-node jiffies. Busy time spreads across CPUs in
+  // allocation order; the remainder idles.
+  double busy_cpus = 0;
+  for (const auto& usage : usages) busy_cpus += usage.cpu_util * usage.alloc_cpus;
+  double total_jiffies = static_cast<double>(dt_ms) * kJiffiesPerMs;
+  int ncpus = model_.spec().total_cpus();
+  double remaining_busy = busy_cpus;
+  for (int i = 0; i < ncpus; ++i) {
+    double share = std::clamp(remaining_busy, 0.0, 1.0);
+    remaining_busy -= share;
+    auto& line = proc_stat_.cpus[static_cast<std::size_t>(i)];
+    int64_t busy_j = static_cast<int64_t>(total_jiffies * share);
+    line.user += busy_j * 85 / 100;
+    line.system += busy_j - busy_j * 85 / 100;
+    line.idle += static_cast<int64_t>(total_jiffies) - busy_j;
+  }
+  proc_stat_.aggregate = {};
+  for (const auto& line : proc_stat_.cpus) {
+    proc_stat_.aggregate.user += line.user;
+    proc_stat_.aggregate.nice += line.nice;
+    proc_stat_.aggregate.system += line.system;
+    proc_stat_.aggregate.idle += line.idle;
+    proc_stat_.aggregate.iowait += line.iowait;
+    proc_stat_.aggregate.irq += line.irq;
+    proc_stat_.aggregate.softirq += line.softirq;
+  }
+  publish_procfs();
+
+  // 4. Ground-truth ledger.
+  for (const auto& truth : model_.attribute(usages)) {
+    JobEnergyTruth& ledger = truth_[truth.job_id];
+    ledger.cpu_j += truth.cpu_w * dt_sec;
+    ledger.dram_j += truth.dram_w * dt_sec;
+    ledger.gpu_j += truth.gpu_w * dt_sec;
+    ledger.static_share_j += truth.static_share_w * dt_sec;
+  }
+}
+
+void NodeSim::publish_procfs() {
+  simfs::write_proc_stat(*fs_, proc_stat_);
+  int64_t used_bytes = 0;
+  for (const auto& [id, workload] : workloads_) {
+    used_bytes += workload.memory_stat.current_bytes;
+  }
+  simfs::MemInfo info;
+  info.mem_total_kb = model_.spec().memory_bytes / 1024;
+  int64_t os_overhead_kb = 2 * 1024 * 1024;  // ~2 GiB for OS + page cache
+  info.mem_free_kb = std::max<int64_t>(
+      0, info.mem_total_kb - used_bytes / 1024 - os_overhead_kb);
+  info.mem_available_kb = info.mem_free_kb + os_overhead_kb / 2;
+  info.buffers_kb = os_overhead_kb / 4;
+  info.cached_kb = os_overhead_kb / 2;
+  simfs::write_meminfo(*fs_, info);
+}
+
+std::vector<EbpfWorkloadStats> NodeSim::ebpf_stats() const {
+  std::lock_guard lock(mu_);
+  std::vector<EbpfWorkloadStats> out;
+  out.reserve(workloads_.size());
+  for (const auto& [id, workload] : workloads_) {
+    out.push_back(workload.ebpf);
+  }
+  return out;
+}
+
+JobEnergyTruth NodeSim::job_energy_truth(int64_t job_id) const {
+  std::lock_guard lock(mu_);
+  auto it = truth_.find(job_id);
+  return it == truth_.end() ? JobEnergyTruth{} : it->second;
+}
+
+std::map<int64_t, JobEnergyTruth> NodeSim::all_energy_truth() const {
+  std::lock_guard lock(mu_);
+  return truth_;
+}
+
+PowerBreakdown NodeSim::last_power() const {
+  std::lock_guard lock(mu_);
+  return last_power_;
+}
+
+double NodeSim::lifetime_node_energy_j() const {
+  std::lock_guard lock(mu_);
+  return lifetime_energy_j_;
+}
+
+}  // namespace ceems::node

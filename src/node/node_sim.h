@@ -1,0 +1,167 @@
+// NodeSim — one simulated compute node. The resource-manager simulator
+// places workloads on it; step() advances the "physics":
+//   * per-job cgroup accounting files (cpu.stat, memory.current, io.stat)
+//   * /proc/stat and /proc/meminfo
+//   * RAPL energy counters (package [+ dram on Intel]) via the power model
+//   * the BMC's IPMI-DCMI power reading at its slow refresh cadence
+//   * GPU telemetry for bound devices
+// and simultaneously keeps a ground-truth energy ledger per job (causal
+// attribution from the power model), which experiment E2 compares against
+// the paper's Eq. (1) estimate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "node/gpu.h"
+#include "node/ipmi.h"
+#include "node/power_model.h"
+#include "node/rapl.h"
+#include "simfs/cgroup.h"
+#include "simfs/procfs.h"
+
+namespace ceems::node {
+
+// Statistical shape of a workload's resource usage over its lifetime.
+struct WorkloadBehavior {
+  double cpu_util_mean = 0.9;     // of allocated CPUs
+  double cpu_util_jitter = 0.05;  // stddev of per-step noise
+  double memory_target_fraction = 0.6;  // of the memory limit, ramped into
+  double memory_ramp_seconds = 60;
+  double memory_activity = 0.5;   // hotness of resident pages, 0..1
+  double gpu_util_mean = 0.0;
+  double gpu_util_jitter = 0.05;
+  double gpu_memory_fraction = 0.5;
+  double io_read_bytes_per_sec = 0;
+  double io_write_bytes_per_sec = 0;
+  // Network traffic (observable only via the eBPF-style accounting of
+  // §IV's future work — cgroups do not expose it).
+  double net_tx_bytes_per_sec = 0;
+  double net_rx_bytes_per_sec = 0;
+  // Microarchitectural intensity for the perf-style counters (§IV):
+  // instructions per cpu-second and the FLOP fraction of them.
+  double instructions_per_cpu_sec = 2.0e9;
+  double flop_fraction = 0.2;
+  double cache_miss_rate = 0.01;  // misses per instruction
+};
+
+// Identity + placement of a workload on this node.
+struct WorkloadPlacement {
+  int64_t job_id = 0;
+  std::string user;
+  std::string project;
+  int alloc_cpus = 1;
+  int64_t memory_limit_bytes = 4LL << 30;
+  std::vector<int> gpu_ordinals;
+};
+
+// Snapshot the exporter's job-metadata collector consumes (stands in for
+// reading /proc/<pid>/environ and the cgroup devices list on a real node).
+struct WorkloadInfo {
+  WorkloadPlacement placement;
+  std::string cgroup_path;
+};
+
+// Per-workload counters an eBPF program attached to the cgroup would
+// maintain (§IV future work: "adding network and IO stats to CEEMS
+// exporter using eBPF" and "performance metrics like FLOPS, caching ...
+// from Linux's perf framework"). The simulator plays the role of the
+// kernel-side BPF maps / perf counters; the exporter's collectors read
+// this snapshot exactly as they would read the maps.
+struct EbpfWorkloadStats {
+  int64_t job_id = 0;
+  int64_t net_tx_bytes = 0;
+  int64_t net_rx_bytes = 0;
+  int64_t net_tx_packets = 0;
+  int64_t net_rx_packets = 0;
+  int64_t instructions = 0;
+  int64_t flops = 0;
+  int64_t cache_misses = 0;
+};
+
+// Cumulative ground-truth energy attribution for one job on this node.
+struct JobEnergyTruth {
+  double cpu_j = 0;
+  double dram_j = 0;
+  double gpu_j = 0;
+  double static_share_j = 0;
+  double total_j() const { return cpu_j + dram_j + gpu_j + static_share_j; }
+};
+
+class NodeSim {
+ public:
+  NodeSim(NodeSpec spec, common::ClockPtr clock, uint64_t seed);
+
+  const NodeSpec& spec() const { return model_.spec(); }
+  const std::string& hostname() const { return spec().hostname; }
+  simfs::PseudoFsPtr fs() const { return fs_; }
+  IpmiDcmi& ipmi() { return ipmi_; }
+  const GpuBank& gpus() const { return gpus_; }
+
+  // Places a workload; creates its cgroup. Throws if the job id is already
+  // present or GPU ordinals are out of range.
+  void add_workload(const WorkloadPlacement& placement,
+                    const WorkloadBehavior& behavior);
+  // Removes the workload and destroys its cgroup. Ground truth is kept.
+  void remove_workload(int64_t job_id);
+  bool has_workload(int64_t job_id) const;
+  std::vector<WorkloadInfo> workloads() const;
+
+  // Advances accounting by dt_ms at the current behaviors. Typically driven
+  // by the cluster-level simulator on a SimClock.
+  void step(int64_t dt_ms);
+
+  // eBPF/perf-style per-workload counters (see EbpfWorkloadStats).
+  std::vector<EbpfWorkloadStats> ebpf_stats() const;
+
+  // Ground truth (simulation-only; invisible to the monitoring stack).
+  JobEnergyTruth job_energy_truth(int64_t job_id) const;
+  std::map<int64_t, JobEnergyTruth> all_energy_truth() const;
+  PowerBreakdown last_power() const;
+  double lifetime_node_energy_j() const;
+
+  // Allocated CPUs currently in use (for scheduler bookkeeping).
+  int allocated_cpus() const;
+
+ private:
+  struct Workload {
+    WorkloadPlacement placement;
+    WorkloadBehavior behavior;
+    std::unique_ptr<simfs::CgroupWriter> cgroup;
+    common::Rng rng;
+    double age_seconds = 0;
+    simfs::CgroupCpuStat cpu_stat;
+    simfs::CgroupMemoryStat memory_stat;
+    simfs::CgroupIoStat io_stat;
+    EbpfWorkloadStats ebpf;
+    double current_cpu_util = 0;
+    double current_gpu_util = 0;
+  };
+
+  void publish_procfs();
+
+  mutable std::mutex mu_;
+  PowerModel model_;
+  common::ClockPtr clock_;
+  simfs::PseudoFsPtr fs_;
+  common::Rng rng_;
+  RaplBank rapl_;
+  IpmiDcmi ipmi_;
+  GpuBank gpus_;
+
+  std::map<int64_t, Workload> workloads_;
+  std::map<int64_t, JobEnergyTruth> truth_;
+  simfs::ProcStat proc_stat_;
+  PowerBreakdown last_power_;
+  double lifetime_energy_j_ = 0;
+};
+
+using NodeSimPtr = std::shared_ptr<NodeSim>;
+
+}  // namespace ceems::node

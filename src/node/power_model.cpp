@@ -1,0 +1,129 @@
+#include "node/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ceems::node {
+
+double PowerModel::node_cpu_util(
+    const std::vector<WorkloadUsage>& workloads) const {
+  double busy_cpus = 0;
+  for (const auto& workload : workloads) {
+    busy_cpus += workload.cpu_util * workload.alloc_cpus;
+  }
+  return std::clamp(busy_cpus / std::max(1, spec_.total_cpus()), 0.0, 1.0);
+}
+
+double PowerModel::cpu_dynamic_w(double node_util) const {
+  // Slightly sublinear utilization→power curve, as measured on real Xeons
+  // (SPECpower-style): P_dyn = range * util^0.9.
+  double range = spec_.cpu_tdp_w() - spec_.cpu_idle_w();
+  return range * std::pow(std::clamp(node_util, 0.0, 1.0), 0.9);
+}
+
+PowerBreakdown PowerModel::node_power(
+    const std::vector<WorkloadUsage>& workloads) const {
+  PowerBreakdown out;
+  double util = node_cpu_util(workloads);
+  out.cpu_pkg_w = spec_.cpu_idle_w() + cpu_dynamic_w(util);
+
+  // DRAM power scales with resident bytes and their activity.
+  double mem_active_fraction = 0;
+  for (const auto& workload : workloads) {
+    double resident = static_cast<double>(workload.memory_bytes) /
+                      static_cast<double>(spec_.memory_bytes);
+    mem_active_fraction += resident * std::max(0.1, workload.memory_activity);
+  }
+  mem_active_fraction = std::clamp(mem_active_fraction, 0.0, 1.0);
+  out.dram_w = spec_.dram_idle_w +
+               (spec_.dram_max_w - spec_.dram_idle_w) * mem_active_fraction;
+
+  out.per_gpu_w.assign(spec_.gpus.size(), 0.0);
+  for (std::size_t i = 0; i < spec_.gpus.size(); ++i) {
+    out.per_gpu_w[i] = spec_.gpus[i].idle_power_w;
+  }
+  for (const auto& workload : workloads) {
+    for (int ordinal : workload.gpu_ordinals) {
+      if (ordinal < 0 || static_cast<std::size_t>(ordinal) >= spec_.gpus.size())
+        continue;
+      const GpuSpec& gpu = spec_.gpus[static_cast<std::size_t>(ordinal)];
+      out.per_gpu_w[static_cast<std::size_t>(ordinal)] =
+          gpu.idle_power_w +
+          (gpu.max_power_w - gpu.idle_power_w) *
+              std::clamp(workload.gpu_util, 0.0, 1.0);
+    }
+  }
+  for (double w : out.per_gpu_w) out.gpus_w += w;
+
+  out.platform_w = spec_.platform_static_w;
+  out.node_dc_w = out.cpu_pkg_w + out.dram_w + out.gpus_w + out.platform_w;
+
+  double ipmi_dc = out.cpu_pkg_w + out.dram_w + out.platform_w +
+                   (spec_.ipmi_includes_gpu ? out.gpus_w : 0.0);
+  out.ipmi_w = ipmi_dc * spec_.psu_overhead_factor;
+  return out;
+}
+
+std::vector<JobPowerTruth> PowerModel::attribute(
+    const std::vector<WorkloadUsage>& workloads) const {
+  std::vector<JobPowerTruth> out;
+  if (workloads.empty()) return out;
+
+  double util = node_cpu_util(workloads);
+  double cpu_dyn_total = cpu_dynamic_w(util);
+  double busy_cpus = 0;
+  int alloc_cpus_total = 0;
+  for (const auto& workload : workloads) {
+    busy_cpus += workload.cpu_util * workload.alloc_cpus;
+    alloc_cpus_total += workload.alloc_cpus;
+  }
+
+  // Static pool: CPU idle + DRAM idle + platform + PSU overhead share of
+  // those, charged by allocated-CPU fraction (a job that reserves half the
+  // node is responsible for half its idle burn).
+  double static_pool = spec_.cpu_idle_w() + spec_.dram_idle_w +
+                       spec_.platform_static_w;
+  double dram_dyn_total = 0;
+  {
+    PowerBreakdown pb = node_power(workloads);
+    dram_dyn_total = pb.dram_w - spec_.dram_idle_w;
+  }
+  double mem_weight_total = 0;
+  for (const auto& workload : workloads) {
+    mem_weight_total += static_cast<double>(workload.memory_bytes) *
+                        std::max(0.1, workload.memory_activity);
+  }
+
+  for (const auto& workload : workloads) {
+    JobPowerTruth truth;
+    truth.job_id = workload.job_id;
+    if (busy_cpus > 0) {
+      truth.cpu_w = cpu_dyn_total *
+                    (workload.cpu_util * workload.alloc_cpus) / busy_cpus;
+    }
+    if (mem_weight_total > 0) {
+      truth.dram_w = dram_dyn_total *
+                     (static_cast<double>(workload.memory_bytes) *
+                      std::max(0.1, workload.memory_activity)) /
+                     mem_weight_total;
+    }
+    for (int ordinal : workload.gpu_ordinals) {
+      if (ordinal < 0 || static_cast<std::size_t>(ordinal) >= spec_.gpus.size())
+        continue;
+      const GpuSpec& gpu = spec_.gpus[static_cast<std::size_t>(ordinal)];
+      // Bound GPU: the job owns its whole draw, idle included — nobody else
+      // can use it while bound.
+      truth.gpu_w += gpu.idle_power_w +
+                     (gpu.max_power_w - gpu.idle_power_w) *
+                         std::clamp(workload.gpu_util, 0.0, 1.0);
+    }
+    if (alloc_cpus_total > 0) {
+      truth.static_share_w =
+          static_pool * workload.alloc_cpus / alloc_cpus_total;
+    }
+    out.push_back(truth);
+  }
+  return out;
+}
+
+}  // namespace ceems::node

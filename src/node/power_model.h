@@ -1,0 +1,75 @@
+// Ground-truth power model of a simulated node. This is the "physics" the
+// monitoring stack observes only indirectly (through RAPL counters, the BMC
+// and GPU telemetry). Because the model also attributes power to individual
+// jobs causally, it provides the ground truth against which the paper's
+// Eq. (1) estimation is evaluated (experiment E2 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "node/spec.h"
+
+namespace ceems::node {
+
+// Instantaneous utilization of one workload on the node.
+struct WorkloadUsage {
+  int64_t job_id = 0;
+  int alloc_cpus = 0;          // CPUs allocated to the job
+  double cpu_util = 0;         // average utilization of *allocated* CPUs, 0..1
+  int64_t memory_bytes = 0;    // resident memory
+  double memory_activity = 0;  // fraction of accesses that are "hot", 0..1
+  std::vector<int> gpu_ordinals;
+  double gpu_util = 0;         // utilization of the bound GPUs, 0..1
+  int64_t gpu_memory_bytes = 0;
+};
+
+// Component power breakdown at one instant.
+struct PowerBreakdown {
+  double cpu_pkg_w = 0;    // sum over sockets (RAPL package domain)
+  double dram_w = 0;       // RAPL dram domain
+  double gpus_w = 0;       // sum over GPUs
+  double platform_w = 0;   // static board power
+  double node_dc_w = 0;    // cpu + dram + gpus + platform
+  double ipmi_w = 0;       // what the BMC reports (PSU overhead applied,
+                           // GPUs excluded on the second server type)
+  std::vector<double> per_gpu_w;
+};
+
+// Causal attribution of node power to one job (ground truth).
+struct JobPowerTruth {
+  int64_t job_id = 0;
+  double cpu_w = 0;       // dynamic CPU power caused by the job
+  double dram_w = 0;      // dynamic DRAM power caused by the job
+  double gpu_w = 0;       // power of the job's bound GPUs above idle
+  double static_share_w = 0;  // share of idle/static power by allocation
+  double total_w() const { return cpu_w + dram_w + gpu_w + static_share_w; }
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(NodeSpec spec) : spec_(std::move(spec)) {}
+
+  const NodeSpec& spec() const { return spec_; }
+
+  // Node-level component powers for a set of concurrent workloads.
+  // `gpu_utils`/`gpu_mem` are per-physical-GPU aggregates derived from the
+  // workloads by the caller (NodeSim).
+  PowerBreakdown node_power(const std::vector<WorkloadUsage>& workloads) const;
+
+  // Ground-truth causal attribution. Static power (CPU idle, DRAM refresh,
+  // platform, GPU idle of *bound* GPUs) is charged by allocated-CPU share;
+  // dynamic power follows the job's own activity.
+  std::vector<JobPowerTruth> attribute(
+      const std::vector<WorkloadUsage>& workloads) const;
+
+  // Utilization of the whole node's CPUs implied by the workloads, 0..1.
+  double node_cpu_util(const std::vector<WorkloadUsage>& workloads) const;
+
+ private:
+  double cpu_dynamic_w(double node_util) const;
+  NodeSpec spec_;
+};
+
+}  // namespace ceems::node

@@ -1,0 +1,80 @@
+// RAPL (Running Average Power Limit) counter simulation, exposed through
+// the powercap sysfs layout the CEEMS exporter reads on real nodes:
+//
+//   /sys/class/powercap/intel-rapl:0/name                "package-0"
+//   /sys/class/powercap/intel-rapl:0/energy_uj           cumulative µJ
+//   /sys/class/powercap/intel-rapl:0/max_energy_range_uj wrap point
+//   /sys/class/powercap/intel-rapl:0:0/name              "dram"
+//
+// Key semantics preserved: counters are cumulative microjoules, wrap at
+// max_energy_range_uj (the kernel's 32-bit energy-status register scaled by
+// the energy unit), and exist per package — with the DRAM subdomain only on
+// Intel parts (§III-A of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "node/spec.h"
+#include "simfs/pseudo_fs.h"
+
+namespace ceems::node {
+
+class RaplDomain {
+ public:
+  RaplDomain(std::string name, int64_t max_energy_range_uj)
+      : name_(std::move(name)), max_range_uj_(max_energy_range_uj) {}
+
+  const std::string& name() const { return name_; }
+  int64_t max_energy_range_uj() const { return max_range_uj_; }
+
+  // Accumulates energy, wrapping as the hardware register does.
+  void add_energy_uj(int64_t delta_uj);
+  int64_t energy_uj() const { return energy_uj_; }
+
+  // Lifetime energy without wrap (simulation ground truth only).
+  double lifetime_joules() const { return lifetime_uj_ * 1e-6; }
+
+ private:
+  std::string name_;
+  int64_t max_range_uj_;
+  int64_t energy_uj_ = 0;
+  double lifetime_uj_ = 0;
+};
+
+// All RAPL domains of one node, materialized into the pseudo-filesystem.
+class RaplBank {
+ public:
+  RaplBank(simfs::PseudoFsPtr fs, const NodeSpec& spec);
+
+  // Splits `pkg_w`/`dram_w` evenly across sockets and integrates over
+  // `dt_ms`. DRAM domains exist only when the spec has them.
+  void integrate(double pkg_w, double dram_w, int64_t dt_ms);
+
+  const std::vector<RaplDomain>& packages() const { return packages_; }
+  const std::vector<RaplDomain>& dram() const { return dram_; }
+
+ private:
+  void publish();
+
+  simfs::PseudoFsPtr fs_;
+  bool has_dram_;
+  std::vector<RaplDomain> packages_;
+  std::vector<RaplDomain> dram_;
+};
+
+// Reader used by the exporter's RAPL collector: walks the powercap tree.
+struct RaplReading {
+  std::string domain;  // "package-0", "dram", ...
+  int index = 0;       // socket index
+  int64_t energy_uj = 0;
+  int64_t max_energy_range_uj = 0;
+};
+std::vector<RaplReading> read_rapl(const simfs::Fs& fs);
+
+// Rate helper handling one counter wrap between two readings.
+double rapl_joules_between(int64_t before_uj, int64_t after_uj,
+                           int64_t max_range_uj);
+
+}  // namespace ceems::node

@@ -1,0 +1,90 @@
+#include "node/spec.h"
+
+#include <stdexcept>
+
+namespace ceems::node {
+
+GpuSpec make_gpu_spec(const std::string& model) {
+  if (model == "V100")
+    return GpuSpec{"V100", GpuVendor::kNvidia, 300, 25, 32LL << 30};
+  if (model == "A100")
+    return GpuSpec{"A100", GpuVendor::kNvidia, 400, 40, 80LL << 30};
+  if (model == "H100")
+    return GpuSpec{"H100", GpuVendor::kNvidia, 700, 60, 80LL << 30};
+  if (model == "MI250")
+    return GpuSpec{"MI250", GpuVendor::kAmd, 500, 45, 128LL << 30};
+  throw std::invalid_argument("unknown GPU model: " + model);
+}
+
+NodeSpec make_intel_cpu_node(const std::string& hostname) {
+  NodeSpec spec;
+  spec.hostname = hostname;
+  spec.cpu_vendor = CpuVendor::kIntel;
+  spec.sockets = 2;
+  spec.cores_per_socket = 20;  // Cascade Lake 6248-style
+  spec.memory_bytes = 192LL << 30;
+  spec.cpu_idle_w_per_socket = 35;
+  spec.cpu_tdp_w_per_socket = 150;
+  spec.dram_idle_w = 12;
+  spec.dram_max_w = 45;
+  spec.platform_static_w = 55;
+  return spec;
+}
+
+NodeSpec make_amd_cpu_node(const std::string& hostname) {
+  NodeSpec spec;
+  spec.hostname = hostname;
+  spec.cpu_vendor = CpuVendor::kAmd;
+  spec.sockets = 2;
+  spec.cores_per_socket = 64;  // EPYC Milan-style
+  spec.memory_bytes = 256LL << 30;
+  spec.cpu_idle_w_per_socket = 45;
+  spec.cpu_tdp_w_per_socket = 280;
+  spec.dram_idle_w = 15;
+  spec.dram_max_w = 55;
+  spec.platform_static_w = 60;
+  return spec;
+}
+
+NodeSpec make_v100_node(const std::string& hostname) {
+  NodeSpec spec = make_intel_cpu_node(hostname);
+  spec.gpus = {make_gpu_spec("V100"), make_gpu_spec("V100"),
+               make_gpu_spec("V100"), make_gpu_spec("V100")};
+  spec.memory_bytes = 384LL << 30;
+  spec.platform_static_w = 80;
+  spec.ipmi_includes_gpu = true;
+  return spec;
+}
+
+NodeSpec make_a100_node(const std::string& hostname) {
+  NodeSpec spec = make_amd_cpu_node(hostname);
+  spec.gpus.assign(8, make_gpu_spec("A100"));
+  spec.memory_bytes = 512LL << 30;
+  spec.platform_static_w = 110;
+  // Second server type of §III-A: GPUs powered off a separate shelf, so the
+  // BMC reading excludes them.
+  spec.ipmi_includes_gpu = false;
+  return spec;
+}
+
+NodeSpec make_h100_node(const std::string& hostname) {
+  NodeSpec spec = make_intel_cpu_node(hostname);
+  spec.cores_per_socket = 24;
+  spec.gpus = {make_gpu_spec("H100"), make_gpu_spec("H100"),
+               make_gpu_spec("H100"), make_gpu_spec("H100")};
+  spec.memory_bytes = 512LL << 30;
+  spec.platform_static_w = 100;
+  spec.ipmi_includes_gpu = true;
+  return spec;
+}
+
+NodeSpec make_mi250_node(const std::string& hostname) {
+  NodeSpec spec = make_amd_cpu_node(hostname);
+  spec.gpus.assign(4, make_gpu_spec("MI250"));
+  spec.memory_bytes = 512LL << 30;
+  spec.platform_static_w = 95;
+  spec.ipmi_includes_gpu = true;
+  return spec;
+}
+
+}  // namespace ceems::node

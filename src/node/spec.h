@@ -1,0 +1,72 @@
+// Hardware description of a simulated compute node. The presets model the
+// Jean-Zay node families named in the paper: Intel and AMD CPU nodes, and
+// GPU nodes carrying V100 / A100 / H100 accelerators — including the two
+// GPU-server variants whose BMCs do or do not include GPU power in the
+// IPMI-DCMI reading (§III-A), and the RAPL asymmetry (Intel exposes a DRAM
+// domain, AMD only a package domain).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ceems::node {
+
+enum class CpuVendor { kIntel, kAmd };
+enum class GpuVendor { kNvidia, kAmd };
+
+struct GpuSpec {
+  std::string model;  // "V100", "A100", "H100", "MI250"
+  GpuVendor vendor = GpuVendor::kNvidia;
+  double max_power_w = 300;
+  double idle_power_w = 25;
+  int64_t memory_bytes = 32LL << 30;
+};
+
+struct NodeSpec {
+  std::string hostname;
+  CpuVendor cpu_vendor = CpuVendor::kIntel;
+  int sockets = 2;
+  int cores_per_socket = 20;
+  int threads_per_core = 1;
+  int64_t memory_bytes = 192LL << 30;
+
+  // Power model parameters (per node unless noted).
+  double cpu_idle_w_per_socket = 35;   // package power at 0% utilization
+  double cpu_tdp_w_per_socket = 150;   // package power at 100% utilization
+  double dram_idle_w = 10;             // DRAM background (refresh)
+  double dram_max_w = 40;              // DRAM at 100% active memory
+  double platform_static_w = 60;       // fans, VRs, NIC, BMC, board
+  double psu_overhead_factor = 1.08;   // AC/DC conversion loss seen by IPMI
+
+  std::vector<GpuSpec> gpus;
+
+  // RAPL: Intel exposes package + dram domains, AMD only package (§III-A).
+  bool rapl_has_dram() const { return cpu_vendor == CpuVendor::kIntel; }
+
+  // The two GPU server types (§III-A): whether the BMC's DCMI reading
+  // includes GPU power.
+  bool ipmi_includes_gpu = true;
+  // BMC sampling: DCMI "is not suitable to use at a high frequency".
+  int64_t ipmi_update_interval_ms = 5000;
+
+  int total_cpus() const { return sockets * cores_per_socket * threads_per_core; }
+  double cpu_idle_w() const { return cpu_idle_w_per_socket * sockets; }
+  double cpu_tdp_w() const { return cpu_tdp_w_per_socket * sockets; }
+};
+
+// Jean-Zay-style node presets.
+NodeSpec make_intel_cpu_node(const std::string& hostname);
+NodeSpec make_amd_cpu_node(const std::string& hostname);
+// four V100-32GB, BMC includes GPU power.
+NodeSpec make_v100_node(const std::string& hostname);
+// eight A100-80GB, BMC does NOT include GPU power (second server type).
+NodeSpec make_a100_node(const std::string& hostname);
+// four H100-80GB, BMC includes GPU power.
+NodeSpec make_h100_node(const std::string& hostname);
+// four MI250 (AMD GPU + AMD CPU) node for the ROCm/AMD-SMI path.
+NodeSpec make_mi250_node(const std::string& hostname);
+
+GpuSpec make_gpu_spec(const std::string& model);
+
+}  // namespace ceems::node

@@ -1,0 +1,195 @@
+#include "reldb/database.h"
+
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace ceems::reldb {
+
+Database::Database(std::string wal_path) : wal_path_(std::move(wal_path)) {}
+
+std::unique_ptr<Database> Database::open(const std::string& wal_path) {
+  auto db = std::make_unique<Database>(wal_path);
+  std::ifstream in(wal_path);
+  std::string line;
+  std::size_t applied = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto entry = decode_wal_entry(line);
+    if (!entry) {
+      // Torn tail: stop replay at the first corrupt frame.
+      CEEMS_LOG_WARN("reldb") << "WAL replay stopped at corrupt frame "
+                              << applied;
+      break;
+    }
+    db->apply(*entry, /*log=*/false);
+    db->wal_.push_back(*entry);
+    db->seq_ = entry->seq;
+    ++applied;
+  }
+  return db;
+}
+
+Table& Database::table_ref(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end())
+    throw std::invalid_argument("no table '" + name + "'");
+  return it->second;
+}
+
+const Table& Database::table_ref(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end())
+    throw std::invalid_argument("no table '" + name + "'");
+  return it->second;
+}
+
+void Database::apply(const WalEntry& entry, bool log) {
+  switch (entry.op) {
+    case WalEntry::Op::kCreateTable:
+      tables_.emplace(entry.table, Table(entry.schema));
+      break;
+    case WalEntry::Op::kUpsert:
+      table_ref(entry.table).upsert(entry.row);
+      break;
+    case WalEntry::Op::kErase:
+      table_ref(entry.table).erase(entry.primary_key);
+      break;
+  }
+  if (log && !wal_path_.empty()) {
+    std::ofstream out(wal_path_, std::ios::app);
+    out << encode_wal_entry(entry) << "\n";
+  }
+}
+
+void Database::create_table(const std::string& name, Schema schema) {
+  std::unique_lock lock(mu_);
+  if (tables_.count(name)) return;  // idempotent, helps WAL replay + reopen
+  WalEntry entry;
+  entry.seq = ++seq_;
+  entry.op = WalEntry::Op::kCreateTable;
+  entry.table = name;
+  entry.schema = std::move(schema);
+  apply(entry, /*log=*/true);
+  wal_.push_back(std::move(entry));
+}
+
+bool Database::has_table(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+void Database::upsert(const std::string& table, Row row) {
+  std::unique_lock lock(mu_);
+  WalEntry entry;
+  entry.seq = ++seq_;
+  entry.op = WalEntry::Op::kUpsert;
+  entry.table = table;
+  entry.row = std::move(row);
+  apply(entry, /*log=*/true);
+  wal_.push_back(std::move(entry));
+}
+
+bool Database::erase(const std::string& table, const Value& primary_key) {
+  std::unique_lock lock(mu_);
+  if (!table_ref(table).get(primary_key)) return false;
+  WalEntry entry;
+  entry.seq = ++seq_;
+  entry.op = WalEntry::Op::kErase;
+  entry.table = table;
+  entry.primary_key = primary_key;
+  apply(entry, /*log=*/true);
+  wal_.push_back(std::move(entry));
+  return true;
+}
+
+std::optional<Row> Database::get(const std::string& table,
+                                 const Value& primary_key) const {
+  std::shared_lock lock(mu_);
+  return table_ref(table).get(primary_key);
+}
+
+ResultSet Database::query(const std::string& table, const Query& query) const {
+  std::shared_lock lock(mu_);
+  return table_ref(table).execute(query);
+}
+
+std::size_t Database::table_size(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  return table_ref(table).size();
+}
+
+const Schema* Database::table_schema(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : &it->second.schema();
+}
+
+void Database::create_index(const std::string& table,
+                            const std::string& column) {
+  std::unique_lock lock(mu_);
+  table_ref(table).create_index(column);
+}
+
+void Database::backup_to(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  std::ofstream out(path, std::ios::trunc);
+  // A backup is a compacted WAL: schema then current rows, renumbered.
+  uint64_t seq = 0;
+  for (const auto& [name, table] : tables_) {
+    WalEntry create;
+    create.seq = ++seq;
+    create.op = WalEntry::Op::kCreateTable;
+    create.table = name;
+    create.schema = table.schema();
+    out << encode_wal_entry(create) << "\n";
+  }
+  for (const auto& [name, table] : tables_) {
+    table.for_each([&](const Row& row) {
+      WalEntry entry;
+      entry.seq = ++seq;
+      entry.op = WalEntry::Op::kUpsert;
+      entry.table = name;
+      entry.row = row;
+      out << encode_wal_entry(entry) << "\n";
+    });
+  }
+}
+
+uint64_t Database::last_seq() const {
+  std::shared_lock lock(mu_);
+  return seq_;
+}
+
+std::vector<WalEntry> Database::entries_since(uint64_t after) const {
+  std::shared_lock lock(mu_);
+  std::vector<WalEntry> out;
+  for (const auto& entry : wal_) {
+    if (entry.seq > after) out.push_back(entry);
+  }
+  return out;
+}
+
+std::size_t Replicator::sync() {
+  std::size_t shipped = 0;
+  for (const auto& entry : primary_.entries_since(shipped_)) {
+    switch (entry.op) {
+      case WalEntry::Op::kCreateTable:
+        replica_.create_table(entry.table, entry.schema);
+        break;
+      case WalEntry::Op::kUpsert:
+        replica_.upsert(entry.table, entry.row);
+        break;
+      case WalEntry::Op::kErase:
+        replica_.erase(entry.table, entry.primary_key);
+        break;
+    }
+    shipped_ = entry.seq;
+    ++shipped;
+  }
+  return shipped;
+}
+
+}  // namespace ceems::reldb

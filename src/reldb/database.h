@@ -1,0 +1,78 @@
+// Database: named tables + WAL + backups + Litestream-style replication.
+//
+// Concurrency contract (mirrors the paper's SQLite justification, §II-D):
+// exactly one writer thread — the API server's updater — mutates the
+// database; any number of reader threads query concurrently. A
+// shared_mutex enforces it: queries take shared locks, mutations exclusive.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "reldb/table.h"
+#include "reldb/wal.h"
+
+namespace ceems::reldb {
+
+class Database {
+ public:
+  // `wal_path` empty = in-memory only (no durability). Otherwise the WAL is
+  // appended to that file and replayed by open().
+  explicit Database(std::string wal_path = "");
+
+  // Replays an existing WAL file into a fresh Database.
+  static std::unique_ptr<Database> open(const std::string& wal_path);
+
+  void create_table(const std::string& name, Schema schema);
+  bool has_table(const std::string& name) const;
+
+  void upsert(const std::string& table, Row row);
+  bool erase(const std::string& table, const Value& primary_key);
+
+  std::optional<Row> get(const std::string& table,
+                         const Value& primary_key) const;
+  ResultSet query(const std::string& table, const Query& query) const;
+  std::size_t table_size(const std::string& table) const;
+  const Schema* table_schema(const std::string& table) const;
+  void create_index(const std::string& table, const std::string& column);
+
+  // Punctual backup (§II-C "in-built punctual backup solution"): writes a
+  // fresh WAL capturing the current state; restore via open().
+  void backup_to(const std::string& path) const;
+
+  uint64_t last_seq() const;
+  // Entries with seq > after (replication pull). Kept in memory.
+  std::vector<WalEntry> entries_since(uint64_t after) const;
+
+ private:
+  void apply(const WalEntry& entry, bool log);
+  Table& table_ref(const std::string& name);
+  const Table& table_ref(const std::string& name) const;
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Table> tables_;
+  std::vector<WalEntry> wal_;  // in-memory tail for replication
+  uint64_t seq_ = 0;
+  std::string wal_path_;
+};
+
+// Litestream analogue: continuously ships the primary's WAL tail into a
+// replica Database. sync() is cheap and idempotent; call it on a timer.
+class Replicator {
+ public:
+  Replicator(const Database& primary, Database& replica)
+      : primary_(primary), replica_(replica) {}
+
+  // Applies all new entries; returns how many were shipped.
+  std::size_t sync();
+
+ private:
+  const Database& primary_;
+  Database& replica_;
+  uint64_t shipped_ = 0;
+};
+
+}  // namespace ceems::reldb

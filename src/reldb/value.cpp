@@ -1,0 +1,68 @@
+#include "reldb/value.h"
+
+#include <stdexcept>
+
+#include "common/strutil.h"
+
+namespace ceems::reldb {
+
+int64_t Value::as_int() const {
+  if (is_int()) return std::get<int64_t>(data);
+  if (is_real()) return static_cast<int64_t>(std::get<double>(data));
+  if (is_text()) return common::parse_int64(std::get<std::string>(data)).value_or(0);
+  return 0;
+}
+
+double Value::as_real() const {
+  if (is_real()) return std::get<double>(data);
+  if (is_int()) return static_cast<double>(std::get<int64_t>(data));
+  if (is_text())
+    return common::parse_double(std::get<std::string>(data)).value_or(0);
+  return 0;
+}
+
+const std::string& Value::as_text() const {
+  static const std::string kEmpty;
+  if (is_text()) return std::get<std::string>(data);
+  return kEmpty;
+}
+
+namespace {
+int type_rank(const Value& value) {
+  if (value.is_null()) return 0;
+  if (value.is_int() || value.is_real()) return 1;
+  return 2;
+}
+}  // namespace
+
+bool Value::operator<(const Value& other) const {
+  int lhs_rank = type_rank(*this), rhs_rank = type_rank(other);
+  if (lhs_rank != rhs_rank) return lhs_rank < rhs_rank;
+  if (lhs_rank == 0) return false;
+  if (lhs_rank == 1) return as_real() < other.as_real();
+  return as_text() < other.as_text();
+}
+
+bool Value::operator==(const Value& other) const {
+  int lhs_rank = type_rank(*this), rhs_rank = type_rank(other);
+  if (lhs_rank != rhs_rank) return false;
+  if (lhs_rank == 0) return true;
+  if (lhs_rank == 1) return as_real() == other.as_real();
+  return as_text() == other.as_text();
+}
+
+std::string Value::to_string() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(std::get<int64_t>(data));
+  if (is_real()) return common::format_double(std::get<double>(data));
+  return std::get<std::string>(data);
+}
+
+int Schema::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace ceems::reldb

@@ -1,0 +1,58 @@
+// Typed values and schemas for the embedded relational store — the SQLite
+// analogue justified in §II-D: the CEEMS API server has exactly one writer
+// (its updater) and many readers, so a small embedded engine with snapshot
+// reads is sufficient and dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ceems::reldb {
+
+enum class ColumnType { kInt, kReal, kText };
+
+struct Value {
+  std::variant<std::monostate, int64_t, double, std::string> data;
+
+  Value() = default;
+  Value(int64_t v) : data(v) {}
+  Value(int v) : data(static_cast<int64_t>(v)) {}
+  Value(double v) : data(v) {}
+  Value(const char* v) : data(std::string(v)) {}
+  Value(std::string v) : data(std::move(v)) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data); }
+  bool is_real() const { return std::holds_alternative<double>(data); }
+  bool is_text() const { return std::holds_alternative<std::string>(data); }
+
+  int64_t as_int() const;
+  // Numeric coercion: ints read as reals too (SQLite-style affinity).
+  double as_real() const;
+  const std::string& as_text() const;
+
+  // Total order across types (null < numbers < text), numeric compared
+  // numerically. Needed for ORDER BY and index keys.
+  bool operator<(const Value& other) const;
+  bool operator==(const Value& other) const;
+
+  std::string to_string() const;
+};
+
+using Row = std::vector<Value>;
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+};
+
+struct Schema {
+  std::vector<Column> columns;
+  std::string primary_key;  // column name; must exist
+
+  int column_index(const std::string& name) const;  // -1 if absent
+};
+
+}  // namespace ceems::reldb

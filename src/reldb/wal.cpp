@@ -1,0 +1,124 @@
+#include "reldb/wal.h"
+
+namespace ceems::reldb {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+
+Json value_to_json(const Value& value) {
+  if (value.is_null()) return Json(nullptr);
+  if (value.is_int()) {
+    JsonObject object;
+    object["i"] = Json(value.as_int());
+    return Json(std::move(object));
+  }
+  if (value.is_real()) {
+    JsonObject object;
+    object["r"] = Json(value.as_real());
+    return Json(std::move(object));
+  }
+  JsonObject object;
+  object["t"] = Json(value.as_text());
+  return Json(std::move(object));
+}
+
+Value value_from_json(const common::Json& json) {
+  if (json.is_null()) return Value();
+  if (auto i = json.get("i")) return Value(i->as_int());
+  if (auto r = json.get("r")) return Value(r->as_number());
+  if (auto t = json.get("t")) return Value(t->as_string());
+  return Value();
+}
+
+namespace {
+
+Json row_to_json(const Row& row) {
+  JsonArray array;
+  for (const auto& value : row) array.push_back(value_to_json(value));
+  return Json(std::move(array));
+}
+
+Row row_from_json(const Json& json) {
+  Row row;
+  for (const auto& value : json.as_array()) {
+    row.push_back(value_from_json(value));
+  }
+  return row;
+}
+
+Json schema_to_json(const Schema& schema) {
+  JsonObject object;
+  JsonArray columns;
+  for (const auto& column : schema.columns) {
+    JsonObject col;
+    col["name"] = Json(column.name);
+    col["type"] = Json(static_cast<int64_t>(column.type));
+    columns.push_back(Json(std::move(col)));
+  }
+  object["columns"] = Json(std::move(columns));
+  object["pk"] = Json(schema.primary_key);
+  return Json(std::move(object));
+}
+
+Schema schema_from_json(const Json& json) {
+  Schema schema;
+  schema.primary_key = json.get_string("pk");
+  for (const auto& col : json.at("columns").as_array()) {
+    Column column;
+    column.name = col.get_string("name");
+    column.type = static_cast<ColumnType>(col.get_int("type"));
+    schema.columns.push_back(std::move(column));
+  }
+  return schema;
+}
+
+}  // namespace
+
+std::string encode_wal_entry(const WalEntry& entry) {
+  JsonObject object;
+  object["seq"] = Json(static_cast<int64_t>(entry.seq));
+  object["table"] = Json(entry.table);
+  switch (entry.op) {
+    case WalEntry::Op::kCreateTable:
+      object["op"] = Json("create");
+      object["schema"] = schema_to_json(entry.schema);
+      break;
+    case WalEntry::Op::kUpsert:
+      object["op"] = Json("upsert");
+      object["row"] = row_to_json(entry.row);
+      break;
+    case WalEntry::Op::kErase:
+      object["op"] = Json("erase");
+      object["pk"] = value_to_json(entry.primary_key);
+      break;
+  }
+  return Json(std::move(object)).dump();
+}
+
+std::optional<WalEntry> decode_wal_entry(const std::string& line) {
+  try {
+    Json json = Json::parse(line);
+    WalEntry entry;
+    entry.seq = static_cast<uint64_t>(json.get_int("seq"));
+    entry.table = json.get_string("table");
+    std::string op = json.get_string("op");
+    if (op == "create") {
+      entry.op = WalEntry::Op::kCreateTable;
+      entry.schema = schema_from_json(json.at("schema"));
+    } else if (op == "upsert") {
+      entry.op = WalEntry::Op::kUpsert;
+      entry.row = row_from_json(json.at("row"));
+    } else if (op == "erase") {
+      entry.op = WalEntry::Op::kErase;
+      entry.primary_key = value_from_json(json.at("pk"));
+    } else {
+      return std::nullopt;
+    }
+    return entry;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ceems::reldb

@@ -1,0 +1,36 @@
+// Write-ahead log for the embedded store: every mutation is appended as a
+// JSON line before being applied. Replaying the log reconstructs the
+// database (crash recovery); shipping its tail to another Database is the
+// Litestream-style continuous replication of Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "reldb/value.h"
+
+namespace ceems::reldb {
+
+struct WalEntry {
+  enum class Op { kCreateTable, kUpsert, kErase };
+  uint64_t seq = 0;
+  Op op = Op::kUpsert;
+  std::string table;
+  // kCreateTable: schema; kUpsert: row; kErase: primary key.
+  Schema schema;
+  Row row;
+  Value primary_key;
+};
+
+common::Json value_to_json(const Value& value);
+Value value_from_json(const common::Json& json);
+
+std::string encode_wal_entry(const WalEntry& entry);
+// Returns nullopt on a truncated/corrupt line (recovery stops there, like
+// SQLite WAL recovery at the first bad frame).
+std::optional<WalEntry> decode_wal_entry(const std::string& line);
+
+}  // namespace ceems::reldb

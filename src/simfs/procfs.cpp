@@ -1,0 +1,94 @@
+#include "simfs/procfs.h"
+
+#include "common/strutil.h"
+
+namespace ceems::simfs {
+
+namespace {
+
+std::string render_cpu_line(const std::string& name, const ProcCpuLine& cpu) {
+  return name + " " + std::to_string(cpu.user) + " " +
+         std::to_string(cpu.nice) + " " + std::to_string(cpu.system) + " " +
+         std::to_string(cpu.idle) + " " + std::to_string(cpu.iowait) + " " +
+         std::to_string(cpu.irq) + " " + std::to_string(cpu.softirq) + " 0 0 0\n";
+}
+
+std::optional<ProcCpuLine> parse_cpu_line(const std::vector<std::string>& f) {
+  if (f.size() < 8) return std::nullopt;
+  ProcCpuLine cpu;
+  auto get = [&](std::size_t i) {
+    return common::parse_int64(f[i]).value_or(0);
+  };
+  cpu.user = get(1);
+  cpu.nice = get(2);
+  cpu.system = get(3);
+  cpu.idle = get(4);
+  cpu.iowait = get(5);
+  cpu.irq = get(6);
+  cpu.softirq = get(7);
+  return cpu;
+}
+
+}  // namespace
+
+void write_proc_stat(PseudoFs& fs, const ProcStat& stat) {
+  std::string content = render_cpu_line("cpu", stat.aggregate);
+  for (std::size_t i = 0; i < stat.cpus.size(); ++i) {
+    content += render_cpu_line("cpu" + std::to_string(i), stat.cpus[i]);
+  }
+  content += "btime " + std::to_string(stat.boot_time_sec) + "\n";
+  fs.write("/proc/stat", std::move(content));
+}
+
+void write_meminfo(PseudoFs& fs, const MemInfo& info) {
+  std::string content =
+      "MemTotal:       " + std::to_string(info.mem_total_kb) + " kB\n" +
+      "MemFree:        " + std::to_string(info.mem_free_kb) + " kB\n" +
+      "MemAvailable:   " + std::to_string(info.mem_available_kb) + " kB\n" +
+      "Buffers:        " + std::to_string(info.buffers_kb) + " kB\n" +
+      "Cached:         " + std::to_string(info.cached_kb) + " kB\n";
+  fs.write("/proc/meminfo", std::move(content));
+}
+
+std::optional<ProcStat> read_proc_stat(const Fs& fs) {
+  auto content = fs.read("/proc/stat");
+  if (!content) return std::nullopt;
+  ProcStat stat;
+  bool saw_aggregate = false;
+  for (const auto& line : common::split(*content, '\n')) {
+    auto fields = common::split_fields(line);
+    if (fields.empty()) continue;
+    if (fields[0] == "cpu") {
+      if (auto cpu = parse_cpu_line(fields)) {
+        stat.aggregate = *cpu;
+        saw_aggregate = true;
+      }
+    } else if (common::starts_with(fields[0], "cpu")) {
+      if (auto cpu = parse_cpu_line(fields)) stat.cpus.push_back(*cpu);
+    } else if (fields[0] == "btime" && fields.size() >= 2) {
+      stat.boot_time_sec = common::parse_int64(fields[1]).value_or(0);
+    }
+  }
+  if (!saw_aggregate) return std::nullopt;
+  return stat;
+}
+
+std::optional<MemInfo> read_meminfo(const Fs& fs) {
+  auto content = fs.read("/proc/meminfo");
+  if (!content) return std::nullopt;
+  MemInfo info;
+  for (const auto& line : common::split(*content, '\n')) {
+    auto fields = common::split_fields(line);
+    if (fields.size() < 2) continue;
+    int64_t value = common::parse_int64(fields[1]).value_or(0);
+    if (fields[0] == "MemTotal:") info.mem_total_kb = value;
+    else if (fields[0] == "MemFree:") info.mem_free_kb = value;
+    else if (fields[0] == "MemAvailable:") info.mem_available_kb = value;
+    else if (fields[0] == "Buffers:") info.buffers_kb = value;
+    else if (fields[0] == "Cached:") info.cached_kb = value;
+  }
+  if (info.mem_total_kb == 0) return std::nullopt;
+  return info;
+}
+
+}  // namespace ceems::simfs

@@ -1,0 +1,108 @@
+#include "simfs/pseudo_fs.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/strutil.h"
+
+namespace ceems::simfs {
+
+std::string PseudoFs::normalize(const std::string& path) {
+  std::string out = "/";
+  for (const auto& part : common::split(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (out.back() != '/') out += '/';
+    out += part;
+  }
+  return out;
+}
+
+void PseudoFs::write(const std::string& path, std::string content) {
+  std::unique_lock lock(mu_);
+  files_[normalize(path)] = [content = std::move(content)] { return content; };
+}
+
+void PseudoFs::write_dynamic(const std::string& path,
+                             std::function<std::string()> generator) {
+  std::unique_lock lock(mu_);
+  files_[normalize(path)] = std::move(generator);
+}
+
+std::optional<std::string> PseudoFs::read(const std::string& path) const {
+  std::function<std::string()> generator;
+  {
+    std::shared_lock lock(mu_);
+    auto it = files_.find(normalize(path));
+    if (it == files_.end()) return std::nullopt;
+    generator = it->second;
+  }
+  // Run the generator outside the lock: dynamic files may consult the node
+  // simulator, which can itself be writing other files.
+  return generator();
+}
+
+bool PseudoFs::exists(const std::string& path) const {
+  std::string norm = normalize(path);
+  std::shared_lock lock(mu_);
+  if (files_.count(norm)) return true;
+  // Directory existence: any file strictly under it.
+  std::string prefix = norm == "/" ? norm : norm + "/";
+  auto it = files_.lower_bound(prefix);
+  return it != files_.end() && common::starts_with(it->first, prefix);
+}
+
+bool PseudoFs::is_dir(const std::string& path) const {
+  std::string norm = normalize(path);
+  std::string prefix = norm == "/" ? norm : norm + "/";
+  std::shared_lock lock(mu_);
+  auto it = files_.lower_bound(prefix);
+  return it != files_.end() && common::starts_with(it->first, prefix);
+}
+
+std::vector<std::string> PseudoFs::list_dir(const std::string& path) const {
+  std::string norm = normalize(path);
+  std::string prefix = norm == "/" ? norm : norm + "/";
+  std::vector<std::string> children;
+  std::shared_lock lock(mu_);
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && common::starts_with(it->first, prefix); ++it) {
+    std::string rest = it->first.substr(prefix.size());
+    std::size_t slash = rest.find('/');
+    std::string child = slash == std::string::npos ? rest : rest.substr(0, slash);
+    if (children.empty() || children.back() != child)
+      children.push_back(std::move(child));
+  }
+  // Children are unique because files_ is sorted, but a file and a subdir
+  // entry could interleave; dedupe defensively.
+  children.erase(std::unique(children.begin(), children.end()),
+                 children.end());
+  return children;
+}
+
+void PseudoFs::remove(const std::string& path) {
+  std::string norm = normalize(path);
+  std::string prefix = norm == "/" ? norm : norm + "/";
+  std::unique_lock lock(mu_);
+  files_.erase(norm);
+  auto it = files_.lower_bound(prefix);
+  while (it != files_.end() && common::starts_with(it->first, prefix)) {
+    it = files_.erase(it);
+  }
+}
+
+std::size_t PseudoFs::file_count() const {
+  std::shared_lock lock(mu_);
+  return files_.size();
+}
+
+std::map<std::string, int64_t> parse_flat_keyed(const std::string& content) {
+  std::map<std::string, int64_t> out;
+  for (const auto& line : common::split(content, '\n')) {
+    auto fields = common::split_fields(line);
+    if (fields.size() != 2) continue;
+    if (auto value = common::parse_int64(fields[1])) out[fields[0]] = *value;
+  }
+  return out;
+}
+
+}  // namespace ceems::simfs

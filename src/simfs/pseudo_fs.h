@@ -1,0 +1,74 @@
+// In-memory pseudo-filesystem standing in for /sys/fs/cgroup, /proc and
+// /sys on a compute node. The node simulator writes accounting files into
+// it with exactly the kernel's text formats; the CEEMS exporter collectors
+// read them back the same way they would read the real files. Keeping the
+// file layer real (paths + text contents, not structs) is what makes the
+// collectors faithful to the paper: they parse cpu.stat, memory.current and
+// /proc/stat exactly as on a live node.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace ceems::simfs {
+
+// Read-side filesystem abstraction. Collectors only ever read, so they
+// take an Fs: PseudoFs serves the simulator, RealFs (real_fs.h) serves an
+// actual Linux host — which is how the CLI exporter can export genuine
+// /proc and cgroup metrics of the machine it runs on.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+  virtual std::optional<std::string> read(const std::string& path) const = 0;
+  virtual bool exists(const std::string& path) const = 0;
+  virtual bool is_dir(const std::string& path) const = 0;
+  virtual std::vector<std::string> list_dir(const std::string& path) const = 0;
+};
+
+using FsPtr = std::shared_ptr<const Fs>;
+
+class PseudoFs final : public Fs {
+ public:
+  // Writes (creates or replaces) a file. Parent directories are implicit.
+  void write(const std::string& path, std::string content);
+
+  // Registers a dynamic file whose content is produced on every read —
+  // mirrors how kernel pseudo-files are generated on open().
+  void write_dynamic(const std::string& path,
+                     std::function<std::string()> generator);
+
+  // Returns file content, or nullopt if the path does not exist or is a
+  // directory.
+  std::optional<std::string> read(const std::string& path) const override;
+
+  bool exists(const std::string& path) const override;
+  bool is_dir(const std::string& path) const override;
+
+  // Immediate children names (files and subdirectories) of a directory.
+  std::vector<std::string> list_dir(const std::string& path) const override;
+
+  // Removes a file or directory subtree (cgroup removal on job exit).
+  void remove(const std::string& path);
+
+  std::size_t file_count() const;
+
+ private:
+  static std::string normalize(const std::string& path);
+
+  mutable std::shared_mutex mu_;
+  // Sorted map of normalized absolute path -> content generator. A path is
+  // a directory iff some other path has it as a proper prefix component.
+  std::map<std::string, std::function<std::string()>> files_;
+};
+
+using PseudoFsPtr = std::shared_ptr<PseudoFs>;
+
+// Parses "key value" lines (cpu.stat, memory.stat format) into a map.
+std::map<std::string, int64_t> parse_flat_keyed(const std::string& content);
+
+}  // namespace ceems::simfs

@@ -1,0 +1,50 @@
+#include "simfs/real_fs.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace ceems::simfs {
+
+namespace stdfs = std::filesystem;
+
+RealFs::RealFs(std::string root) : root_(std::move(root)) {
+  while (!root_.empty() && root_.back() == '/') root_.pop_back();
+}
+
+std::string RealFs::resolve(const std::string& path) const {
+  return root_ + path;
+}
+
+std::optional<std::string> RealFs::read(const std::string& path) const {
+  std::ifstream in(resolve(path));
+  if (!in.good()) return std::nullopt;
+  // Pseudo-files report size 0; read by streaming, not by seeking.
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return content;
+}
+
+bool RealFs::exists(const std::string& path) const {
+  std::error_code ec;
+  return stdfs::exists(resolve(path), ec);
+}
+
+bool RealFs::is_dir(const std::string& path) const {
+  std::error_code ec;
+  return stdfs::is_directory(resolve(path), ec);
+}
+
+std::vector<std::string> RealFs::list_dir(const std::string& path) const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (stdfs::directory_iterator it(resolve(path), ec), end;
+       !ec && it != end; it.increment(ec)) {
+    out.push_back(it->path().filename().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ceems::simfs

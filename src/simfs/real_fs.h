@@ -1,0 +1,27 @@
+// RealFs — the Fs interface over the actual host filesystem. Lets every
+// collector written against the simulator read the real /proc, /sys and
+// /sys/fs/cgroup of the machine: the CLI exporter (cli/ceems_exporter)
+// uses it to serve genuine host metrics.
+#pragma once
+
+#include "simfs/pseudo_fs.h"
+
+namespace ceems::simfs {
+
+class RealFs final : public Fs {
+ public:
+  // Optional prefix prepended to every path (chroot-style; tests point it
+  // at a staging directory).
+  explicit RealFs(std::string root = "");
+
+  std::optional<std::string> read(const std::string& path) const override;
+  bool exists(const std::string& path) const override;
+  bool is_dir(const std::string& path) const override;
+  std::vector<std::string> list_dir(const std::string& path) const override;
+
+ private:
+  std::string resolve(const std::string& path) const;
+  std::string root_;
+};
+
+}  // namespace ceems::simfs

@@ -1,0 +1,56 @@
+#include "slurm/cluster.h"
+
+#include <stdexcept>
+
+namespace ceems::slurm {
+
+Cluster::Cluster(std::string name, common::ClockPtr clock, uint64_t seed)
+    : name_(std::move(name)), clock_(std::move(clock)), seed_(seed) {}
+
+void Cluster::add_partition(const std::string& partition,
+                            const std::string& prefix, int count,
+                            node::NodeSpec (*make_spec)(const std::string&)) {
+  auto& bucket = partitions_[partition];
+  for (int i = 0; i < count; ++i) {
+    std::string hostname = prefix + std::to_string(i);
+    if (nodes_by_name_.count(hostname))
+      throw std::invalid_argument("duplicate hostname " + hostname);
+    auto sim = std::make_shared<node::NodeSim>(
+        make_spec(hostname), clock_,
+        seed_ ^ (nodes_by_name_.size() * 0x9E3779B97F4A7C15ULL + 1));
+    nodes_by_name_[hostname] = sim;
+    bucket.push_back(sim);
+  }
+}
+
+node::NodeSimPtr Cluster::node(const std::string& hostname) const {
+  auto it = nodes_by_name_.find(hostname);
+  return it == nodes_by_name_.end() ? nullptr : it->second;
+}
+
+const std::vector<node::NodeSimPtr>& Cluster::partition_nodes(
+    const std::string& partition) const {
+  static const std::vector<node::NodeSimPtr> kEmpty;
+  auto it = partitions_.find(partition);
+  return it == partitions_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> Cluster::partitions() const {
+  std::vector<std::string> names;
+  names.reserve(partitions_.size());
+  for (const auto& [name, nodes] : partitions_) names.push_back(name);
+  return names;
+}
+
+std::vector<node::NodeSimPtr> Cluster::all_nodes() const {
+  std::vector<node::NodeSimPtr> nodes;
+  nodes.reserve(nodes_by_name_.size());
+  for (const auto& [name, sim] : nodes_by_name_) nodes.push_back(sim);
+  return nodes;
+}
+
+void Cluster::step_nodes(int64_t dt_ms) {
+  for (auto& [name, sim] : nodes_by_name_) sim->step(dt_ms);
+}
+
+}  // namespace ceems::slurm

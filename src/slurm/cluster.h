@@ -1,0 +1,46 @@
+// Cluster topology: named partitions of simulated nodes, as on Jean-Zay
+// (Intel CPU partition, AMD CPU partition, V100/A100/H100 GPU partitions).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "node/node_sim.h"
+
+namespace ceems::slurm {
+
+class Cluster {
+ public:
+  Cluster(std::string name, common::ClockPtr clock, uint64_t seed);
+
+  const std::string& name() const { return name_; }
+  common::ClockPtr clock() const { return clock_; }
+
+  // Adds `count` nodes built by `make_spec(hostname)` to `partition`.
+  // Hostnames are "<prefix><i>".
+  void add_partition(const std::string& partition, const std::string& prefix,
+                     int count,
+                     node::NodeSpec (*make_spec)(const std::string&));
+
+  node::NodeSimPtr node(const std::string& hostname) const;
+  const std::vector<node::NodeSimPtr>& partition_nodes(
+      const std::string& partition) const;
+  std::vector<std::string> partitions() const;
+  std::vector<node::NodeSimPtr> all_nodes() const;
+  std::size_t node_count() const { return nodes_by_name_.size(); }
+
+  // Advances the accounting/physics of every node.
+  void step_nodes(int64_t dt_ms);
+
+ private:
+  std::string name_;
+  common::ClockPtr clock_;
+  uint64_t seed_;
+  std::map<std::string, node::NodeSimPtr> nodes_by_name_;
+  std::map<std::string, std::vector<node::NodeSimPtr>> partitions_;
+};
+
+}  // namespace ceems::slurm

@@ -1,0 +1,94 @@
+#include "slurm/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ceems::slurm {
+
+JeanZayScale JeanZayScale::scaled(double factor) const {
+  auto scale = [factor](int count) {
+    return std::max(1, static_cast<int>(std::lround(count * factor)));
+  };
+  JeanZayScale out;
+  out.intel_cpu_nodes = scale(intel_cpu_nodes);
+  out.amd_cpu_nodes = scale(amd_cpu_nodes);
+  out.v100_nodes = scale(v100_nodes);
+  out.a100_nodes = scale(a100_nodes);
+  out.h100_nodes = scale(h100_nodes);
+  return out;
+}
+
+std::unique_ptr<Cluster> make_jean_zay_cluster(common::ClockPtr clock,
+                                               const JeanZayScale& scale,
+                                               uint64_t seed) {
+  auto cluster = std::make_unique<Cluster>("jean-zay", std::move(clock), seed);
+  cluster->add_partition("cpu_p1", "jzcpu", scale.intel_cpu_nodes,
+                         node::make_intel_cpu_node);
+  cluster->add_partition("cpu_p2", "jzamd", scale.amd_cpu_nodes,
+                         node::make_amd_cpu_node);
+  cluster->add_partition("gpu_p1", "jzv100-", scale.v100_nodes,
+                         node::make_v100_node);
+  cluster->add_partition("gpu_p4", "jza100-", scale.a100_nodes,
+                         node::make_a100_node);
+  cluster->add_partition("gpu_p6", "jzh100-", scale.h100_nodes,
+                         node::make_h100_node);
+  return cluster;
+}
+
+WorkloadGenConfig make_jean_zay_workload_config(const JeanZayScale& scale,
+                                                double jobs_per_day) {
+  WorkloadGenConfig config;
+  config.jobs_per_day = jobs_per_day;
+  double total = scale.total_nodes();
+  // Multi-node jobs never exceed the partition (matters for small test
+  // slices of the cluster).
+  int intel_max = std::min(8, scale.intel_cpu_nodes);
+  int amd_max = std::min(8, scale.amd_cpu_nodes);
+  config.partitions = {
+      {"cpu_p1", scale.intel_cpu_nodes / total, false, intel_max, 40, 0,
+       192LL << 30},
+      {"cpu_p2", scale.amd_cpu_nodes / total, false, amd_max, 128, 0,
+       256LL << 30},
+      {"gpu_p1", scale.v100_nodes / total * 1.5, true, 1, 40, 4, 384LL << 30},
+      {"gpu_p4", scale.a100_nodes / total * 1.5, true, 1, 128, 8, 512LL << 30},
+      {"gpu_p6", scale.h100_nodes / total * 1.5, true, 1, 48, 4, 512LL << 30},
+  };
+  return config;
+}
+
+ClusterSim::ClusterSim(std::shared_ptr<common::SimClock> clock,
+                       std::unique_ptr<Cluster> cluster,
+                       WorkloadGenConfig gen_config, uint64_t seed)
+    : clock_(std::move(clock)),
+      cluster_(std::move(cluster)),
+      generator_(std::move(gen_config)) {
+  scheduler_ = std::make_unique<Scheduler>(*cluster_, dbd_, seed);
+}
+
+void ClusterSim::step(int64_t step_ms) {
+  for (auto& request : generator_.arrivals(step_ms)) {
+    try {
+      scheduler_->submit(request);
+      ++jobs_submitted_;
+    } catch (const std::exception& e) {
+      CEEMS_LOG_WARN("cluster-sim") << "rejected job: " << e.what();
+    }
+  }
+  scheduler_->step();
+  cluster_->step_nodes(step_ms);
+  clock_->advance(step_ms);
+}
+
+void ClusterSim::run_for(
+    int64_t duration_ms, int64_t step_ms,
+    const std::function<void(common::TimestampMs)>& on_step) {
+  common::TimestampMs deadline = clock_->now_ms() + duration_ms;
+  while (clock_->now_ms() < deadline) {
+    step(step_ms);
+    if (on_step) on_step(clock_->now_ms());
+  }
+}
+
+}  // namespace ceems::slurm

@@ -1,0 +1,75 @@
+// ClusterSim — the top-level driver tying cluster, scheduler and workload
+// generator to a SimClock. Each step: enqueue due arrivals, run a
+// scheduling pass, advance node physics, move the clock. An optional
+// per-step hook lets the monitoring stack scrape deterministically between
+// steps (the integration tests and the Jean-Zay example use this).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/clock.h"
+#include "slurm/cluster.h"
+#include "slurm/scheduler.h"
+#include "slurm/slurmdbd.h"
+#include "slurm/workload_gen.h"
+
+namespace ceems::slurm {
+
+struct JeanZayScale {
+  // Node counts at scale 1.0 approximate the paper's deployment: ~1400
+  // heterogeneous nodes, >3500 GPUs.
+  int intel_cpu_nodes = 720;
+  int amd_cpu_nodes = 280;
+  int v100_nodes = 260;   // 4 GPUs each
+  int a100_nodes = 100;   // 8 GPUs each
+  int h100_nodes = 40;    // 4 GPUs each
+
+  JeanZayScale scaled(double factor) const;
+  int total_nodes() const {
+    return intel_cpu_nodes + amd_cpu_nodes + v100_nodes + a100_nodes +
+           h100_nodes;
+  }
+};
+
+// Builds a Jean-Zay-like cluster with the standard five partitions:
+// cpu_p1 (Intel), cpu_p2 (AMD), gpu_p1 (V100), gpu_p4 (A100), gpu_p6 (H100).
+std::unique_ptr<Cluster> make_jean_zay_cluster(
+    common::ClockPtr clock, const JeanZayScale& scale, uint64_t seed);
+
+// Matching default workload mix for that cluster.
+WorkloadGenConfig make_jean_zay_workload_config(const JeanZayScale& scale,
+                                                double jobs_per_day);
+
+class ClusterSim {
+ public:
+  ClusterSim(std::shared_ptr<common::SimClock> clock,
+             std::unique_ptr<Cluster> cluster, WorkloadGenConfig gen_config,
+             uint64_t seed);
+
+  Cluster& cluster() { return *cluster_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  SlurmDbd& dbd() { return dbd_; }
+  WorkloadGenerator& generator() { return generator_; }
+  std::shared_ptr<common::SimClock> clock() { return clock_; }
+
+  // Runs for `duration_ms` of simulated time in `step_ms` increments,
+  // invoking `on_step(now)` after each step (clock already advanced).
+  void run_for(int64_t duration_ms, int64_t step_ms,
+               const std::function<void(common::TimestampMs)>& on_step = {});
+
+  // A single step (submit arrivals → schedule → node physics → clock).
+  void step(int64_t step_ms);
+
+  uint64_t jobs_submitted() const { return jobs_submitted_; }
+
+ private:
+  std::shared_ptr<common::SimClock> clock_;
+  std::unique_ptr<Cluster> cluster_;
+  SlurmDbd dbd_;
+  std::unique_ptr<Scheduler> scheduler_;
+  WorkloadGenerator generator_;
+  uint64_t jobs_submitted_ = 0;
+};
+
+}  // namespace ceems::slurm

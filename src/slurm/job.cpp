@@ -1,0 +1,17 @@
+#include "slurm/job.h"
+
+namespace ceems::slurm {
+
+std::string_view job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kPending: return "PENDING";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kCompleted: return "COMPLETED";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kTimeout: return "TIMEOUT";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ceems::slurm

@@ -1,0 +1,70 @@
+// Batch-job model for the SLURM-like resource manager simulator. Field
+// names mirror slurmdbd's accounting records because the CEEMS API server
+// consumes exactly that tuple (§II-B.b: "fetches information from ... the
+// underlying resource manager to get a list of compute workloads").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "node/node_sim.h"
+
+namespace ceems::slurm {
+
+enum class JobState {
+  kPending,
+  kRunning,
+  kCompleted,
+  kFailed,
+  kTimeout,
+  kCancelled,
+};
+
+std::string_view job_state_name(JobState state);
+
+// What a user submits.
+struct JobRequest {
+  std::string name;
+  std::string user;
+  std::string account;    // project in CEEMS terminology
+  std::string partition;  // "cpu_p1", "gpu_p13", ...
+  int num_nodes = 1;
+  int cpus_per_node = 1;
+  int64_t memory_per_node_bytes = 4LL << 30;
+  int gpus_per_node = 0;
+  int64_t walltime_limit_ms = common::kMillisPerHour;
+
+  // Simulation-only fields, invisible to the scheduler: how long the job
+  // really runs and how it behaves while running.
+  int64_t true_duration_ms = 30 * common::kMillisPerMinute;
+  double failure_probability = 0.02;
+  node::WorkloadBehavior behavior;
+};
+
+// Full accounting record, updated through the job's lifetime.
+struct Job {
+  int64_t job_id = 0;
+  JobRequest request;
+  JobState state = JobState::kPending;
+  common::TimestampMs submit_time_ms = 0;
+  common::TimestampMs start_time_ms = 0;  // 0 until started
+  common::TimestampMs end_time_ms = 0;    // 0 until finished
+  std::vector<std::string> hostnames;
+  // GPU ordinals bound per node, parallel to `hostnames`. Recorded because
+  // (§II-A.d) the binding is not recoverable post-mortem from the GPU
+  // telemetry itself — CEEMS must capture it while the job runs.
+  std::vector<std::vector<int>> gpu_ordinals_per_node;
+  int exit_code = 0;
+
+  int64_t elapsed_ms(common::TimestampMs now) const {
+    if (start_time_ms == 0) return 0;
+    return (end_time_ms != 0 ? end_time_ms : now) - start_time_ms;
+  }
+  bool finished() const {
+    return state != JobState::kPending && state != JobState::kRunning;
+  }
+};
+
+}  // namespace ceems::slurm

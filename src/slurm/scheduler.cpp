@@ -1,0 +1,290 @@
+#include "slurm/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ceems::slurm {
+
+Scheduler::Scheduler(Cluster& cluster, SlurmDbd& dbd, uint64_t seed,
+                     SchedulerConfig config)
+    : cluster_(cluster), dbd_(dbd), rng_(seed), config_(config) {
+  for (const auto& sim : cluster_.all_nodes()) {
+    NodeFree free;
+    free.cpus = sim->spec().total_cpus();
+    free.memory_bytes = sim->spec().memory_bytes;
+    for (std::size_t i = 0; i < sim->spec().gpus.size(); ++i) {
+      free.gpu_ordinals.insert(static_cast<int>(i));
+    }
+    free_[sim->hostname()] = free;
+  }
+}
+
+int64_t Scheduler::submit(const JobRequest& request) {
+  const auto& nodes = cluster_.partition_nodes(request.partition);
+  if (nodes.empty())
+    throw std::invalid_argument("unknown partition " + request.partition);
+  // Reject jobs that can never fit.
+  int fitting_nodes = 0;
+  for (const auto& sim : nodes) {
+    if (sim->spec().total_cpus() >= request.cpus_per_node &&
+        sim->spec().memory_bytes >= request.memory_per_node_bytes &&
+        static_cast<int>(sim->spec().gpus.size()) >= request.gpus_per_node)
+      ++fitting_nodes;
+  }
+  if (fitting_nodes < request.num_nodes)
+    throw std::invalid_argument("request can never be satisfied by partition " +
+                                request.partition);
+
+  Job job;
+  job.job_id = next_job_id_++;
+  job.request = request;
+  job.state = JobState::kPending;
+  job.submit_time_ms = cluster_.clock()->now_ms();
+  queue_.push_back(job);
+  dbd_.upsert(job);
+  return job.job_id;
+}
+
+bool Scheduler::cancel(int64_t job_id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->job_id == job_id) {
+      it->state = JobState::kCancelled;
+      it->end_time_ms = cluster_.clock()->now_ms();
+      dbd_.upsert(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  auto it = running_.find(job_id);
+  if (it != running_.end()) {
+    finish_job(it->second, JobState::kCancelled);
+    running_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::try_place(const JobRequest& request,
+                          std::vector<std::string>& hostnames,
+                          std::vector<std::vector<int>>& gpus) {
+  hostnames.clear();
+  gpus.clear();
+  for (const auto& sim : cluster_.partition_nodes(request.partition)) {
+    NodeFree& free = free_.at(sim->hostname());
+    if (free.cpus < request.cpus_per_node) continue;
+    if (free.memory_bytes < request.memory_per_node_bytes) continue;
+    if (static_cast<int>(free.gpu_ordinals.size()) < request.gpus_per_node)
+      continue;
+    hostnames.push_back(sim->hostname());
+    std::vector<int> bound;
+    auto it = free.gpu_ordinals.begin();
+    for (int g = 0; g < request.gpus_per_node; ++g) bound.push_back(*it++);
+    gpus.push_back(std::move(bound));
+    if (static_cast<int>(hostnames.size()) == request.num_nodes) break;
+  }
+  if (static_cast<int>(hostnames.size()) < request.num_nodes) return false;
+
+  // Commit the reservation.
+  for (std::size_t i = 0; i < hostnames.size(); ++i) {
+    NodeFree& free = free_.at(hostnames[i]);
+    free.cpus -= request.cpus_per_node;
+    free.memory_bytes -= request.memory_per_node_bytes;
+    for (int ordinal : gpus[i]) free.gpu_ordinals.erase(ordinal);
+  }
+  return true;
+}
+
+void Scheduler::start_job(Job& job) {
+  common::TimestampMs now = cluster_.clock()->now_ms();
+  job.state = JobState::kRunning;
+  job.start_time_ms = now;
+
+  RunningJob running;
+  // Sample the outcome at start: failures end early, timeouts hit the
+  // walltime wall.
+  int64_t true_duration = job.request.true_duration_ms;
+  JobState final_state = JobState::kCompleted;
+  if (rng_.chance(job.request.failure_probability)) {
+    final_state = JobState::kFailed;
+    true_duration = static_cast<int64_t>(
+        static_cast<double>(true_duration) * rng_.uniform(0.05, 0.8));
+  }
+  if (true_duration >= job.request.walltime_limit_ms) {
+    final_state = JobState::kTimeout;
+    true_duration = job.request.walltime_limit_ms;
+  }
+  running.planned_end_ms = now + std::max<int64_t>(true_duration, 1);
+  running.final_state = final_state;
+
+  for (std::size_t i = 0; i < job.hostnames.size(); ++i) {
+    node::WorkloadPlacement placement;
+    placement.job_id = job.job_id;
+    placement.user = job.request.user;
+    placement.project = job.request.account;
+    placement.alloc_cpus = job.request.cpus_per_node;
+    placement.memory_limit_bytes = job.request.memory_per_node_bytes;
+    placement.gpu_ordinals = job.gpu_ordinals_per_node[i];
+    cluster_.node(job.hostnames[i])
+        ->add_workload(placement, job.request.behavior);
+  }
+  running.job = job;
+  running_.emplace(job.job_id, std::move(running));
+  dbd_.upsert(job);
+}
+
+void Scheduler::finish_job(RunningJob& running, JobState state) {
+  Job& job = running.job;
+  job.state = state;
+  job.end_time_ms = cluster_.clock()->now_ms();
+  // Fairshare: charge the user the job's allocated cpu-seconds.
+  double cpu_seconds = static_cast<double>(job.request.cpus_per_node) *
+                       static_cast<double>(job.hostnames.size()) *
+                       static_cast<double>(job.end_time_ms -
+                                           job.start_time_ms) /
+                       1000.0;
+  usage_cpu_seconds_[job.request.user] += cpu_seconds;
+  job.exit_code = state == JobState::kCompleted ? 0 : 1;
+  for (std::size_t i = 0; i < job.hostnames.size(); ++i) {
+    cluster_.node(job.hostnames[i])->remove_workload(job.job_id);
+    NodeFree& free = free_.at(job.hostnames[i]);
+    free.cpus += job.request.cpus_per_node;
+    free.memory_bytes += job.request.memory_per_node_bytes;
+    for (int ordinal : job.gpu_ordinals_per_node[i])
+      free.gpu_ordinals.insert(ordinal);
+  }
+  dbd_.upsert(job);
+}
+
+common::TimestampMs Scheduler::earliest_start_estimate(
+    const JobRequest& request) const {
+  // Walk planned job ends in time order, releasing resources until the
+  // request fits. Conservative but cheap.
+  std::map<std::string, NodeFree> free = free_;
+  std::vector<const RunningJob*> by_end;
+  by_end.reserve(running_.size());
+  for (const auto& [id, running] : running_) by_end.push_back(&running);
+  std::sort(by_end.begin(), by_end.end(),
+            [](const RunningJob* a, const RunningJob* b) {
+              return a->planned_end_ms < b->planned_end_ms;
+            });
+
+  auto fits = [&]() {
+    int found = 0;
+    for (const auto& sim : cluster_.partition_nodes(request.partition)) {
+      const NodeFree& nf = free.at(sim->hostname());
+      if (nf.cpus >= request.cpus_per_node &&
+          nf.memory_bytes >= request.memory_per_node_bytes &&
+          static_cast<int>(nf.gpu_ordinals.size()) >= request.gpus_per_node) {
+        if (++found == request.num_nodes) return true;
+      }
+    }
+    return false;
+  };
+
+  if (fits()) return cluster_.clock()->now_ms();
+  for (const RunningJob* running : by_end) {
+    const Job& job = running->job;
+    for (std::size_t i = 0; i < job.hostnames.size(); ++i) {
+      NodeFree& nf = free.at(job.hostnames[i]);
+      nf.cpus += job.request.cpus_per_node;
+      nf.memory_bytes += job.request.memory_per_node_bytes;
+      for (int ordinal : job.gpu_ordinals_per_node[i])
+        nf.gpu_ordinals.insert(ordinal);
+    }
+    if (fits()) return running->planned_end_ms;
+  }
+  return cluster_.clock()->now_ms() + common::kMillisPerDay * 365;
+}
+
+void Scheduler::apply_fairshare_order() {
+  common::TimestampMs now = cluster_.clock()->now_ms();
+  if (last_decay_ms_ >= 0 && now > last_decay_ms_ &&
+      config_.usage_halflife_ms > 0) {
+    double factor = std::pow(
+        0.5, static_cast<double>(now - last_decay_ms_) /
+                 static_cast<double>(config_.usage_halflife_ms));
+    for (auto& [user, usage] : usage_cpu_seconds_) usage *= factor;
+  }
+  last_decay_ms_ = now;
+  // Higher fairshare factor (lower decayed usage) schedules first; ties
+  // fall back to submission order (stable sort on a FCFS-ordered deque).
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [this](const Job& a, const Job& b) {
+                     auto usage_of = [this](const std::string& user) {
+                       auto it = usage_cpu_seconds_.find(user);
+                       return it == usage_cpu_seconds_.end() ? 0.0
+                                                             : it->second;
+                     };
+                     return usage_of(a.request.user) <
+                            usage_of(b.request.user);
+                   });
+}
+
+double Scheduler::user_usage(const std::string& user) const {
+  auto it = usage_cpu_seconds_.find(user);
+  return it == usage_cpu_seconds_.end() ? 0.0 : it->second;
+}
+
+void Scheduler::step() {
+  common::TimestampMs now = cluster_.clock()->now_ms();
+  if (config_.fairshare) apply_fairshare_order();
+
+  // 1. Finish due jobs.
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (it->second.planned_end_ms <= now) {
+      finish_job(it->second, it->second.final_state);
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 2. FCFS head + EASY backfill.
+  common::TimestampMs head_reservation = 0;
+  bool head_blocked = false;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Job& job = *it;
+    std::vector<std::string> hostnames;
+    std::vector<std::vector<int>> gpus;
+    if (try_place(job.request, hostnames, gpus)) {
+      // Backfill rule: a non-head job may start only if it finishes before
+      // the head job's reserved start.
+      if (head_blocked) {
+        int64_t max_duration = std::min(job.request.walltime_limit_ms,
+                                        job.request.true_duration_ms);
+        if (now + max_duration > head_reservation) {
+          // Would delay the head job: release the tentative reservation.
+          for (std::size_t i = 0; i < hostnames.size(); ++i) {
+            NodeFree& free = free_.at(hostnames[i]);
+            free.cpus += job.request.cpus_per_node;
+            free.memory_bytes += job.request.memory_per_node_bytes;
+            for (int ordinal : gpus[i]) free.gpu_ordinals.insert(ordinal);
+          }
+          ++it;
+          continue;
+        }
+      }
+      job.hostnames = std::move(hostnames);
+      job.gpu_ordinals_per_node = std::move(gpus);
+      start_job(job);
+      it = queue_.erase(it);
+    } else {
+      if (!head_blocked) {
+        head_blocked = true;
+        head_reservation = earliest_start_estimate(job.request);
+      }
+      ++it;
+    }
+  }
+}
+
+int Scheduler::free_cpus(const std::string& partition) const {
+  int total = 0;
+  for (const auto& sim : cluster_.partition_nodes(partition)) {
+    total += free_.at(sim->hostname()).cpus;
+  }
+  return total;
+}
+
+}  // namespace ceems::slurm

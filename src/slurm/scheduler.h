@@ -1,0 +1,96 @@
+// Batch scheduler: FCFS with EASY backfill over the simulated cluster.
+// Starting a job creates its workload (and cgroup) on every assigned node;
+// ending it tears the workloads down and finalizes the accounting record —
+// the lifecycle whose traces the CEEMS exporter observes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "slurm/cluster.h"
+#include "slurm/job.h"
+#include "slurm/slurmdbd.h"
+
+namespace ceems::slurm {
+
+struct SchedulerConfig {
+  // Multifactor-priority-style fair share: pending jobs are ordered by
+  // 2^(-decayed_usage/weight) per user instead of strict FCFS, so heavy
+  // recent consumers yield to light ones (SLURM's PriorityDecayHalfLife).
+  bool fairshare = false;
+  int64_t usage_halflife_ms = 24 * common::kMillisPerHour;
+};
+
+class Scheduler {
+ public:
+  Scheduler(Cluster& cluster, SlurmDbd& dbd, uint64_t seed,
+            SchedulerConfig config = {});
+
+  // Decayed cpu-seconds charged to a user so far (fairshare bookkeeping).
+  double user_usage(const std::string& user) const;
+
+  // Enqueues a job; returns its id. Throws if the request can never be
+  // satisfied by the partition (oversized).
+  int64_t submit(const JobRequest& request);
+
+  // Cancels a pending or running job.
+  bool cancel(int64_t job_id);
+
+  // One scheduling pass: finish due jobs, then start pending jobs (FCFS
+  // head-of-line; backfill behind it with jobs that fit now and cannot
+  // delay the head job's earliest start).
+  void step();
+
+  std::size_t pending_count() const { return queue_.size(); }
+  std::size_t running_count() const { return running_.size(); }
+  int64_t next_job_id() const { return next_job_id_; }
+
+  // Free CPUs across a partition (for tests and the workload generator's
+  // load targeting).
+  int free_cpus(const std::string& partition) const;
+
+ private:
+  struct NodeFree {
+    int cpus = 0;
+    int64_t memory_bytes = 0;
+    std::set<int> gpu_ordinals;
+  };
+  struct RunningJob {
+    Job job;
+    common::TimestampMs planned_end_ms = 0;
+    JobState final_state = JobState::kCompleted;
+  };
+
+  // Tries to place `request`; fills hostnames/gpu ordinals. Does not mutate
+  // free state when placement fails.
+  bool try_place(const JobRequest& request,
+                 std::vector<std::string>& hostnames,
+                 std::vector<std::vector<int>>& gpus);
+  void start_job(Job& job);
+  void finish_job(RunningJob& running, JobState state);
+  // Earliest time the given request could start if every running job ends
+  // at its planned end (for backfill reservation).
+  common::TimestampMs earliest_start_estimate(const JobRequest& request) const;
+
+  // Applies the halflife decay and sorts the queue by fairshare priority.
+  void apply_fairshare_order();
+
+  Cluster& cluster_;
+  SlurmDbd& dbd_;
+  common::Rng rng_;
+  SchedulerConfig config_;
+  int64_t next_job_id_ = 1000;
+  std::map<std::string, double> usage_cpu_seconds_;
+  common::TimestampMs last_decay_ms_ = -1;
+
+  std::deque<Job> queue_;  // pending, FCFS order
+  std::map<int64_t, RunningJob> running_;
+  std::map<std::string, NodeFree> free_;
+};
+
+}  // namespace ceems::slurm

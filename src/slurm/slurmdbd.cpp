@@ -1,0 +1,66 @@
+#include "slurm/slurmdbd.h"
+
+#include <algorithm>
+
+namespace ceems::slurm {
+
+void SlurmDbd::upsert(const Job& job) {
+  std::lock_guard lock(mu_);
+  jobs_[job.job_id] = job;
+  common::TimestampMs changed = std::max(
+      {job.submit_time_ms, job.start_time_ms, job.end_time_ms});
+  last_change_[job.job_id] = changed;
+}
+
+std::optional<Job> SlurmDbd::job(int64_t job_id) const {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Job> SlurmDbd::jobs_active_between(
+    common::TimestampMs start_ms, common::TimestampMs end_ms) const {
+  std::lock_guard lock(mu_);
+  std::vector<Job> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.start_time_ms == 0) continue;  // never started
+    if (job.start_time_ms >= end_ms) continue;
+    if (job.end_time_ms != 0 && job.end_time_ms <= start_ms) continue;
+    out.push_back(job);
+  }
+  return out;
+}
+
+std::vector<Job> SlurmDbd::jobs_changed_since(
+    common::TimestampMs since_ms) const {
+  std::lock_guard lock(mu_);
+  std::vector<Job> out;
+  for (const auto& [id, changed] : last_change_) {
+    if (changed >= since_ms) out.push_back(jobs_.at(id));
+  }
+  return out;
+}
+
+std::vector<Job> SlurmDbd::all_jobs() const {
+  std::lock_guard lock(mu_);
+  std::vector<Job> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job);
+  return out;
+}
+
+std::size_t SlurmDbd::size() const {
+  std::lock_guard lock(mu_);
+  return jobs_.size();
+}
+
+std::size_t SlurmDbd::count_in_state(JobState state) const {
+  std::lock_guard lock(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(), [&](const auto& entry) {
+        return entry.second.state == state;
+      }));
+}
+
+}  // namespace ceems::slurm

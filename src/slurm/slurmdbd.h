@@ -1,0 +1,40 @@
+// Accounting database (slurmdbd analogue). The scheduler writes job
+// records; the CEEMS API server polls it for "compute units" (§II-B.b).
+// Thread-safe: the simulator thread updates while API-server threads read.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "slurm/job.h"
+
+namespace ceems::slurm {
+
+class SlurmDbd {
+ public:
+  void upsert(const Job& job);
+  std::optional<Job> job(int64_t job_id) const;
+
+  // Jobs whose lifetime intersects [start_ms, end_ms): started (or still
+  // pending→running transitions) before end, not finished before start.
+  std::vector<Job> jobs_active_between(common::TimestampMs start_ms,
+                                       common::TimestampMs end_ms) const;
+
+  // Jobs whose record changed at/after `since_ms` (submit, start or end
+  // event) — the incremental poll the API-server updater uses.
+  std::vector<Job> jobs_changed_since(common::TimestampMs since_ms) const;
+
+  std::vector<Job> all_jobs() const;
+  std::size_t size() const;
+  std::size_t count_in_state(JobState state) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int64_t, Job> jobs_;
+  std::map<int64_t, common::TimestampMs> last_change_;
+};
+
+}  // namespace ceems::slurm

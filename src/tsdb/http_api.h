@@ -1,0 +1,45 @@
+// Prometheus-compatible HTTP query API (/api/v1/query, /api/v1/query_range,
+// /api/v1/series, /api/v1/labels...). The CEEMS load balancer proxies these
+// endpoints, Grafana-style dashboards query them, and the API server's
+// aggregate updater uses them — so the JSON wire format matches Prometheus:
+//   {"status":"success","data":{"resultType":"vector","result":[
+//       {"metric":{...},"value":[<unix sec>,"<value>"]}]}}
+#pragma once
+
+#include <memory>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "http/server.h"
+#include "tsdb/promql_eval.h"
+#include "tsdb/storage.h"
+
+namespace ceems::tsdb {
+
+class PromApi {
+ public:
+  PromApi(std::shared_ptr<const Queryable> source, common::ClockPtr clock,
+          promql::EngineOptions options = {});
+
+  // Registers /api/v1/* and /-/healthy on the server.
+  void attach(http::Server& server);
+
+  http::Response handle_query(const http::Request& request) const;
+  http::Response handle_query_range(const http::Request& request) const;
+  http::Response handle_series(const http::Request& request) const;
+
+ private:
+  std::shared_ptr<const Queryable> source_;
+  common::ClockPtr clock_;
+  promql::Engine engine_;
+};
+
+// Renders a PromQL Value / range result to the Prometheus response JSON.
+common::Json value_to_json(const promql::Value& value);
+common::Json matrix_to_json(const std::vector<Series>& matrix);
+
+// Parses a ?time= / ?start= parameter: unix seconds (possibly fractional)
+// or RFC3339 is NOT supported — the whole stack uses unix seconds.
+std::optional<common::TimestampMs> parse_time_param(const std::string& text);
+
+}  // namespace ceems::tsdb

@@ -1,0 +1,91 @@
+#include "tsdb/longterm.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ceems::tsdb {
+
+LongTermStore::LongTermStore(LongTermConfig config) : config_(config) {}
+
+std::size_t LongTermStore::sync_from(const TimeSeriesStore& hot) {
+  std::lock_guard lock(mu_);
+  std::size_t copied = 0;
+  for (const auto& series : hot.series_since(sync_cursor_ + 1)) {
+    for (const auto& sample : series.samples) {
+      if (raw_.append(series.labels, sample.t, sample.v)) ++copied;
+    }
+  }
+  if (auto max_t = raw_.max_time()) sync_cursor_ = *max_t;
+  return copied;
+}
+
+void LongTermStore::compact(common::TimestampMs now) {
+  std::lock_guard lock(mu_);
+  TimestampMs cutoff = now - config_.downsample_after_ms;
+  if (cutoff > downsample_cursor_) {
+    // Bucketize everything in [downsample_cursor_, cutoff) into the coarse
+    // resolution, keeping the last sample per bucket.
+    for (const auto& series : raw_.select({}, downsample_cursor_, cutoff - 1)) {
+      std::map<int64_t, SamplePoint> buckets;
+      for (const auto& sample : series.samples) {
+        buckets[sample.t / config_.resolution_ms] = sample;
+      }
+      for (const auto& [bucket, sample] : buckets) {
+        downsampled_.append(series.labels, sample.t, sample.v);
+      }
+    }
+    raw_.purge_before(cutoff);
+    downsample_cursor_ = cutoff;
+  }
+  if (config_.retention_ms > 0) {
+    downsampled_.purge_before(now - config_.retention_ms);
+  }
+}
+
+std::vector<Series> LongTermStore::select(
+    const std::vector<LabelMatcher>& matchers, TimestampMs min_t,
+    TimestampMs max_t) const {
+  std::lock_guard lock(mu_);
+  std::vector<Series> coarse = downsampled_.select(matchers, min_t, max_t);
+  std::vector<Series> fine = raw_.select(matchers, min_t, max_t);
+
+  // Merge per label set: downsampled history followed by the raw tail.
+  std::map<uint64_t, Series> merged;
+  for (auto& series : coarse) {
+    merged[series.labels.fingerprint()] = std::move(series);
+  }
+  for (auto& series : fine) {
+    auto [it, inserted] =
+        merged.emplace(series.labels.fingerprint(), Series{});
+    if (inserted) {
+      it->second = std::move(series);
+      continue;
+    }
+    Series& target = it->second;
+    for (auto& sample : series.samples) {
+      if (target.samples.empty() || sample.t > target.samples.back().t) {
+        target.samples.push_back(sample);
+      }
+    }
+  }
+  std::vector<Series> out;
+  out.reserve(merged.size());
+  for (auto& [key, series] : merged) out.push_back(std::move(series));
+  std::sort(out.begin(), out.end(), [](const Series& a, const Series& b) {
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+StorageStats LongTermStore::stats() const {
+  std::lock_guard lock(mu_);
+  StorageStats raw = raw_.stats();
+  StorageStats coarse = downsampled_.stats();
+  StorageStats out;
+  out.num_series = std::max(raw.num_series, coarse.num_series);
+  out.num_samples = raw.num_samples + coarse.num_samples;
+  out.approx_bytes = raw.approx_bytes + coarse.approx_bytes;
+  return out;
+}
+
+}  // namespace ceems::tsdb

@@ -1,0 +1,55 @@
+// Long-term store — the Thanos analogue of Fig. 1. The hot TSDB keeps raw
+// high-resolution samples on "local disk"; this store replicates them,
+// downsamples data older than a configurable horizon to a coarser
+// resolution (keeping the last sample per bucket, which is exact for
+// counters), and enforces the long retention the API server's aggregate
+// queries need. It implements Queryable by merging its downsampled history
+// with the raw tail, so the PromQL engine and the HTTP API work unchanged
+// on top of it.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "tsdb/storage.h"
+
+namespace ceems::tsdb {
+
+struct LongTermConfig {
+  // Raw samples older than this get downsampled on the next compaction.
+  int64_t downsample_after_ms = 2 * common::kMillisPerHour;
+  // Bucket width of downsampled data.
+  int64_t resolution_ms = 5 * common::kMillisPerMinute;
+  // Total retention of downsampled history (0 = infinite).
+  int64_t retention_ms = 0;
+};
+
+class LongTermStore final : public Queryable {
+ public:
+  explicit LongTermStore(LongTermConfig config = {});
+
+  // Pulls new samples from the hot store (everything newer than the last
+  // sync cursor). Returns samples copied.
+  std::size_t sync_from(const TimeSeriesStore& hot);
+
+  // Downsamples data older than the horizon and applies retention.
+  void compact(common::TimestampMs now);
+
+  std::vector<Series> select(const std::vector<LabelMatcher>& matchers,
+                             TimestampMs min_t,
+                             TimestampMs max_t) const override;
+
+  StorageStats stats() const;
+  StorageStats raw_stats() const { return raw_.stats(); }
+  StorageStats downsampled_stats() const { return downsampled_.stats(); }
+
+ private:
+  LongTermConfig config_;
+  mutable std::mutex mu_;
+  TimeSeriesStore raw_;
+  TimeSeriesStore downsampled_;
+  TimestampMs sync_cursor_ = -1;
+  TimestampMs downsample_cursor_ = 0;  // raw data before this is gone
+};
+
+}  // namespace ceems::tsdb

@@ -1,0 +1,87 @@
+// PromQL-subset AST. The subset is chosen so that every recording rule the
+// paper's deployment uses (the etc/prometheus examples, Eq. 1 power
+// estimation, emissions conversion) can be written verbatim:
+//   selectors with matchers / offset / range, arithmetic and comparison
+//   binary operators with on/ignoring + group_left/group_right matching,
+//   set operators (and/or/unless), aggregations with by/without (sum, avg,
+//   min, max, count, stddev, topk, bottomk, quantile), rate/increase and
+//   *_over_time functions, label_replace, clamp, abs/ceil/floor/round,
+//   vector/scalar/time.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "metrics/labels.h"
+
+namespace ceems::tsdb::promql {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+// How a binary operator pairs up series from both sides.
+struct VectorMatching {
+  bool is_on = false;  // on(labels) vs ignoring(labels)
+  std::vector<std::string> labels;
+  enum class Group { kNone, kLeft, kRight } group = Group::kNone;
+  std::vector<std::string> include;  // group_left(include...) extra labels
+};
+
+struct Expr {
+  enum class Kind {
+    kNumber,
+    kString,
+    kVectorSelector,
+    kMatrixSelector,
+    kCall,
+    kBinary,
+    kAggregate,
+    kUnary,
+  };
+  Kind kind = Kind::kNumber;
+
+  // kNumber
+  double number = 0;
+  // kString
+  std::string string_value;
+
+  // kVectorSelector / kMatrixSelector
+  std::string metric_name;
+  std::vector<metrics::LabelMatcher> matchers;
+  int64_t offset_ms = 0;
+  int64_t range_ms = 0;  // matrix only
+
+  // kCall
+  std::string func;
+  std::vector<ExprPtr> args;
+
+  // kBinary / kUnary
+  std::string op;
+  ExprPtr lhs, rhs;  // unary uses lhs only
+  bool bool_modifier = false;
+  VectorMatching matching;
+
+  // kAggregate
+  std::string agg_op;
+  ExprPtr agg_expr;
+  ExprPtr agg_param;  // topk/bottomk/quantile parameter
+  bool agg_by = false;       // by vs without (when grouping non-empty)
+  bool agg_grouped = false;  // whether by/without clause present
+  std::vector<std::string> grouping;
+
+  std::string to_string() const;
+};
+
+ExprPtr make_number(double value);
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Parses a PromQL expression. Throws ParseError.
+ExprPtr parse(std::string_view input);
+
+}  // namespace ceems::tsdb::promql

@@ -1,0 +1,781 @@
+#include "tsdb/promql_eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ctime>
+#include <map>
+#include <regex>
+#include <unordered_map>
+
+namespace ceems::tsdb::promql {
+
+namespace {
+
+using metrics::kMetricNameLabel;
+
+// ---------- selector evaluation ----------
+
+std::vector<metrics::LabelMatcher> full_matchers(const Expr& expr) {
+  std::vector<metrics::LabelMatcher> matchers = expr.matchers;
+  if (!expr.metric_name.empty()) {
+    matchers.push_back({std::string(kMetricNameLabel),
+                        metrics::LabelMatcher::Op::kEq, expr.metric_name});
+  }
+  return matchers;
+}
+
+InstantVector eval_vector_selector(const Queryable& source, const Expr& expr,
+                                   TimestampMs t, int64_t lookback_ms) {
+  TimestampMs at = t - expr.offset_ms;
+  auto series = source.select(full_matchers(expr), at - lookback_ms, at);
+  InstantVector out;
+  out.reserve(series.size());
+  for (const auto& s : series) {
+    if (s.samples.empty()) continue;
+    out.push_back({s.labels, s.samples.back().v});
+  }
+  return out;
+}
+
+std::vector<Series> eval_matrix_selector(const Queryable& source,
+                                         const Expr& expr, TimestampMs t) {
+  TimestampMs at = t - expr.offset_ms;
+  // Range selectors are left-open: (t-range, t].
+  return source.select(full_matchers(expr), at - expr.range_ms + 1, at);
+}
+
+// ---------- range-vector functions ----------
+
+double counter_increase(const std::vector<SamplePoint>& samples) {
+  // Sum of positive deltas; a drop is a counter reset (new epoch adds from
+  // zero), matching Prometheus' reset handling.
+  double total = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    double delta = samples[i].v - samples[i - 1].v;
+    total += delta >= 0 ? delta : samples[i].v;
+  }
+  return total;
+}
+
+// func: name of the *_over_time / rate family function.
+bool eval_range_function(const std::string& func,
+                         const std::vector<SamplePoint>& samples,
+                         double& result) {
+  if (samples.empty()) return false;
+  if (func == "last_over_time") {
+    result = samples.back().v;
+    return true;
+  }
+  if (func == "count_over_time") {
+    result = static_cast<double>(samples.size());
+    return true;
+  }
+  if (func == "sum_over_time" || func == "avg_over_time") {
+    double sum = 0;
+    for (const auto& sample : samples) sum += sample.v;
+    result = func[0] == 's' ? sum
+                            : sum / static_cast<double>(samples.size());
+    return true;
+  }
+  if (func == "min_over_time" || func == "max_over_time") {
+    double best = samples[0].v;
+    for (const auto& sample : samples) {
+      best = func[1] == 'i' ? std::min(best, sample.v)
+                            : std::max(best, sample.v);
+    }
+    result = best;
+    return true;
+  }
+  if (func == "stddev_over_time") {
+    double mean = 0;
+    for (const auto& sample : samples) mean += sample.v;
+    mean /= static_cast<double>(samples.size());
+    double var = 0;
+    for (const auto& sample : samples) {
+      var += (sample.v - mean) * (sample.v - mean);
+    }
+    result = std::sqrt(var / static_cast<double>(samples.size()));
+    return true;
+  }
+  // Functions below need at least two samples.
+  if (samples.size() < 2) return false;
+  double span_sec =
+      static_cast<double>(samples.back().t - samples.front().t) / 1000.0;
+  if (func == "rate") {
+    if (span_sec <= 0) return false;
+    result = counter_increase(samples) / span_sec;
+    return true;
+  }
+  if (func == "increase") {
+    result = counter_increase(samples);
+    return true;
+  }
+  if (func == "delta") {
+    result = samples.back().v - samples.front().v;
+    return true;
+  }
+  if (func == "deriv") {
+    if (span_sec <= 0) return false;
+    // Least-squares slope/intercept over the window, like Prometheus.
+    double n = static_cast<double>(samples.size());
+    double sum_t = 0, sum_v = 0, sum_tv = 0, sum_tt = 0;
+    double t0 = static_cast<double>(samples.front().t) / 1000.0;
+    for (const auto& sample : samples) {
+      double t = static_cast<double>(sample.t) / 1000.0 - t0;
+      sum_t += t;
+      sum_v += sample.v;
+      sum_tv += t * sample.v;
+      sum_tt += t * t;
+    }
+    double denom = n * sum_tt - sum_t * sum_t;
+    if (denom == 0) return false;
+    result = (n * sum_tv - sum_t * sum_v) / denom;  // slope for deriv
+    return true;
+  }
+  if (func == "irate" || func == "idelta") {
+    const SamplePoint& a = samples[samples.size() - 2];
+    const SamplePoint& b = samples.back();
+    double dt_sec = static_cast<double>(b.t - a.t) / 1000.0;
+    if (func == "idelta") {
+      result = b.v - a.v;
+      return true;
+    }
+    if (dt_sec <= 0) return false;
+    double delta = b.v - a.v;
+    if (delta < 0) delta = b.v;  // reset
+    result = delta / dt_sec;
+    return true;
+  }
+  if (func == "resets") {
+    int resets = 0;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      if (samples[i].v < samples[i - 1].v) ++resets;
+    }
+    result = resets;
+    return true;
+  }
+  if (func == "changes") {
+    int changes = 0;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      if (samples[i].v != samples[i - 1].v) ++changes;
+    }
+    result = changes;
+    return true;
+  }
+  return false;
+}
+
+bool is_range_function(const std::string& func) {
+  static const std::vector<std::string> kFuncs = {
+      "rate",          "irate",          "increase",       "delta",
+      "idelta",        "deriv",          "resets",         "changes",
+      "avg_over_time", "sum_over_time",  "min_over_time",  "max_over_time",
+      "count_over_time", "last_over_time", "stddev_over_time"};
+  return std::find(kFuncs.begin(), kFuncs.end(), func) != kFuncs.end();
+}
+
+// ---------- binary operators ----------
+
+bool is_comparison(const std::string& op) {
+  return op == "==" || op == "!=" || op == "<" || op == ">" || op == "<=" ||
+         op == ">=";
+}
+
+bool is_set_op(const std::string& op) {
+  return op == "and" || op == "or" || op == "unless";
+}
+
+double scalar_binop(const std::string& op, double lhs, double rhs) {
+  if (op == "+") return lhs + rhs;
+  if (op == "-") return lhs - rhs;
+  if (op == "*") return lhs * rhs;
+  if (op == "/") return rhs == 0 ? (lhs == 0 ? std::nan("") : (lhs > 0 ? INFINITY : -INFINITY)) : lhs / rhs;
+  if (op == "%") return std::fmod(lhs, rhs);
+  if (op == "^") return std::pow(lhs, rhs);
+  if (op == "==") return lhs == rhs ? 1 : 0;
+  if (op == "!=") return lhs != rhs ? 1 : 0;
+  if (op == "<") return lhs < rhs ? 1 : 0;
+  if (op == ">") return lhs > rhs ? 1 : 0;
+  if (op == "<=") return lhs <= rhs ? 1 : 0;
+  if (op == ">=") return lhs >= rhs ? 1 : 0;
+  throw EvalError("unknown operator " + op);
+}
+
+// Signature labels used to pair series across a binary op.
+Labels match_signature(const Labels& labels, const VectorMatching& matching) {
+  if (matching.is_on) return labels.keep_only(matching.labels);
+  std::vector<std::string> drop = matching.labels;
+  drop.push_back(std::string(kMetricNameLabel));
+  return labels.drop(drop);
+}
+
+InstantVector vector_scalar_op(const std::string& op, bool bool_modifier,
+                               const InstantVector& vector, double scalar,
+                               bool scalar_on_left) {
+  InstantVector out;
+  for (const auto& sample : vector) {
+    double lhs = scalar_on_left ? scalar : sample.value;
+    double rhs = scalar_on_left ? sample.value : scalar;
+    double value = scalar_binop(op, lhs, rhs);
+    if (is_comparison(op) && !bool_modifier) {
+      if (value == 0) continue;  // filter semantics
+      out.push_back({sample.labels, sample.value});
+    } else {
+      Labels labels = is_comparison(op) && bool_modifier
+                          ? sample.labels.without_name()
+                          : sample.labels.without_name();
+      out.push_back({labels, value});
+    }
+  }
+  return out;
+}
+
+InstantVector vector_vector_op(const Expr& expr, const InstantVector& lhs,
+                               const InstantVector& rhs) {
+  const VectorMatching& matching = expr.matching;
+  InstantVector out;
+
+  if (is_set_op(expr.op)) {
+    std::unordered_map<uint64_t, const VectorSample*> rhs_by_sig;
+    for (const auto& sample : rhs) {
+      rhs_by_sig[match_signature(sample.labels, matching).fingerprint()] =
+          &sample;
+    }
+    if (expr.op == "and") {
+      for (const auto& sample : lhs) {
+        if (rhs_by_sig.count(
+                match_signature(sample.labels, matching).fingerprint()))
+          out.push_back(sample);
+      }
+    } else if (expr.op == "unless") {
+      for (const auto& sample : lhs) {
+        if (!rhs_by_sig.count(
+                match_signature(sample.labels, matching).fingerprint()))
+          out.push_back(sample);
+      }
+    } else {  // or
+      std::unordered_map<uint64_t, bool> lhs_sigs;
+      for (const auto& sample : lhs) {
+        lhs_sigs[match_signature(sample.labels, matching).fingerprint()] = true;
+        out.push_back(sample);
+      }
+      for (const auto& sample : rhs) {
+        if (!lhs_sigs.count(
+                match_signature(sample.labels, matching).fingerprint()))
+          out.push_back(sample);
+      }
+    }
+    return out;
+  }
+
+  // Arithmetic/comparison. group_right swaps roles so we only implement
+  // many-to-one with "many" on the left.
+  const InstantVector& many =
+      matching.group == VectorMatching::Group::kRight ? rhs : lhs;
+  const InstantVector& one =
+      matching.group == VectorMatching::Group::kRight ? lhs : rhs;
+  bool swapped = matching.group == VectorMatching::Group::kRight;
+  bool grouped = matching.group != VectorMatching::Group::kNone;
+
+  std::unordered_map<uint64_t, const VectorSample*> one_by_sig;
+  for (const auto& sample : one) {
+    uint64_t sig = match_signature(sample.labels, matching).fingerprint();
+    if (one_by_sig.count(sig))
+      throw EvalError("many-to-many matching in binary expression: " +
+                      expr.to_string());
+    one_by_sig[sig] = &sample;
+  }
+
+  std::unordered_map<uint64_t, int> result_seen;
+  for (const auto& sample : many) {
+    Labels signature = match_signature(sample.labels, matching);
+    auto it = one_by_sig.find(signature.fingerprint());
+    if (it == one_by_sig.end()) continue;
+    double lhs_value = swapped ? it->second->value : sample.value;
+    double rhs_value = swapped ? sample.value : it->second->value;
+    double value = scalar_binop(expr.op, lhs_value, rhs_value);
+
+    Labels result_labels;
+    if (is_comparison(expr.op) && !expr.bool_modifier) {
+      if (value == 0) continue;
+      result_labels = sample.labels;  // filter keeps original labels
+      value = sample.value;
+    } else if (grouped) {
+      result_labels = sample.labels.without_name();
+      for (const auto& include : matching.include) {
+        if (auto v = it->second->labels.get(include))
+          result_labels = result_labels.with(include, *v);
+      }
+    } else {
+      result_labels = signature;
+    }
+    // One-to-one: each signature may only be produced once.
+    if (!grouped) {
+      if (result_seen[signature.fingerprint()]++)
+        throw EvalError("multiple matches for one-to-one vector match: " +
+                        expr.to_string());
+    }
+    out.push_back({std::move(result_labels), value});
+  }
+  return out;
+}
+
+// ---------- aggregations ----------
+
+InstantVector eval_aggregate(const Expr& expr, const InstantVector& input,
+                             double param) {
+  struct Group {
+    Labels labels;
+    std::vector<double> values;
+    std::vector<const VectorSample*> samples;
+  };
+  std::map<uint64_t, Group> groups;
+  for (const auto& sample : input) {
+    Labels group_labels;
+    if (expr.agg_grouped) {
+      group_labels = expr.agg_by
+                         ? sample.labels.keep_only(expr.grouping)
+                         : sample.labels.drop(expr.grouping).without_name();
+    }  // else: aggregate everything into a single empty-label group
+    uint64_t key = group_labels.fingerprint();
+    Group& group = groups[key];
+    group.labels = std::move(group_labels);
+    group.values.push_back(sample.value);
+    group.samples.push_back(&sample);
+  }
+
+  InstantVector out;
+  for (auto& [key, group] : groups) {
+    const std::string& op = expr.agg_op;
+    if (op == "topk" || op == "bottomk") {
+      int k = std::max(0, static_cast<int>(param));
+      std::vector<std::size_t> order(group.values.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return op == "topk" ? group.values[a] > group.values[b]
+                            : group.values[a] < group.values[b];
+      });
+      for (int i = 0; i < k && i < static_cast<int>(order.size()); ++i) {
+        out.push_back(*group.samples[order[static_cast<std::size_t>(i)]]);
+      }
+      continue;
+    }
+    double result = 0;
+    if (op == "sum") {
+      for (double v : group.values) result += v;
+    } else if (op == "avg") {
+      for (double v : group.values) result += v;
+      result /= static_cast<double>(group.values.size());
+    } else if (op == "min") {
+      result = *std::min_element(group.values.begin(), group.values.end());
+    } else if (op == "max") {
+      result = *std::max_element(group.values.begin(), group.values.end());
+    } else if (op == "count") {
+      result = static_cast<double>(group.values.size());
+    } else if (op == "group") {
+      result = 1;
+    } else if (op == "stddev") {
+      double mean = 0;
+      for (double v : group.values) mean += v;
+      mean /= static_cast<double>(group.values.size());
+      double var = 0;
+      for (double v : group.values) var += (v - mean) * (v - mean);
+      result = std::sqrt(var / static_cast<double>(group.values.size()));
+    } else if (op == "quantile") {
+      std::vector<double> sorted = group.values;
+      std::sort(sorted.begin(), sorted.end());
+      double q = std::clamp(param, 0.0, 1.0);
+      double rank = q * static_cast<double>(sorted.size() - 1);
+      std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+      std::size_t hi = std::min(sorted.size() - 1, lo + 1);
+      result = sorted[lo] + (rank - std::floor(rank)) * (sorted[hi] - sorted[lo]);
+    } else {
+      throw EvalError("unknown aggregator " + op);
+    }
+    out.push_back({group.labels, result});
+  }
+  return out;
+}
+
+// ---------- evaluator core ----------
+
+class Evaluator {
+ public:
+  Evaluator(const Queryable& source, TimestampMs t, int64_t lookback_ms)
+      : source_(source), t_(t), lookback_ms_(lookback_ms) {}
+
+  Value eval(const ExprPtr& expr) {
+    switch (expr->kind) {
+      case Expr::Kind::kNumber: {
+        Value value;
+        value.kind = Value::Kind::kScalar;
+        value.scalar = expr->number;
+        return value;
+      }
+      case Expr::Kind::kString: {
+        Value value;
+        value.kind = Value::Kind::kString;
+        value.string_value = expr->string_value;
+        return value;
+      }
+      case Expr::Kind::kVectorSelector: {
+        Value value;
+        value.kind = Value::Kind::kVector;
+        value.vector = eval_vector_selector(source_, *expr, t_, lookback_ms_);
+        return value;
+      }
+      case Expr::Kind::kMatrixSelector: {
+        Value value;
+        value.kind = Value::Kind::kMatrix;
+        value.matrix = eval_matrix_selector(source_, *expr, t_);
+        return value;
+      }
+      case Expr::Kind::kUnary: {
+        Value inner = eval(expr->lhs);
+        double sign = expr->op == "-" ? -1.0 : 1.0;
+        if (inner.kind == Value::Kind::kScalar) {
+          inner.scalar *= sign;
+        } else if (inner.kind == Value::Kind::kVector) {
+          for (auto& sample : inner.vector) {
+            sample.value *= sign;
+            sample.labels = sample.labels.without_name();
+          }
+        } else {
+          throw EvalError("unary operator on non-numeric operand");
+        }
+        return inner;
+      }
+      case Expr::Kind::kBinary:
+        return eval_binary(expr);
+      case Expr::Kind::kAggregate:
+        return eval_aggregate_expr(expr);
+      case Expr::Kind::kCall:
+        return eval_call(expr);
+    }
+    throw EvalError("unreachable expression kind");
+  }
+
+ private:
+  Value eval_binary(const ExprPtr& expr) {
+    Value lhs = eval(expr->lhs);
+    Value rhs = eval(expr->rhs);
+    Value out;
+    if (lhs.kind == Value::Kind::kScalar && rhs.kind == Value::Kind::kScalar) {
+      out.kind = Value::Kind::kScalar;
+      out.scalar = scalar_binop(expr->op, lhs.scalar, rhs.scalar);
+      return out;
+    }
+    out.kind = Value::Kind::kVector;
+    if (lhs.kind == Value::Kind::kVector && rhs.kind == Value::Kind::kScalar) {
+      out.vector = vector_scalar_op(expr->op, expr->bool_modifier, lhs.vector,
+                                    rhs.scalar, /*scalar_on_left=*/false);
+    } else if (lhs.kind == Value::Kind::kScalar &&
+               rhs.kind == Value::Kind::kVector) {
+      out.vector = vector_scalar_op(expr->op, expr->bool_modifier, rhs.vector,
+                                    lhs.scalar, /*scalar_on_left=*/true);
+    } else if (lhs.kind == Value::Kind::kVector &&
+               rhs.kind == Value::Kind::kVector) {
+      out.vector = vector_vector_op(*expr, lhs.vector, rhs.vector);
+    } else {
+      throw EvalError("unsupported operand types for " + expr->op);
+    }
+    return out;
+  }
+
+  Value eval_aggregate_expr(const ExprPtr& expr) {
+    Value input = eval(expr->agg_expr);
+    if (input.kind != Value::Kind::kVector)
+      throw EvalError("aggregation over non-vector");
+    double param = 0;
+    if (expr->agg_param) {
+      Value p = eval(expr->agg_param);
+      if (p.kind != Value::Kind::kScalar)
+        throw EvalError("aggregation parameter must be scalar");
+      param = p.scalar;
+    }
+    Value out;
+    out.kind = Value::Kind::kVector;
+    out.vector = eval_aggregate(*expr, input.vector, param);
+    return out;
+  }
+
+  Value eval_call(const ExprPtr& expr) {
+    const std::string& func = expr->func;
+    Value out;
+
+    if (is_range_function(func)) {
+      if (expr->args.size() != 1)
+        throw EvalError(func + " expects one range-vector argument");
+      Value arg = eval(expr->args[0]);
+      if (arg.kind != Value::Kind::kMatrix)
+        throw EvalError(func + " expects a range vector (selector[duration])");
+      out.kind = Value::Kind::kVector;
+      for (const auto& series : arg.matrix) {
+        double result = 0;
+        if (eval_range_function(func, series.samples, result)) {
+          out.vector.push_back({series.labels.without_name(), result});
+        }
+      }
+      return out;
+    }
+
+    if (func == "time") {
+      out.kind = Value::Kind::kScalar;
+      out.scalar = static_cast<double>(t_) / 1000.0;
+      return out;
+    }
+    if (func == "predict_linear") {
+      // predict_linear(range_vector, t_seconds): least-squares projection
+      // t_seconds past the evaluation time.
+      if (expr->args.size() != 2)
+        throw EvalError("predict_linear expects (range vector, scalar)");
+      Value matrix = eval(expr->args[0]);
+      if (matrix.kind != Value::Kind::kMatrix)
+        throw EvalError("predict_linear expects a range vector");
+      double ahead_sec = eval_arg_scalar(expr, 1).scalar;
+      out.kind = Value::Kind::kVector;
+      for (const auto& series : matrix.matrix) {
+        if (series.samples.size() < 2) continue;
+        double n = static_cast<double>(series.samples.size());
+        double sum_t = 0, sum_v = 0, sum_tv = 0, sum_tt = 0;
+        // Origin at the evaluation time so the intercept is "value now".
+        for (const auto& sample : series.samples) {
+          double t = static_cast<double>(sample.t - t_) / 1000.0;
+          sum_t += t;
+          sum_v += sample.v;
+          sum_tv += t * sample.v;
+          sum_tt += t * t;
+        }
+        double denom = n * sum_tt - sum_t * sum_t;
+        if (denom == 0) continue;
+        double slope = (n * sum_tv - sum_t * sum_v) / denom;
+        double intercept = (sum_v - slope * sum_t) / n;
+        out.vector.push_back({series.labels.without_name(),
+                              intercept + slope * ahead_sec});
+      }
+      return out;
+    }
+    if (func == "sort" || func == "sort_desc") {
+      Value arg = eval_arg_vector(expr, 0);
+      out.kind = Value::Kind::kVector;
+      out.vector = std::move(arg.vector);
+      bool descending = func == "sort_desc";
+      std::stable_sort(out.vector.begin(), out.vector.end(),
+                       [descending](const VectorSample& a,
+                                    const VectorSample& b) {
+                         return descending ? a.value > b.value
+                                           : a.value < b.value;
+                       });
+      return out;
+    }
+    if (func == "hour" || func == "day_of_week" || func == "day_of_month" ||
+        func == "month") {
+      // Calendar functions over UTC timestamps. With no argument they use
+      // the evaluation time (as vector(time())).
+      Value arg;
+      if (expr->args.empty()) {
+        arg.kind = Value::Kind::kVector;
+        arg.vector.push_back({Labels{}, static_cast<double>(t_) / 1000.0});
+      } else {
+        arg = eval_arg_vector(expr, 0);
+      }
+      out.kind = Value::Kind::kVector;
+      for (const auto& sample : arg.vector) {
+        std::time_t seconds = static_cast<std::time_t>(sample.value);
+        std::tm utc{};
+        gmtime_r(&seconds, &utc);
+        double value = 0;
+        if (func == "hour") value = utc.tm_hour;
+        else if (func == "day_of_week") value = utc.tm_wday;
+        else if (func == "day_of_month") value = utc.tm_mday;
+        else value = utc.tm_mon + 1;
+        out.vector.push_back({sample.labels.without_name(), value});
+      }
+      return out;
+    }
+    if (func == "vector") {
+      Value arg = eval_arg_scalar(expr, 0);
+      out.kind = Value::Kind::kVector;
+      out.vector.push_back({Labels{}, arg.scalar});
+      return out;
+    }
+    if (func == "scalar") {
+      Value arg = eval_arg_vector(expr, 0);
+      out.kind = Value::Kind::kScalar;
+      out.scalar = arg.vector.size() == 1 ? arg.vector[0].value
+                                          : std::nan("");
+      return out;
+    }
+    if (func == "absent") {
+      Value arg = eval_arg_vector(expr, 0);
+      out.kind = Value::Kind::kVector;
+      if (arg.vector.empty()) out.vector.push_back({Labels{}, 1});
+      return out;
+    }
+    if (func == "label_replace") {
+      if (expr->args.size() != 5)
+        throw EvalError("label_replace expects 5 arguments");
+      Value arg = eval_arg_vector(expr, 0);
+      std::string dst = eval_string(expr, 1);
+      std::string replacement = eval_string(expr, 2);
+      std::string src = eval_string(expr, 3);
+      std::string pattern = eval_string(expr, 4);
+      std::regex re("^(?:" + pattern + ")$");
+      out.kind = Value::Kind::kVector;
+      for (auto sample : arg.vector) {
+        std::string source_value(sample.labels.get(src).value_or(""));
+        std::smatch match;
+        if (std::regex_match(source_value, match, re)) {
+          std::string value = match.format(replacement);
+          sample.labels = sample.labels.with(dst, value);
+        }
+        out.vector.push_back(std::move(sample));
+      }
+      return out;
+    }
+    if (func == "label_join") {
+      if (expr->args.size() < 4)
+        throw EvalError("label_join expects >= 4 arguments");
+      Value arg = eval_arg_vector(expr, 0);
+      std::string dst = eval_string(expr, 1);
+      std::string sep = eval_string(expr, 2);
+      out.kind = Value::Kind::kVector;
+      for (auto sample : arg.vector) {
+        std::string joined;
+        for (std::size_t i = 3; i < expr->args.size(); ++i) {
+          if (i > 3) joined += sep;
+          joined += sample.labels.get(eval_string(expr, i)).value_or("");
+        }
+        sample.labels = sample.labels.with(dst, joined);
+        out.vector.push_back(std::move(sample));
+      }
+      return out;
+    }
+
+    // Simple math on instant vectors.
+    auto unary_math = [&](double (*fn)(double)) {
+      Value arg = eval_arg_vector(expr, 0);
+      out.kind = Value::Kind::kVector;
+      for (const auto& sample : arg.vector) {
+        out.vector.push_back({sample.labels.without_name(), fn(sample.value)});
+      }
+      return out;
+    };
+    if (func == "round") {
+      // round(v) or round(v, to_nearest).
+      Value arg = eval_arg_vector(expr, 0);
+      double nearest =
+          expr->args.size() > 1 ? eval_arg_scalar(expr, 1).scalar : 1.0;
+      if (nearest == 0) throw EvalError("round: to_nearest must be nonzero");
+      out.kind = Value::Kind::kVector;
+      for (const auto& sample : arg.vector) {
+        out.vector.push_back({sample.labels.without_name(),
+                              std::round(sample.value / nearest) * nearest});
+      }
+      return out;
+    }
+    if (func == "abs") return unary_math(+[](double v) { return std::fabs(v); });
+    if (func == "ceil") return unary_math(+[](double v) { return std::ceil(v); });
+    if (func == "floor") return unary_math(+[](double v) { return std::floor(v); });
+    if (func == "sqrt") return unary_math(+[](double v) { return std::sqrt(v); });
+    if (func == "exp") return unary_math(+[](double v) { return std::exp(v); });
+    if (func == "ln") return unary_math(+[](double v) { return std::log(v); });
+
+    if (func == "clamp_min" || func == "clamp_max" || func == "clamp") {
+      Value arg = eval_arg_vector(expr, 0);
+      double lo = func == "clamp_max" ? -INFINITY
+                                      : eval_arg_scalar(expr, 1).scalar;
+      double hi = func == "clamp_min"
+                      ? INFINITY
+                      : eval_arg_scalar(expr, func == "clamp" ? 2 : 1).scalar;
+      out.kind = Value::Kind::kVector;
+      for (const auto& sample : arg.vector) {
+        out.vector.push_back(
+            {sample.labels.without_name(), std::clamp(sample.value, lo, hi)});
+      }
+      return out;
+    }
+    throw EvalError("unknown function " + func);
+  }
+
+  Value eval_arg_scalar(const ExprPtr& expr, std::size_t index) {
+    if (index >= expr->args.size())
+      throw EvalError(expr->func + ": missing argument");
+    Value value = eval(expr->args[index]);
+    if (value.kind != Value::Kind::kScalar)
+      throw EvalError(expr->func + ": argument must be scalar");
+    return value;
+  }
+
+  Value eval_arg_vector(const ExprPtr& expr, std::size_t index) {
+    if (index >= expr->args.size())
+      throw EvalError(expr->func + ": missing argument");
+    Value value = eval(expr->args[index]);
+    if (value.kind != Value::Kind::kVector)
+      throw EvalError(expr->func + ": argument must be an instant vector");
+    return value;
+  }
+
+  std::string eval_string(const ExprPtr& expr, std::size_t index) {
+    if (index >= expr->args.size())
+      throw EvalError(expr->func + ": missing argument");
+    Value value = eval(expr->args[index]);
+    if (value.kind != Value::Kind::kString)
+      throw EvalError(expr->func + ": argument must be a string");
+    return value.string_value;
+  }
+
+  const Queryable& source_;
+  TimestampMs t_;
+  int64_t lookback_ms_;
+};
+
+}  // namespace
+
+Value Engine::eval(const Queryable& source, const ExprPtr& expr,
+                   TimestampMs t) const {
+  return Evaluator(source, t, options_.lookback_ms).eval(expr);
+}
+
+Value Engine::eval(const Queryable& source, const std::string& expr,
+                   TimestampMs t) const {
+  return eval(source, parse(expr), t);
+}
+
+std::vector<Series> Engine::eval_range(const Queryable& source,
+                                       const ExprPtr& expr, TimestampMs start,
+                                       TimestampMs end, int64_t step_ms) const {
+  if (step_ms <= 0) throw EvalError("step must be positive");
+  std::map<uint64_t, Series> by_labels;
+  for (TimestampMs t = start; t <= end; t += step_ms) {
+    Value value = eval(source, expr, t);
+    if (value.kind == Value::Kind::kScalar) {
+      Series& series = by_labels[Labels{}.fingerprint()];
+      series.samples.push_back({t, value.scalar});
+      continue;
+    }
+    if (value.kind != Value::Kind::kVector)
+      throw EvalError("range query must evaluate to vector or scalar");
+    for (const auto& sample : value.vector) {
+      Series& series = by_labels[sample.labels.fingerprint()];
+      series.labels = sample.labels;
+      series.samples.push_back({t, sample.value});
+    }
+  }
+  std::vector<Series> out;
+  out.reserve(by_labels.size());
+  for (auto& [key, series] : by_labels) out.push_back(std::move(series));
+  std::sort(out.begin(), out.end(), [](const Series& a, const Series& b) {
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+std::vector<Series> Engine::eval_range(const Queryable& source,
+                                       const std::string& expr,
+                                       TimestampMs start, TimestampMs end,
+                                       int64_t step_ms) const {
+  return eval_range(source, parse(expr), start, end, step_ms);
+}
+
+}  // namespace ceems::tsdb::promql

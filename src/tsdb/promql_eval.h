@@ -1,0 +1,71 @@
+// PromQL evaluator over any Queryable. Instant queries produce a scalar or
+// an instant vector; range queries evaluate the instant expression at each
+// step (exactly Prometheus' model).
+//
+// Known deviations from upstream Prometheus, chosen deliberately:
+//   * rate()/increase() compute the slope over the observed sample span
+//     without boundary extrapolation — sums of increase() then equal the
+//     raw counter deltas, which the energy-accounting tests rely on;
+//   * regex matchers use std::regex ECMAScript syntax (anchored like
+//     PromQL);
+//   * staleness markers are not implemented; the lookback window (default
+//     5 min) alone decides sample visibility.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tsdb/promql_ast.h"
+#include "tsdb/storage.h"
+
+namespace ceems::tsdb::promql {
+
+struct EvalError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// One element of an instant vector.
+struct VectorSample {
+  Labels labels;
+  double value = 0;
+};
+using InstantVector = std::vector<VectorSample>;
+
+struct Value {
+  enum class Kind { kScalar, kVector, kString, kMatrix };
+  Kind kind = Kind::kScalar;
+  double scalar = 0;
+  InstantVector vector;
+  std::string string_value;
+  std::vector<Series> matrix;  // only produced by matrix selectors
+};
+
+struct EngineOptions {
+  int64_t lookback_ms = 5 * common::kMillisPerMinute;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {}) : options_(options) {}
+
+  // Evaluates `expr` at instant `t`.
+  Value eval(const Queryable& source, const ExprPtr& expr,
+             TimestampMs t) const;
+  Value eval(const Queryable& source, const std::string& expr,
+             TimestampMs t) const;
+
+  // Evaluates at every step in [start, end]; returns one series per result
+  // label set.
+  std::vector<Series> eval_range(const Queryable& source, const ExprPtr& expr,
+                                 TimestampMs start, TimestampMs end,
+                                 int64_t step_ms) const;
+  std::vector<Series> eval_range(const Queryable& source,
+                                 const std::string& expr, TimestampMs start,
+                                 TimestampMs end, int64_t step_ms) const;
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace ceems::tsdb::promql

@@ -1,0 +1,173 @@
+#include "tsdb/promql_lexer.h"
+
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace ceems::tsdb::promql {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool is_ident_char(char c) {
+  return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+bool is_duration_unit(char c) {
+  return c == 's' || c == 'm' || c == 'h' || c == 'd' || c == 'w' || c == 'y';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  auto fail = [&](const std::string& message) {
+    throw ParseError("promql lex error at " + std::to_string(i) + ": " +
+                     message);
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.pos = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      // Number or duration.
+      std::size_t start = i;
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) ||
+              input[i] == '.'))
+        ++i;
+      if (i < input.size() && is_duration_unit(input[i]) &&
+          !(input[i] == 'e' /* exponent cannot happen: e not a unit */)) {
+        // Duration: continue consuming number+unit pairs (1h30m).
+        while (i < input.size() &&
+               (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                is_duration_unit(input[i])))
+          ++i;
+        auto duration =
+            common::parse_duration_ms(input.substr(start, i - start));
+        if (!duration) fail("bad duration");
+        token.type = TokenType::kDuration;
+        token.duration_ms = *duration;
+        token.text = std::string(input.substr(start, i - start));
+      } else {
+        // Scientific notation tail.
+        if (i < input.size() && (input[i] == 'e' || input[i] == 'E')) {
+          ++i;
+          if (i < input.size() && (input[i] == '+' || input[i] == '-')) ++i;
+          while (i < input.size() &&
+                 std::isdigit(static_cast<unsigned char>(input[i])))
+            ++i;
+        }
+        auto value = common::parse_double(input.substr(start, i - start));
+        if (!value) fail("bad number");
+        token.type = TokenType::kNumber;
+        token.number = *value;
+        token.text = std::string(input.substr(start, i - start));
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t start = i;
+      while (i < input.size() && is_ident_char(input[i])) ++i;
+      token.type = TokenType::kIdentifier;
+      token.text = std::string(input.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string value;
+      while (i < input.size() && input[i] != quote) {
+        if (input[i] == '\\' && i + 1 < input.size()) {
+          char e = input[i + 1];
+          if (e == 'n') value += '\n';
+          else if (e == 't') value += '\t';
+          else value += e;
+          i += 2;
+        } else {
+          value += input[i++];
+        }
+      }
+      if (i >= input.size()) fail("unterminated string");
+      ++i;  // closing quote
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    switch (c) {
+      case '(': token.type = TokenType::kLParen; ++i; break;
+      case ')': token.type = TokenType::kRParen; ++i; break;
+      case '{': token.type = TokenType::kLBrace; ++i; break;
+      case '}': token.type = TokenType::kRBrace; ++i; break;
+      case '[': token.type = TokenType::kLBracket; ++i; break;
+      case ']': token.type = TokenType::kRBracket; ++i; break;
+      case ',': token.type = TokenType::kComma; ++i; break;
+      case '+': case '-': case '*': case '/': case '%': case '^': {
+        token.type = TokenType::kOp;
+        token.text = std::string(1, c);
+        ++i;
+        break;
+      }
+      case '=': {
+        token.type = TokenType::kOp;
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          token.text = "==";
+          i += 2;
+        } else if (i + 1 < input.size() && input[i + 1] == '~') {
+          token.text = "=~";
+          i += 2;
+        } else {
+          token.text = "=";
+          ++i;
+        }
+        break;
+      }
+      case '!': {
+        token.type = TokenType::kOp;
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          token.text = "!=";
+          i += 2;
+        } else if (i + 1 < input.size() && input[i + 1] == '~') {
+          token.text = "!~";
+          i += 2;
+        } else {
+          fail("unexpected '!'");
+        }
+        break;
+      }
+      case '<': case '>': {
+        token.type = TokenType::kOp;
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          token.text = std::string(1, c) + "=";
+          i += 2;
+        } else {
+          token.text = std::string(1, c);
+          ++i;
+        }
+        break;
+      }
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.pos = input.size();
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace ceems::tsdb::promql

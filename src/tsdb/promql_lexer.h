@@ -1,0 +1,39 @@
+// Tokenizer for the PromQL subset.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tsdb/promql_ast.h"
+
+namespace ceems::tsdb::promql {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,  // metric names, function names, keywords
+  kNumber,
+  kString,    // 'x' or "x"
+  kDuration,  // 5m, 30s, 1h30m
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kOp,  // + - * / % ^ == != <= < >= > = =~ !~
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  double number = 0;
+  int64_t duration_ms = 0;
+  std::size_t pos = 0;
+};
+
+// Tokenizes the whole input. Throws ParseError on bad characters.
+std::vector<Token> lex(std::string_view input);
+
+}  // namespace ceems::tsdb::promql

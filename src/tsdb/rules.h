@@ -1,0 +1,106 @@
+// Recording rules — the extensibility mechanism the paper builds its whole
+// energy-estimation story on (§I, §III-A): operators express per-node-group
+// power estimation (Eq. 1 among them) as PromQL recording rules rather
+// than code. The engine evaluates rule groups against the store and writes
+// the results back as new series named by `record`.
+//
+// Rules within a group are evaluated in order and see the results of
+// earlier rules in the same evaluation (Prometheus semantics), which lets
+// Eq. 1 be decomposed into named sub-expressions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "tsdb/promql_eval.h"
+#include "tsdb/storage.h"
+
+namespace ceems::tsdb {
+
+struct RecordingRule {
+  std::string record;            // output metric name
+  std::string expr;              // PromQL text
+  std::vector<std::pair<std::string, std::string>> static_labels;
+  promql::ExprPtr parsed;        // filled by RuleEngine
+};
+
+// Alerting rule: fires while `expr` returns a non-empty vector (after a
+// comparison filter, as in Prometheus). A `for` duration keeps the alert
+// pending until the condition has held continuously that long.
+struct AlertingRule {
+  std::string alert;  // alert name
+  std::string expr;
+  int64_t for_ms = 0;
+  std::vector<std::pair<std::string, std::string>> static_labels;
+  promql::ExprPtr parsed;
+};
+
+enum class AlertState { kPending, kFiring };
+
+struct ActiveAlert {
+  std::string name;
+  Labels labels;        // series labels + alertname + static labels
+  AlertState state = AlertState::kPending;
+  common::TimestampMs active_since_ms = 0;
+  double value = 0;     // last value of the triggering sample
+};
+
+struct RuleGroup {
+  std::string name;
+  int64_t interval_ms = 30 * common::kMillisPerSecond;
+  std::vector<RecordingRule> rules;
+  std::vector<AlertingRule> alerts;
+};
+
+struct RuleEvalStats {
+  uint64_t rules_evaluated = 0;
+  uint64_t samples_written = 0;
+  uint64_t rule_failures = 0;
+  uint64_t alerts_firing = 0;
+  uint64_t alerts_pending = 0;
+};
+
+class RuleEngine {
+ public:
+  explicit RuleEngine(StorePtr store, promql::EngineOptions options = {});
+
+  // Parses every rule expression up front; throws promql::ParseError on
+  // invalid rules (fail fast at config load, like promtool check rules).
+  void add_group(RuleGroup group);
+  std::size_t group_count() const { return groups_.size(); }
+
+  // Evaluates every group due at `t` (interval grid) and writes results.
+  RuleEvalStats evaluate_due(common::TimestampMs t);
+  // Evaluates everything regardless of interval (deterministic pipelines).
+  RuleEvalStats evaluate_all(common::TimestampMs t);
+
+  // Alerts currently pending or firing. Firing alerts are also written to
+  // the store as ALERTS{alertname=...,alertstate=...} 1 series.
+  std::vector<ActiveAlert> active_alerts() const;
+
+ private:
+  RuleEvalStats evaluate_group(RuleGroup& group, common::TimestampMs t);
+  void evaluate_alert(const AlertingRule& rule, common::TimestampMs t,
+                      RuleEvalStats& stats);
+
+  StorePtr store_;
+  promql::Engine engine_;
+  std::vector<RuleGroup> groups_;
+  std::vector<common::TimestampMs> last_eval_;
+  // Key: alertname fingerprint ^ labels fingerprint.
+  std::map<uint64_t, ActiveAlert> active_;
+};
+
+// Parses rule groups from the `groups:` section of a Prometheus-style rule
+// file already loaded as a Json/YAML tree:
+//   groups:
+//     - name: energy
+//       interval: 30s
+//       rules:
+//         - record: ceems_job_power_watts
+//           expr: ...
+//           labels: { group: intel }
+std::vector<RuleGroup> parse_rule_groups(const common::Json& root);
+
+}  // namespace ceems::tsdb

@@ -1,0 +1,146 @@
+#include "tsdb/scrape.h"
+
+#include "common/logging.h"
+#include "metrics/text_format.h"
+
+namespace ceems::tsdb {
+
+ScrapeManager::ScrapeManager(StorePtr store, common::ClockPtr clock,
+                             ScrapeConfig config)
+    : store_(std::move(store)),
+      clock_(std::move(clock)),
+      config_(config) {}
+
+ScrapeManager::~ScrapeManager() { stop(); }
+
+void ScrapeManager::add_target(ScrapeTarget target) {
+  auto state = std::make_unique<TargetState>();
+  http::ClientConfig client_config;
+  client_config.io_timeout_ms = config_.timeout_ms;
+  client_config.connect_timeout_ms = config_.timeout_ms;
+  client_config.basic_auth = target.auth;
+  state->target = std::move(target);
+  state->client = std::make_unique<http::Client>(client_config);
+  std::lock_guard lock(targets_mu_);
+  targets_.push_back(std::move(state));
+}
+
+std::size_t ScrapeManager::target_count() const {
+  std::lock_guard lock(targets_mu_);
+  return targets_.size();
+}
+
+int64_t ScrapeManager::scrape_target(TargetState& state,
+                                     common::TimestampMs now) {
+  auto started = std::chrono::steady_clock::now();
+  http::FetchResult result;
+  if (state.target.local_fetch) {
+    result.response.body = state.target.local_fetch();
+    result.response.status = 200;
+    result.ok = !result.response.body.empty();
+    if (!result.ok) result.error = "local fetch returned no data";
+  } else {
+    result = state.client->get(state.target.url);
+  }
+  double duration_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  Labels up_labels = state.target.labels.with_name("up");
+  Labels duration_labels =
+      state.target.labels.with_name("scrape_duration_seconds");
+
+  if (!result.ok || result.response.status != 200) {
+    store_->append(up_labels, now, 0);
+    store_->append(duration_labels, now, duration_sec);
+    return -1;
+  }
+
+  int64_t count = 0;
+  try {
+    auto parsed = metrics::parse_exposition(result.response.body);
+    for (auto& sample : parsed.samples) {
+      Labels labels = sample.labels;
+      for (const auto& [name, value] : state.target.labels.pairs()) {
+        labels = labels.with(name, value);
+      }
+      common::TimestampMs t =
+          config_.honor_timestamps && sample.timestamp_ms != 0
+              ? sample.timestamp_ms
+              : now;
+      if (store_->append(labels, t, sample.value)) ++count;
+    }
+  } catch (const metrics::ExpositionParseError& e) {
+    CEEMS_LOG_WARN("scrape") << state.target.url << ": " << e.what();
+    store_->append(up_labels, now, 0);
+    store_->append(duration_labels, now, duration_sec);
+    return -1;
+  }
+  store_->append(up_labels, now, 1);
+  store_->append(duration_labels, now, duration_sec);
+  return count;
+}
+
+ScrapeStats ScrapeManager::scrape_all_once() {
+  std::vector<TargetState*> snapshot;
+  {
+    std::lock_guard lock(targets_mu_);
+    snapshot.reserve(targets_.size());
+    for (auto& state : targets_) snapshot.push_back(state.get());
+  }
+  common::TimestampMs now = clock_->now_ms();
+
+  ScrapeStats sweep;
+  std::mutex sweep_mu;
+  common::ThreadPool pool(
+      std::min<std::size_t>(static_cast<std::size_t>(config_.parallelism),
+                            std::max<std::size_t>(1, snapshot.size())),
+      "scrape");
+  for (TargetState* state : snapshot) {
+    pool.submit([&, state] {
+      int64_t ingested = scrape_target(*state, now);
+      std::lock_guard lock(sweep_mu);
+      ++sweep.scrapes_total;
+      if (ingested < 0) {
+        ++sweep.scrapes_failed;
+      } else {
+        sweep.samples_ingested += static_cast<uint64_t>(ingested);
+      }
+    });
+  }
+  pool.wait_idle();
+  pool.shutdown();
+
+  scrapes_total_ += sweep.scrapes_total;
+  scrapes_failed_ += sweep.scrapes_failed;
+  samples_ingested_ += sweep.samples_ingested;
+  return sweep;
+}
+
+void ScrapeManager::start() {
+  if (running_.exchange(true)) return;
+  loop_thread_ = std::thread([this] {
+    while (running_.load()) {
+      common::TimestampMs next = clock_->now_ms() + config_.interval_ms;
+      scrape_all_once();
+      if (!clock_->sleep_until(next)) return;
+      if (!running_.load()) return;
+    }
+  });
+}
+
+void ScrapeManager::stop() {
+  if (!running_.exchange(false)) return;
+  clock_->interrupt();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+ScrapeStats ScrapeManager::stats() const {
+  ScrapeStats out;
+  out.scrapes_total = scrapes_total_.load();
+  out.scrapes_failed = scrapes_failed_.load();
+  out.samples_ingested = samples_ingested_.load();
+  return out;
+}
+
+}  // namespace ceems::tsdb

@@ -1,0 +1,287 @@
+#include "tsdb/storage.h"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+
+namespace ceems::tsdb {
+
+bool TimeSeriesStore::append(const Labels& labels, TimestampMs t, double v) {
+  uint64_t fingerprint = labels.fingerprint();
+  std::unique_lock lock(mu_);
+  auto it = series_.find(fingerprint);
+  if (it == series_.end()) {
+    it = series_.emplace(fingerprint, SeriesData{labels, {}}).first;
+    for (const auto& [name, value] : labels.pairs()) {
+      index_[name][value].insert(fingerprint);
+    }
+  }
+  SeriesData& data = it->second;
+  if (!data.samples.empty() && t < data.samples.back().t) {
+    return false;  // out-of-order; Prometheus rejects these too
+  }
+  if (!data.samples.empty() && t == data.samples.back().t) {
+    data.samples.back().v = v;  // duplicate timestamp: last write wins
+    return true;
+  }
+  data.samples.push_back({t, v});
+  ++total_samples_;
+  return true;
+}
+
+void TimeSeriesStore::append_all(const std::vector<metrics::Sample>& samples) {
+  for (const auto& sample : samples) {
+    append(sample.labels, sample.timestamp_ms, sample.value);
+  }
+}
+
+std::vector<uint64_t> TimeSeriesStore::match_ids(
+    const std::vector<LabelMatcher>& matchers) const {
+  // Start from the most selective equality matcher via the inverted index,
+  // then filter.
+  std::optional<std::set<uint64_t>> candidates;
+  for (const auto& matcher : matchers) {
+    if (matcher.op != LabelMatcher::Op::kEq || matcher.value.empty()) continue;
+    auto name_it = index_.find(matcher.name);
+    if (name_it == index_.end()) return {};
+    auto value_it = name_it->second.find(matcher.value);
+    if (value_it == name_it->second.end()) return {};
+    if (!candidates) {
+      candidates = value_it->second;
+    } else {
+      std::set<uint64_t> intersection;
+      std::set_intersection(
+          candidates->begin(), candidates->end(), value_it->second.begin(),
+          value_it->second.end(),
+          std::inserter(intersection, intersection.begin()));
+      candidates = std::move(intersection);
+    }
+    if (candidates->empty()) return {};
+  }
+
+  std::vector<uint64_t> out;
+  auto check = [&](uint64_t id, const SeriesData& data) {
+    for (const auto& matcher : matchers) {
+      if (!matcher.matches(data.labels)) return;
+    }
+    out.push_back(id);
+  };
+  if (candidates) {
+    for (uint64_t id : *candidates) {
+      auto it = series_.find(id);
+      if (it != series_.end()) check(id, it->second);
+    }
+  } else {
+    for (const auto& [id, data] : series_) check(id, data);
+  }
+  return out;
+}
+
+std::vector<Series> TimeSeriesStore::select(
+    const std::vector<LabelMatcher>& matchers, TimestampMs min_t,
+    TimestampMs max_t) const {
+  std::shared_lock lock(mu_);
+  std::vector<Series> out;
+  for (uint64_t id : match_ids(matchers)) {
+    const SeriesData& data = series_.at(id);
+    auto begin = std::lower_bound(
+        data.samples.begin(), data.samples.end(), min_t,
+        [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
+    auto end = std::upper_bound(
+        data.samples.begin(), data.samples.end(), max_t,
+        [](TimestampMs t, const SamplePoint& s) { return t < s.t; });
+    if (begin == end) continue;
+    Series series;
+    series.labels = data.labels;
+    series.samples.assign(begin, end);
+    out.push_back(std::move(series));
+  }
+  // Deterministic output order.
+  std::sort(out.begin(), out.end(), [](const Series& a, const Series& b) {
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+std::vector<std::string> TimeSeriesStore::label_values(
+    const std::string& label_name) const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  auto it = index_.find(label_name);
+  if (it == index_.end()) return out;
+  for (const auto& [value, ids] : it->second) {
+    if (!ids.empty()) out.push_back(value);
+  }
+  return out;
+}
+
+std::size_t TimeSeriesStore::purge_before(TimestampMs cutoff) {
+  std::unique_lock lock(mu_);
+  std::size_t dropped = 0;
+  for (auto it = series_.begin(); it != series_.end();) {
+    auto& samples = it->second.samples;
+    auto keep_from = std::lower_bound(
+        samples.begin(), samples.end(), cutoff,
+        [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
+    dropped += static_cast<std::size_t>(keep_from - samples.begin());
+    samples.erase(samples.begin(), keep_from);
+    if (samples.empty()) {
+      for (const auto& [name, value] : it->second.labels.pairs()) {
+        index_[name][value].erase(it->first);
+      }
+      it = series_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  total_samples_ -= dropped;
+  return dropped;
+}
+
+std::size_t TimeSeriesStore::delete_series(
+    const std::vector<LabelMatcher>& matchers) {
+  std::unique_lock lock(mu_);
+  std::size_t deleted = 0;
+  for (uint64_t id : match_ids(matchers)) {
+    auto it = series_.find(id);
+    if (it == series_.end()) continue;
+    total_samples_ -= it->second.samples.size();
+    for (const auto& [name, value] : it->second.labels.pairs()) {
+      index_[name][value].erase(id);
+    }
+    series_.erase(it);
+    ++deleted;
+  }
+  return deleted;
+}
+
+StorageStats TimeSeriesStore::stats() const {
+  std::shared_lock lock(mu_);
+  StorageStats stats;
+  stats.num_series = series_.size();
+  stats.num_samples = total_samples_;
+  stats.approx_bytes = total_samples_ * sizeof(SamplePoint);
+  for (const auto& [id, data] : series_) {
+    for (const auto& [name, value] : data.labels.pairs()) {
+      stats.approx_bytes += name.size() + value.size() + 2 * sizeof(void*);
+    }
+  }
+  return stats;
+}
+
+std::optional<TimestampMs> TimeSeriesStore::max_time() const {
+  std::shared_lock lock(mu_);
+  std::optional<TimestampMs> max_t;
+  for (const auto& [id, data] : series_) {
+    if (data.samples.empty()) continue;
+    if (!max_t || data.samples.back().t > *max_t) max_t = data.samples.back().t;
+  }
+  return max_t;
+}
+
+std::vector<Series> TimeSeriesStore::series_since(TimestampMs since) const {
+  std::shared_lock lock(mu_);
+  std::vector<Series> out;
+  for (const auto& [id, data] : series_) {
+    auto begin = std::lower_bound(
+        data.samples.begin(), data.samples.end(), since,
+        [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
+    if (begin == data.samples.end()) continue;
+    Series series;
+    series.labels = data.labels;
+    series.samples.assign(begin, data.samples.end());
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+namespace {
+
+constexpr char kSnapshotMagic[] = "CEEMSTSDB1";
+
+void put_u64(std::ostream& out, uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+void put_f64(std::ostream& out, double value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+void put_string(std::ostream& out, const std::string& text) {
+  put_u64(out, text.size());
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+bool get_u64(std::istream& in, uint64_t& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return in.good();
+}
+bool get_f64(std::istream& in, double& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return in.good();
+}
+bool get_string(std::istream& in, std::string& text) {
+  uint64_t size = 0;
+  if (!get_u64(in, size) || size > (1u << 20)) return false;
+  text.resize(size);
+  in.read(text.data(), static_cast<std::streamsize>(size));
+  return in.good();
+}
+
+}  // namespace
+
+bool TimeSeriesStore::snapshot_to(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return false;
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic) - 1);
+  put_u64(out, series_.size());
+  for (const auto& [id, data] : series_) {
+    put_u64(out, data.labels.pairs().size());
+    for (const auto& [name, value] : data.labels.pairs()) {
+      put_string(out, name);
+      put_string(out, value);
+    }
+    put_u64(out, data.samples.size());
+    for (const auto& sample : data.samples) {
+      put_u64(out, static_cast<uint64_t>(sample.t));
+      put_f64(out, sample.v);
+    }
+  }
+  return out.good();
+}
+
+std::optional<std::size_t> TimeSeriesStore::restore_from(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  char magic[sizeof(kSnapshotMagic) - 1];
+  in.read(magic, sizeof(magic));
+  if (!in.good() ||
+      std::string_view(magic, sizeof(magic)) != kSnapshotMagic) {
+    return std::nullopt;
+  }
+  uint64_t num_series = 0;
+  if (!get_u64(in, num_series)) return std::nullopt;
+  std::size_t restored = 0;
+  for (uint64_t s = 0; s < num_series; ++s) {
+    uint64_t num_labels = 0;
+    if (!get_u64(in, num_labels) || num_labels > 256) return std::nullopt;
+    std::vector<Labels::Pair> pairs;
+    for (uint64_t l = 0; l < num_labels; ++l) {
+      std::string name, value;
+      if (!get_string(in, name) || !get_string(in, value))
+        return std::nullopt;
+      pairs.emplace_back(std::move(name), std::move(value));
+    }
+    Labels labels(std::move(pairs));
+    uint64_t num_samples = 0;
+    if (!get_u64(in, num_samples)) return std::nullopt;
+    for (uint64_t i = 0; i < num_samples; ++i) {
+      uint64_t t = 0;
+      double v = 0;
+      if (!get_u64(in, t) || !get_f64(in, v)) return std::nullopt;
+      if (append(labels, static_cast<TimestampMs>(t), v)) ++restored;
+    }
+  }
+  return restored;
+}
+
+}  // namespace ceems::tsdb

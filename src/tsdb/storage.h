@@ -1,0 +1,121 @@
+// Label-indexed in-memory time-series storage — the Prometheus TSDB
+// analogue. Series are identified by their full label set; an inverted
+// index (label name/value → series ids) accelerates matcher evaluation.
+// Samples per series are kept time-ordered; out-of-order appends within a
+// small tolerance are rejected like Prometheus does.
+//
+// The same Queryable interface is implemented by the long-term store, so
+// the PromQL engine runs unchanged over either — mirroring how Thanos
+// serves the Prometheus remote-read API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "metrics/labels.h"
+#include "metrics/model.h"
+
+namespace ceems::tsdb {
+
+using common::TimestampMs;
+using metrics::LabelMatcher;
+using metrics::Labels;
+
+struct SamplePoint {
+  TimestampMs t = 0;
+  double v = 0;
+};
+
+struct Series {
+  Labels labels;
+  std::vector<SamplePoint> samples;  // time-ordered
+};
+
+// Anything the PromQL engine can query.
+class Queryable {
+ public:
+  virtual ~Queryable() = default;
+  // All series matching every matcher, restricted to samples in
+  // [min_t, max_t] inclusive.
+  virtual std::vector<Series> select(const std::vector<LabelMatcher>& matchers,
+                                     TimestampMs min_t,
+                                     TimestampMs max_t) const = 0;
+};
+
+struct StorageStats {
+  std::size_t num_series = 0;
+  std::size_t num_samples = 0;
+  std::size_t approx_bytes = 0;
+};
+
+class TimeSeriesStore final : public Queryable {
+ public:
+  // Appends one sample; creates the series on first sight. Returns false
+  // (and drops the sample) if it is older than the series' newest sample.
+  bool append(const Labels& labels, TimestampMs t, double v);
+  // Bulk append of scrape output.
+  void append_all(const std::vector<metrics::Sample>& samples);
+
+  std::vector<Series> select(const std::vector<LabelMatcher>& matchers,
+                             TimestampMs min_t,
+                             TimestampMs max_t) const override;
+
+  // Label values seen for a name (for API /api/v1/label/<n>/values).
+  std::vector<std::string> label_values(const std::string& label_name) const;
+
+  // Drops samples older than `cutoff` from all series; removes series that
+  // become empty. Returns the number of samples dropped.
+  std::size_t purge_before(TimestampMs cutoff);
+
+  // Deletes whole matching series (the API server's cardinality cleanup of
+  // §II-C: metrics of jobs shorter than the cutoff are removed wholesale).
+  std::size_t delete_series(const std::vector<LabelMatcher>& matchers);
+
+  StorageStats stats() const;
+
+  // Newest sample timestamp across all series (sync cursor for long-term
+  // replication), or nullopt when empty.
+  std::optional<TimestampMs> max_time() const;
+
+  // Series with samples at/after `since` (replication pull).
+  std::vector<Series> series_since(TimestampMs since) const;
+
+  // Durability: writes a compact binary snapshot of every series (the
+  // Prometheus block-on-local-disk analogue of Fig. 1). Returns false on
+  // IO error.
+  bool snapshot_to(const std::string& path) const;
+  // Loads a snapshot into this (empty or compatible) store; samples merge
+  // through the normal append path. Returns samples restored, or nullopt
+  // when the file is missing/corrupt (a torn header aborts cleanly).
+  std::optional<std::size_t> restore_from(const std::string& path);
+
+ private:
+  struct Stripe;  // forward: per-series storage
+
+  struct SeriesData {
+    Labels labels;
+    std::vector<SamplePoint> samples;
+  };
+
+  // Returns ids of series matching all matchers. Caller holds mu_.
+  std::vector<uint64_t> match_ids(
+      const std::vector<LabelMatcher>& matchers) const;
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, SeriesData> series_;  // by fingerprint
+  // Inverted index: label name -> value -> fingerprints.
+  std::map<std::string, std::map<std::string, std::set<uint64_t>>> index_;
+  std::size_t total_samples_ = 0;
+};
+
+using StorePtr = std::shared_ptr<TimeSeriesStore>;
+
+}  // namespace ceems::tsdb

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "common/threadpool.h"
+#include "common/yamlconf.h"
+
+namespace ceems::common {
+namespace {
+
+// ---------- clock ----------
+
+TEST(SimClock, StartsAtGivenTime) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.now_ms(), 1000);
+}
+
+TEST(SimClock, AdvanceMovesTime) {
+  SimClock clock(0);
+  clock.advance(250);
+  clock.advance(750);
+  EXPECT_EQ(clock.now_ms(), 1000);
+}
+
+TEST(SimClock, SleeperWokenByAdvance) {
+  SimClock clock(0);
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    EXPECT_TRUE(clock.sleep_until(500));
+    woke.store(true);
+  });
+  while (clock.sleeper_count() == 0) std::this_thread::yield();
+  EXPECT_FALSE(woke.load());
+  clock.advance(499);
+  EXPECT_FALSE(woke.load());
+  clock.advance(1);
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(SimClock, InterruptReturnsFalse) {
+  SimClock clock(0);
+  std::thread sleeper([&] { EXPECT_FALSE(clock.sleep_until(1000)); });
+  while (clock.sleeper_count() == 0) std::this_thread::yield();
+  clock.interrupt();
+  sleeper.join();
+}
+
+TEST(RealClock, NowIsReasonable) {
+  RealClock clock;
+  // After 2020-01-01 and before 2100.
+  EXPECT_GT(clock.now_ms(), 1577836800000LL);
+  EXPECT_LT(clock.now_ms(), 4102444800000LL);
+}
+
+TEST(RealClock, SleepUntilPastReturnsImmediately) {
+  RealClock clock;
+  EXPECT_TRUE(clock.sleep_until(clock.now_ms() - 1000));
+}
+
+// ---------- strutil ----------
+
+TEST(StrUtil, SplitBasic) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrUtil, SplitFieldsCollapsesWhitespace) {
+  auto fields = split_fields("  cpu   123\t456  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "cpu");
+  EXPECT_EQ(fields[2], "456");
+}
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(StrUtil, ParseInt64) {
+  EXPECT_EQ(parse_int64("42"), 42);
+  EXPECT_EQ(parse_int64("-7"), -7);
+  EXPECT_EQ(parse_int64(" 13 "), 13);
+  EXPECT_FALSE(parse_int64("12x").has_value());
+  EXPECT_FALSE(parse_int64("").has_value());
+}
+
+TEST(StrUtil, ParseDoubleSpecials) {
+  EXPECT_TRUE(std::isinf(*parse_double("+Inf")));
+  EXPECT_TRUE(std::isnan(*parse_double("NaN")));
+  EXPECT_DOUBLE_EQ(*parse_double("2.5e3"), 2500.0);
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(StrUtil, FormatDoubleRoundTrips) {
+  for (double value : {0.0, 1.0, -2.5, 3.14159265358979, 1e300, 1.0 / 3.0}) {
+    EXPECT_DOUBLE_EQ(*parse_double(format_double(value)), value);
+  }
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "+Inf");
+}
+
+TEST(StrUtil, ParseDurations) {
+  EXPECT_EQ(parse_duration_ms("30s"), 30000);
+  EXPECT_EQ(parse_duration_ms("5m"), 300000);
+  EXPECT_EQ(parse_duration_ms("1h30m"), 5400000);
+  EXPECT_EQ(parse_duration_ms("250ms"), 250);
+  EXPECT_EQ(parse_duration_ms("2d"), 2 * 86400000LL);
+  EXPECT_FALSE(parse_duration_ms("abc").has_value());
+  EXPECT_FALSE(parse_duration_ms("5x").has_value());
+}
+
+TEST(StrUtil, FormatDurationPicksLargestUnit) {
+  EXPECT_EQ(format_duration_ms(30000), "30s");
+  EXPECT_EQ(format_duration_ms(120000), "2m");
+  EXPECT_EQ(format_duration_ms(3600000), "1h");
+  EXPECT_EQ(format_duration_ms(86400000), "1d");
+  EXPECT_EQ(format_duration_ms(1500), "1500ms");
+}
+
+// ---------- json ----------
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5").as_number(), -3.5);
+  EXPECT_EQ(Json::parse("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(Json, ParseNested) {
+  Json value = Json::parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  EXPECT_EQ(value.at("a").as_array()[2].at("b").as_string(), "c");
+  EXPECT_TRUE(value.at("d").at("e").is_null());
+}
+
+TEST(Json, DumpRoundTrips) {
+  Json object = Json::object();
+  object["x"] = Json(1.5);
+  object["y"] = Json("a \"quote\"");
+  object["z"] = Json(JsonArray{Json(true), Json(nullptr)});
+  Json reparsed = Json::parse(object.dump());
+  EXPECT_TRUE(reparsed == object);
+}
+
+TEST(Json, IntegerFormattingHasNoDecimalPoint) {
+  EXPECT_EQ(Json(static_cast<int64_t>(42)).dump(), "42");
+  EXPECT_EQ(Json(1e15).dump().find('.'), std::string::npos);
+}
+
+TEST(Json, ParseErrorsThrow) {
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,]2"), JsonParseError);
+  EXPECT_THROW(Json::parse("tru"), JsonParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonParseError);
+}
+
+TEST(Json, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");  // é
+}
+
+TEST(Json, TypedGettersWithFallback) {
+  Json object = Json::parse(R"({"s":"x","n":3})");
+  EXPECT_EQ(object.get_string("s"), "x");
+  EXPECT_EQ(object.get_string("missing", "fb"), "fb");
+  EXPECT_EQ(object.get_int("n"), 3);
+  EXPECT_EQ(object.get_int("s", -1), -1);  // wrong type -> fallback
+}
+
+// ---------- yaml ----------
+
+TEST(Yaml, NestedMapsAndScalars) {
+  Json root = parse_yaml(
+      "ceems:\n"
+      "  scrape:\n"
+      "    interval: 30s\n"
+      "    count: 8\n"
+      "  enabled: true\n");
+  EXPECT_EQ(root.at("ceems").at("scrape").get_string("interval"), "30s");
+  EXPECT_EQ(root.at("ceems").at("scrape").get_int("count"), 8);
+  EXPECT_TRUE(root.at("ceems").get_bool("enabled"));
+}
+
+TEST(Yaml, BlockLists) {
+  Json root = parse_yaml(
+      "groups:\n"
+      "  - name: g1\n"
+      "    interval: 15s\n"
+      "  - name: g2\n");
+  const auto& groups = root.at("groups").as_array();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].get_string("name"), "g1");
+  EXPECT_EQ(groups[0].get_string("interval"), "15s");
+  EXPECT_EQ(groups[1].get_string("name"), "g2");
+}
+
+TEST(Yaml, InlineLists) {
+  Json root = parse_yaml("admins: [alice, bob, \"c d\"]\n");
+  const auto& admins = root.at("admins").as_array();
+  ASSERT_EQ(admins.size(), 3u);
+  EXPECT_EQ(admins[2].as_string(), "c d");
+}
+
+TEST(Yaml, CommentsIgnored) {
+  Json root = parse_yaml(
+      "# header comment\n"
+      "key: value  # trailing\n"
+      "other: 'has # inside'\n");
+  EXPECT_EQ(root.get_string("key"), "value");
+  EXPECT_EQ(root.get_string("other"), "has # inside");
+}
+
+TEST(Yaml, ScalarTypes) {
+  Json root = parse_yaml(
+      "a: 42\nb: 2.5\nc: yes\nd: ~\ne: \"42\"\n");
+  EXPECT_TRUE(root.at("a").is_number());
+  EXPECT_DOUBLE_EQ(root.at("b").as_number(), 2.5);
+  EXPECT_TRUE(root.at("c").as_bool());
+  EXPECT_TRUE(root.at("d").is_null());
+  EXPECT_EQ(root.at("e").as_string(), "42");
+}
+
+TEST(Yaml, TabsRejected) {
+  EXPECT_THROW(parse_yaml("a:\n\tb: 1\n"), YamlParseError);
+}
+
+// ---------- threadpool ----------
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.submit([&] { ++count; }));
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { ++count; });
+  }
+  pool.shutdown(/*drain=*/true);
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_FALSE(pool.submit([&] { ++count; }));
+}
+
+// ---------- rng ----------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double value = rng.uniform(2.0, 5.0);
+    EXPECT_GE(value, 2.0);
+    EXPECT_LT(value, 5.0);
+    int64_t integer = rng.uniform_int(-3, 3);
+    EXPECT_GE(integer, -3);
+    EXPECT_LE(integer, 3);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(99);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double value = rng.normal(10.0, 2.0);
+    sum += value;
+    sum_sq += value * value;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, ForkGivesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+}  // namespace
+}  // namespace ceems::common

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "dashboard/ceems_dashboards.h"
+#include "dashboard/grafana_export.h"
+#include "stack_fixture.h"
+#include "tsdb/promql_ast.h"
+
+namespace ceems::dashboard {
+namespace {
+
+// ---------- panel renderers (pure) ----------
+
+TEST(Panels, TableAlignsColumns) {
+  std::string out = render_table("Jobs", {"id", "state"},
+                                 {{"1", "RUNNING"}, {"123456", "DONE"}});
+  EXPECT_NE(out.find("== Jobs"), std::string::npos);
+  EXPECT_NE(out.find("| id     | state   |"), std::string::npos);
+  EXPECT_NE(out.find("| 123456 | DONE    |"), std::string::npos);
+}
+
+TEST(Panels, StatsRow) {
+  std::string out = render_stats("Usage", {{"Energy", "12 kWh"},
+                                           {"Emissions", "0.6 kg"}});
+  EXPECT_NE(out.find("12 kWh"), std::string::npos);
+  EXPECT_NE(out.find("Emissions"), std::string::npos);
+}
+
+TEST(Panels, ChartPlotsSeries) {
+  std::vector<ChartSeries> series(1);
+  series[0].name = "watts";
+  for (int i = 0; i <= 20; ++i) {
+    series[0].points.push_back({i * 1000, 100.0 + i});
+  }
+  std::string out = render_chart("Power", series, 40, 8);
+  EXPECT_NE(out.find("== Power"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("watts"), std::string::npos);
+}
+
+TEST(Panels, ChartHandlesEmptyAndFlat) {
+  EXPECT_NE(render_chart("E", {}, 40, 8).find("(no data)"),
+            std::string::npos);
+  std::vector<ChartSeries> flat(1);
+  flat[0].points = {{0, 5}, {1000, 5}};
+  EXPECT_NO_THROW(render_chart("F", flat, 40, 8));
+}
+
+TEST(Panels, HumanUnits) {
+  EXPECT_EQ(format_bytes(1536.0 * 1024), "1.5 MiB");
+  EXPECT_EQ(format_joules(7.2e6), "2.00 kWh");
+  EXPECT_EQ(format_joules(500), "500 J");
+  EXPECT_EQ(format_co2(1500), "1.50 kgCO2e");
+  EXPECT_EQ(format_duration(3 * 3600 * 1000 + 20 * 60 * 1000), "3h 20m");
+}
+
+// ---------- Grafana provisioning JSON ----------
+
+TEST(GrafanaExport, DashboardsAreValidGrafanaJson) {
+  common::Json job = job_dashboard_json("ds-uid");
+  EXPECT_EQ(job.get_string("uid"), "ceems-job");
+  EXPECT_EQ(job.get_int("schemaVersion"), 36);
+  const auto& panels = job.at("panels").as_array();
+  ASSERT_GE(panels.size(), 4u);
+  // Every panel targets the data source and carries a PromQL expr.
+  for (const auto& panel : panels) {
+    const auto& targets = panel.at("targets").as_array();
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0].at("datasource").get_string("uid"), "ds-uid");
+    EXPECT_FALSE(targets[0].get_string("expr").empty());
+    EXPECT_TRUE(panel.get("gridPos").has_value());
+  }
+  // The $uuid template variable exists.
+  EXPECT_EQ(job.at("templating").at("list").as_array()[0].get_string("name"),
+            "uuid");
+  // Panel queries parse as PromQL after substituting the variable.
+  for (const auto& panel : panels) {
+    std::string expr = panel.at("targets").as_array()[0].get_string("expr");
+    std::size_t pos;
+    while ((pos = expr.find("$uuid")) != std::string::npos) {
+      expr.replace(pos, 5, "123");
+    }
+    EXPECT_NO_THROW(tsdb::promql::parse(expr)) << expr;
+  }
+}
+
+TEST(GrafanaExport, OperatorQueriesParse) {
+  common::Json dashboard = operator_dashboard_json("p");
+  for (const auto& panel : dashboard.at("panels").as_array()) {
+    std::string expr = panel.at("targets").as_array()[0].get_string("expr");
+    EXPECT_NO_THROW(tsdb::promql::parse(expr)) << expr;
+  }
+}
+
+TEST(GrafanaExport, WritesProvisioningFiles) {
+  std::string dir = ::testing::TempDir() + "grafana_export";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(export_grafana_dashboards(dir));
+  for (const char* file :
+       {"ceems-user.json", "ceems-job.json", "ceems-operator.json"}) {
+    std::ifstream in(dir + "/" + file);
+    ASSERT_TRUE(in.good()) << file;
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NO_THROW(common::Json::parse(content)) << file;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------- Fig. 2 dashboards over a live stack ----------
+
+class DashboardTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mini_ = new ceems::testing::MiniStack();
+    mini_->run(30 * common::kMillisPerMinute);
+    mini_->stack().start_servers();
+  }
+  static void TearDownTestSuite() {
+    delete mini_;
+    mini_ = nullptr;
+  }
+
+  static std::pair<std::string, std::string> user_with_energy() {
+    reldb::Query query;
+    auto result = mini_->stack().db().query(apiserver::kUnitsTable, query);
+    for (const auto& row : result.rows) {
+      auto unit = apiserver::unit_from_row(row);
+      if (unit.total_energy_joules > 0) return {unit.user, unit.uuid};
+    }
+    return {"user0", "0"};
+  }
+
+  GrafanaClient client_for(const std::string& user) {
+    return GrafanaClient(mini_->stack().lb_url(), mini_->stack().api_url(),
+                         user);
+  }
+
+  static ceems::testing::MiniStack* mini_;
+};
+
+ceems::testing::MiniStack* DashboardTest::mini_ = nullptr;
+
+TEST_F(DashboardTest, Fig2aAggregateUsage) {
+  auto [user, uuid] = user_with_energy();
+  GrafanaClient client = client_for(user);
+  std::string panel = render_user_aggregate_dashboard(
+      client, 0, mini_->clock()->now_ms());
+  EXPECT_NE(panel.find("Aggregate usage of " + user), std::string::npos);
+  EXPECT_NE(panel.find("Total energy"), std::string::npos);
+  EXPECT_NE(panel.find("Total emissions"), std::string::npos);
+  EXPECT_EQ(panel.find("unavailable"), std::string::npos);
+}
+
+TEST_F(DashboardTest, Fig2bJobList) {
+  auto [user, uuid] = user_with_energy();
+  GrafanaClient client = client_for(user);
+  std::string panel =
+      render_user_job_list(client, 0, mini_->clock()->now_ms());
+  EXPECT_NE(panel.find("Compute units of " + user), std::string::npos);
+  EXPECT_NE(panel.find("JobID"), std::string::npos);
+  EXPECT_NE(panel.find("Energy"), std::string::npos);
+  EXPECT_NE(panel.find(uuid), std::string::npos);
+}
+
+TEST_F(DashboardTest, Fig2cJobTimeseriesThroughLb) {
+  auto [user, uuid] = user_with_energy();
+  GrafanaClient client = client_for(user);
+  common::TimestampMs now = mini_->clock()->now_ms();
+  std::string panel = render_job_timeseries(client, uuid,
+                                            now - 20 * 60 * 1000, now, 60000);
+  EXPECT_NE(panel.find("CPU usage"), std::string::npos);
+  EXPECT_EQ(panel.find("denied"), std::string::npos);
+}
+
+TEST_F(DashboardTest, Fig2cDeniedForStranger) {
+  auto [user, uuid] = user_with_energy();
+  GrafanaClient stranger = client_for("not_" + user);
+  common::TimestampMs now = mini_->clock()->now_ms();
+  std::string panel = render_job_timeseries(stranger, uuid, now - 600000, now,
+                                            60000);
+  EXPECT_NE(panel.find("denied or failed"), std::string::npos);
+}
+
+TEST_F(DashboardTest, InstantQueryThroughClient) {
+  GrafanaClient admin = client_for("admin");
+  auto result = admin.instant_query("sum(up)", mini_->clock()->now_ms());
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.instant.size(), 1u);
+  // All targets up: nodes + emissions.
+  EXPECT_GT(result.instant[0].second,
+            static_cast<double>(mini_->sim().cluster().node_count()) - 1);
+}
+
+}  // namespace
+}  // namespace ceems::dashboard

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "http/client.h"
+#include "lb/load_balancer.h"
+#include "lb/query_introspect.h"
+#include "stack_fixture.h"
+
+namespace ceems::lb {
+namespace {
+
+// ---------- query introspection ----------
+
+TEST(Introspect, ExtractsUuidsFromSelectors) {
+  auto result = introspect_query(
+      "sum(rate(ceems_compute_unit_cpu_usage_seconds_total{uuid=\"123\"}[2m]))"
+      " + ceems_job_power_watts{uuid=\"456\"}");
+  EXPECT_TRUE(result.parse_ok);
+  EXPECT_FALSE(result.has_unverifiable_selector);
+  EXPECT_EQ(result.uuids, (std::set<std::string>{"123", "456"}));
+}
+
+TEST(Introspect, UuidlessSelectorIsUnverifiable) {
+  auto result = introspect_query("sum(node_cpu_seconds_total)");
+  EXPECT_TRUE(result.parse_ok);
+  EXPECT_TRUE(result.has_unverifiable_selector);
+}
+
+TEST(Introspect, RegexUuidIsUnverifiable) {
+  auto result = introspect_query("m{uuid=~\"12.*\"}");
+  EXPECT_TRUE(result.has_unverifiable_selector);
+  auto negated = introspect_query("m{uuid!=\"12\"}");
+  EXPECT_TRUE(negated.has_unverifiable_selector);
+}
+
+TEST(Introspect, WalksAllExpressionShapes) {
+  auto result = introspect_query(
+      "topk(3, abs(m{uuid=\"1\"}) and (n{uuid=\"2\"} or vector(0)))");
+  EXPECT_TRUE(result.parse_ok);
+  EXPECT_TRUE(result.uuids.count("1"));
+  EXPECT_TRUE(result.uuids.count("2"));
+  // vector(0) has no selector, so nothing unverifiable from it; but the
+  // full expression is fine since every *selector* pins a uuid.
+  EXPECT_FALSE(result.has_unverifiable_selector);
+}
+
+TEST(Introspect, ParseFailureReported) {
+  auto result = introspect_query("sum(((");
+  EXPECT_FALSE(result.parse_ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+// ---------- LB over a live mini-stack ----------
+
+class LbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ceems::testing::MiniStackOptions options;
+    mini_ = new ceems::testing::MiniStack(options);
+    mini_->run(20 * common::kMillisPerMinute);
+    mini_->stack().start_servers();
+  }
+  static void TearDownTestSuite() {
+    delete mini_;
+    mini_ = nullptr;
+  }
+
+  http::Response query_via_lb(const std::string& user,
+                              const std::string& query) {
+    http::Client client;
+    http::HeaderMap headers;
+    if (!user.empty()) headers["X-Grafana-User"] = user;
+    auto result = client.get(
+        mini_->stack().lb_url() + "/api/v1/query?query=" +
+            http::url_encode(query) + "&time=" +
+            std::to_string(mini_->clock()->now_ms() / 1000),
+        headers);
+    EXPECT_TRUE(result.ok) << result.error;
+    return result.response;
+  }
+
+  // (user, uuid) of some unit with data.
+  static std::pair<std::string, std::string> some_unit() {
+    for (const auto& job : mini_->sim().dbd().all_jobs()) {
+      if (job.start_time_ms != 0) {
+        return {job.request.user, std::to_string(job.job_id)};
+      }
+    }
+    return {"user0", "0"};
+  }
+
+  static ceems::testing::MiniStack* mini_;
+};
+
+ceems::testing::MiniStack* LbTest::mini_ = nullptr;
+
+TEST_F(LbTest, OwnerQueriesTheirUnit) {
+  auto [user, uuid] = some_unit();
+  auto response = query_via_lb(
+      user, "ceems_compute_unit_memory_current_bytes{uuid=\"" + uuid + "\"}");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"status\":\"success\""), std::string::npos);
+}
+
+TEST_F(LbTest, StrangerDenied) {
+  auto [user, uuid] = some_unit();
+  auto response = query_via_lb(
+      "mallory", "ceems_compute_unit_memory_current_bytes{uuid=\"" + uuid +
+                     "\"}");
+  EXPECT_EQ(response.status, 403);
+  EXPECT_GT(mini_->stack().load_balancer().denied_total(), 0u);
+}
+
+TEST_F(LbTest, MissingUserHeaderDenied) {
+  auto response = query_via_lb("", "up{uuid=\"1\"}");
+  EXPECT_EQ(response.status, 403);
+}
+
+TEST_F(LbTest, UuidlessQueryDeniedForUsersAllowedForAdmins) {
+  auto denied = query_via_lb("user0", "sum(node_cpu_seconds_total)");
+  EXPECT_EQ(denied.status, 403);
+  auto allowed = query_via_lb("admin", "sum(node_cpu_seconds_total)");
+  EXPECT_EQ(allowed.status, 200);
+}
+
+TEST_F(LbTest, UnparsableQueryRejected) {
+  auto response = query_via_lb("user0", "sum(((");
+  EXPECT_EQ(response.status, 400);
+}
+
+TEST_F(LbTest, MixedOwnershipDenied) {
+  auto [user, uuid] = some_unit();
+  // Find a unit of a different user.
+  std::string other_uuid;
+  for (const auto& job : mini_->sim().dbd().all_jobs()) {
+    if (job.start_time_ms != 0 && job.request.user != user) {
+      other_uuid = std::to_string(job.job_id);
+      break;
+    }
+  }
+  ASSERT_FALSE(other_uuid.empty());
+  auto response = query_via_lb(
+      user, "m{uuid=\"" + uuid + "\"} + m{uuid=\"" + other_uuid + "\"}");
+  EXPECT_EQ(response.status, 403);
+}
+
+TEST_F(LbTest, RangeQueryProxied) {
+  auto [user, uuid] = some_unit();
+  http::Client client;
+  http::HeaderMap headers;
+  headers["X-Grafana-User"] = user;
+  common::TimestampMs now = mini_->clock()->now_ms();
+  auto result = client.get(
+      mini_->stack().lb_url() + "/api/v1/query_range?query=" +
+          http::url_encode("ceems_compute_unit_memory_current_bytes{uuid=\"" +
+                           uuid + "\"}") +
+          "&start=" + std::to_string((now - 600000) / 1000) +
+          "&end=" + std::to_string(now / 1000) + "&step=30s",
+      headers);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_NE(result.response.body.find("matrix"), std::string::npos);
+}
+
+TEST_F(LbTest, HttpFallbackOwnershipPath) {
+  // An LB without the direct DB handle must round-trip to the API server.
+  lb::LbConfig config;
+  config.api_server_url = mini_->stack().api_url();
+  config.admin_users = {"admin"};
+  LoadBalancer lb(config, mini_->stack().query_backend_urls(),
+                  mini_->clock());
+  lb.start();
+
+  auto [user, uuid] = some_unit();
+  http::Client client;
+  http::HeaderMap headers;
+  headers["X-Grafana-User"] = user;
+  auto granted = client.get(
+      lb.base_url() + "/api/v1/query?query=" +
+          http::url_encode("up{uuid=\"" + uuid + "\"}"),
+      headers);
+  ASSERT_TRUE(granted.ok);
+  EXPECT_EQ(granted.response.status, 200);
+
+  headers["X-Grafana-User"] = "mallory";
+  auto denied = client.get(
+      lb.base_url() + "/api/v1/query?query=" +
+          http::url_encode("up{uuid=\"" + uuid + "\"}"),
+      headers);
+  ASSERT_TRUE(denied.ok);
+  EXPECT_EQ(denied.response.status, 403);
+  lb.stop();
+}
+
+TEST_F(LbTest, RoundRobinSpreadsBackends) {
+  for (int i = 0; i < 10; ++i) {
+    query_via_lb("admin", "vector(1)");
+  }
+  auto stats = mini_->stack().load_balancer().backend_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GT(stats[0].requests, 0u);
+  EXPECT_GT(stats[1].requests, 0u);
+}
+
+TEST(LbStandalone, FailsOverToHealthyBackend) {
+  auto clock = common::make_sim_clock(0);
+  http::Server healthy{http::ServerConfig{}};
+  healthy.handle_prefix("/api/", [](const http::Request&) {
+    return http::Response::json(200, "{\"who\":\"healthy\"}");
+  });
+  healthy.start();
+
+  LbConfig config;
+  config.admin_users = {"admin"};
+  // First backend dead, second alive: every request must still succeed.
+  LoadBalancer lb(config, {"http://127.0.0.1:1", healthy.base_url()}, clock);
+  lb.start();
+  http::Client client;
+  http::HeaderMap headers;
+  headers["X-Grafana-User"] = "admin";
+  for (int i = 0; i < 6; ++i) {
+    auto result =
+        client.get(lb.base_url() + "/api/v1/query?query=vector(1)", headers);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.response.status, 200);
+    EXPECT_NE(result.response.body.find("healthy"), std::string::npos);
+  }
+  auto stats = lb.backend_stats();
+  EXPECT_GT(stats[0].failures, 0u);  // dead backend was tried and skipped
+  lb.stop();
+  healthy.stop();
+}
+
+TEST(LbStandalone, DeadBackendIs502) {
+  auto clock = common::make_sim_clock(0);
+  LbConfig config;
+  config.admin_users = {"admin"};
+  LoadBalancer lb(config, {"http://127.0.0.1:1"}, clock);
+  lb.start();
+  http::Client client;
+  http::HeaderMap headers;
+  headers["X-Grafana-User"] = "admin";
+  auto result = client.get(lb.base_url() + "/api/v1/query?query=vector(1)",
+                           headers);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.response.status, 502);
+  EXPECT_EQ(lb.backend_stats()[0].failures, 1u);
+  lb.stop();
+}
+
+TEST(LbStandalone, LeastConnectionPrefersIdleBackend) {
+  auto clock = common::make_sim_clock(0);
+  // Backend A is slow; backend B fast. Under concurrency, least-connection
+  // must route most requests to B.
+  http::Server slow{http::ServerConfig{}};
+  slow.handle_prefix("/api/", [](const http::Request&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return http::Response::json(200, "{\"who\":\"slow\"}");
+  });
+  http::Server fast{http::ServerConfig{}};
+  fast.handle_prefix("/api/", [](const http::Request&) {
+    return http::Response::json(200, "{\"who\":\"fast\"}");
+  });
+  slow.start();
+  fast.start();
+
+  LbConfig config;
+  config.strategy = Strategy::kLeastConnection;
+  config.admin_users = {"admin"};
+  config.http.worker_threads = 8;
+  LoadBalancer lb(config, {slow.base_url(), fast.base_url()}, clock);
+  lb.start();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      http::Client client;
+      http::HeaderMap headers;
+      headers["X-Grafana-User"] = "admin";
+      for (int i = 0; i < 10; ++i) {
+        client.get(lb.base_url() + "/api/v1/query?query=vector(1)", headers);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  auto stats = lb.backend_stats();
+  uint64_t slow_requests = stats[0].requests;
+  uint64_t fast_requests = stats[1].requests;
+  EXPECT_EQ(slow_requests + fast_requests, 40u);
+  EXPECT_GT(fast_requests, slow_requests);
+  lb.stop();
+  slow.stop();
+  fast.stop();
+}
+
+}  // namespace
+}  // namespace ceems::lb

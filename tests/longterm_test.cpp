@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "tsdb/longterm.h"
+#include "tsdb/promql_eval.h"
+
+namespace ceems::tsdb {
+namespace {
+
+using common::kMillisPerHour;
+using common::kMillisPerMinute;
+
+Labels named(const std::string& name, const std::string& host) {
+  return Labels{{"hostname", host}}.with_name(name);
+}
+
+TEST(LongTerm, SyncPullsOnlyNewSamples) {
+  TimeSeriesStore hot;
+  LongTermStore lt;
+  hot.append(named("m", "n1"), 1000, 1);
+  hot.append(named("m", "n1"), 2000, 2);
+  EXPECT_EQ(lt.sync_from(hot), 2u);
+  hot.append(named("m", "n1"), 3000, 3);
+  EXPECT_EQ(lt.sync_from(hot), 1u);  // incremental
+  EXPECT_EQ(lt.sync_from(hot), 0u);  // idempotent
+
+  auto series = lt.select({}, 0, 10000);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].samples.size(), 3u);
+}
+
+TEST(LongTerm, HotRetentionSurvivesInLongTerm) {
+  // The hot TSDB can purge aggressively once data is replicated (Fig. 1).
+  TimeSeriesStore hot;
+  LongTermStore lt;
+  for (int i = 0; i < 10; ++i) {
+    hot.append(named("m", "n1"), i * 1000, i);
+  }
+  lt.sync_from(hot);
+  hot.purge_before(8000);
+  EXPECT_EQ(hot.stats().num_samples, 2u);
+  EXPECT_EQ(lt.select({}, 0, 20000)[0].samples.size(), 10u);
+}
+
+TEST(LongTerm, CompactionDownsamplesOldData) {
+  LongTermConfig config;
+  config.downsample_after_ms = kMillisPerHour;
+  config.resolution_ms = 5 * kMillisPerMinute;
+  LongTermStore lt(config);
+  TimeSeriesStore hot;
+  // 2 h of 30 s samples.
+  for (int i = 0; i < 240; ++i) {
+    hot.append(named("m", "n1"), i * 30000, i);
+  }
+  lt.sync_from(hot);
+  lt.compact(2 * kMillisPerHour);
+
+  // First hour: 12 downsampled points (one per 5 min); second hour: raw.
+  auto series = lt.select({}, 0, 2 * kMillisPerHour);
+  ASSERT_EQ(series.size(), 1u);
+  std::size_t old_points = 0;
+  for (const auto& sample : series[0].samples) {
+    if (sample.t < kMillisPerHour) ++old_points;
+  }
+  EXPECT_EQ(old_points, 12u);
+  EXPECT_EQ(series[0].samples.size(), 12u + 120u);
+  // Last-per-bucket keeps counter semantics: value at bucket end.
+  EXPECT_DOUBLE_EQ(series[0].samples[0].v, 9);  // t=270000, sample #9
+}
+
+TEST(LongTerm, CompactionPreservesCounterIncrease) {
+  LongTermConfig config;
+  config.downsample_after_ms = kMillisPerHour;
+  config.resolution_ms = 5 * kMillisPerMinute;
+  LongTermStore lt(config);
+  TimeSeriesStore hot;
+  for (int i = 0; i < 240; ++i) {
+    hot.append(named("joules", "n1"), i * 30000, i * 300.0);  // 10 W
+  }
+  lt.sync_from(hot);
+
+  promql::Engine engine;
+  auto before = engine.eval(lt, "increase(joules[1h])", 2 * kMillisPerHour);
+  lt.compact(2 * kMillisPerHour);
+  auto after = engine.eval(lt, "increase(joules[1h])", 2 * kMillisPerHour);
+  ASSERT_EQ(before.vector.size(), 1u);
+  ASSERT_EQ(after.vector.size(), 1u);
+  EXPECT_NEAR(before.vector[0].value, after.vector[0].value, 1e-9);
+
+  // Increase over the downsampled epoch is also intact (coarser grid, same
+  // cumulative counter).
+  // 10 J/s counter; the 5-min grid trims the observed span to ~50.5 min.
+  auto old_epoch = engine.eval(lt, "increase(joules[55m])", kMillisPerHour);
+  ASSERT_EQ(old_epoch.vector.size(), 1u);
+  EXPECT_GT(old_epoch.vector[0].value, 28000.0);
+  EXPECT_LT(old_epoch.vector[0].value, 33000.0);
+}
+
+TEST(LongTerm, RetentionDropsAncientData) {
+  LongTermConfig config;
+  config.downsample_after_ms = kMillisPerHour;
+  config.resolution_ms = 5 * kMillisPerMinute;
+  config.retention_ms = 24 * kMillisPerHour;
+  LongTermStore lt(config);
+  TimeSeriesStore hot;
+  hot.append(named("m", "n1"), 0, 1);
+  hot.append(named("m", "n1"), 30 * kMillisPerHour, 2);
+  lt.sync_from(hot);
+  lt.compact(30 * kMillisPerHour);
+  auto series = lt.select({}, 0, 40 * kMillisPerHour);
+  ASSERT_EQ(series.size(), 1u);
+  // Sample at t=0 is beyond 24 h retention at t=30 h.
+  EXPECT_EQ(series[0].samples.size(), 1u);
+  EXPECT_EQ(series[0].samples[0].t, 30 * kMillisPerHour);
+}
+
+TEST(LongTerm, SelectMergesAcrossEpochBoundary) {
+  LongTermConfig config;
+  config.downsample_after_ms = kMillisPerHour;
+  config.resolution_ms = 10 * kMillisPerMinute;
+  LongTermStore lt(config);
+  TimeSeriesStore hot;
+  for (int i = 0; i < 240; ++i) {
+    hot.append(named("m", "n1"), i * 30000, i);
+  }
+  lt.sync_from(hot);
+  lt.compact(2 * kMillisPerHour);
+  auto series = lt.select({}, 0, 3 * kMillisPerHour);
+  ASSERT_EQ(series.size(), 1u);
+  // Strictly increasing timestamps across the merge.
+  for (std::size_t i = 1; i < series[0].samples.size(); ++i) {
+    EXPECT_GT(series[0].samples[i].t, series[0].samples[i - 1].t);
+  }
+}
+
+TEST(LongTerm, StatsReflectBothTiers) {
+  LongTermConfig config;
+  config.downsample_after_ms = kMillisPerHour;
+  LongTermStore lt(config);
+  TimeSeriesStore hot;
+  for (int i = 0; i < 240; ++i) {
+    hot.append(named("m", "n1"), i * 30000, i);
+  }
+  lt.sync_from(hot);
+  StorageStats before = lt.stats();
+  lt.compact(2 * kMillisPerHour);
+  StorageStats after = lt.stats();
+  EXPECT_EQ(before.num_samples, 240u);
+  EXPECT_LT(after.num_samples, before.num_samples);  // downsampling shrank it
+  EXPECT_GT(lt.downsampled_stats().num_samples, 0u);
+}
+
+}  // namespace
+}  // namespace ceems::tsdb

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/labels.h"
+#include "metrics/registry.h"
+#include "metrics/text_format.h"
+
+namespace ceems::metrics {
+namespace {
+
+// ---------- labels ----------
+
+TEST(Labels, SortedAndDeduplicated) {
+  Labels labels{{"z", "1"}, {"a", "2"}, {"z", "3"}};
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels.pairs()[0].first, "a");
+  EXPECT_EQ(*labels.get("z"), "3");  // later duplicate wins
+}
+
+TEST(Labels, WithReplacesOrAdds) {
+  Labels labels{{"a", "1"}};
+  Labels with_b = labels.with("b", "2");
+  EXPECT_EQ(*with_b.get("b"), "2");
+  Labels replaced = with_b.with("a", "9");
+  EXPECT_EQ(*replaced.get("a"), "9");
+  EXPECT_EQ(*labels.get("a"), "1");  // original untouched
+}
+
+TEST(Labels, KeepOnlyAndDrop) {
+  Labels labels{{"a", "1"}, {"b", "2"}, {"c", "3"}};
+  EXPECT_EQ(labels.keep_only({"a", "c"}).size(), 2u);
+  EXPECT_EQ(labels.drop({"b"}).size(), 2u);
+  EXPECT_FALSE(labels.drop({"b"}).has("b"));
+}
+
+TEST(Labels, FingerprintDistinguishesBoundaries) {
+  // {"ab","c"} vs {"a","bc"} must not collide.
+  Labels first{{"x", "ab"}, {"y", "c"}};
+  Labels second{{"x", "a"}, {"y", "bc"}};
+  EXPECT_NE(first.fingerprint(), second.fingerprint());
+}
+
+TEST(Labels, FingerprintStable) {
+  Labels labels{{"host", "n1"}, {"uuid", "42"}};
+  EXPECT_EQ(labels.fingerprint(),
+            (Labels{{"uuid", "42"}, {"host", "n1"}}).fingerprint());
+}
+
+TEST(Labels, NameHelpers) {
+  Labels labels = Labels{{"a", "1"}}.with_name("up");
+  EXPECT_EQ(labels.name(), "up");
+  EXPECT_FALSE(labels.without_name().has(kMetricNameLabel));
+}
+
+TEST(LabelMatcher, EqAndNe) {
+  Labels labels{{"mode", "idle"}};
+  LabelMatcher eq{"mode", LabelMatcher::Op::kEq, "idle"};
+  LabelMatcher ne{"mode", LabelMatcher::Op::kNe, "idle"};
+  EXPECT_TRUE(eq.matches(labels));
+  EXPECT_FALSE(ne.matches(labels));
+  // Missing label: eq with empty value matches, ne with value matches.
+  LabelMatcher missing_eq{"zone", LabelMatcher::Op::kEq, ""};
+  EXPECT_TRUE(missing_eq.matches(labels));
+  LabelMatcher missing_ne{"zone", LabelMatcher::Op::kNe, "x"};
+  EXPECT_TRUE(missing_ne.matches(labels));
+}
+
+TEST(LabelMatcher, RegexAnchored) {
+  Labels labels{{"job", "node123"}};
+  LabelMatcher re{"job", LabelMatcher::Op::kRegexMatch, "node\\d+"};
+  EXPECT_TRUE(re.matches(labels));
+  LabelMatcher partial{"job", LabelMatcher::Op::kRegexMatch, "node"};
+  EXPECT_FALSE(partial.matches(labels));  // anchored, must match fully
+  LabelMatcher no_match{"job", LabelMatcher::Op::kRegexNoMatch, "web.*"};
+  EXPECT_TRUE(no_match.matches(labels));
+}
+
+// ---------- model ----------
+
+TEST(Model, MetricNameValidation) {
+  EXPECT_TRUE(is_valid_metric_name("node_cpu_seconds_total"));
+  EXPECT_TRUE(is_valid_metric_name("instance:rate:sum"));
+  EXPECT_TRUE(is_valid_metric_name("_private"));
+  EXPECT_FALSE(is_valid_metric_name("9leading"));
+  EXPECT_FALSE(is_valid_metric_name("has-dash"));
+  EXPECT_FALSE(is_valid_metric_name(""));
+}
+
+TEST(Model, LabelNameValidation) {
+  EXPECT_TRUE(is_valid_label_name("mode"));
+  EXPECT_FALSE(is_valid_label_name("with:colon"));
+  EXPECT_FALSE(is_valid_label_name("1x"));
+}
+
+// ---------- text format ----------
+
+TEST(TextFormat, EncodeBasic) {
+  MetricFamily family{"up", "Target is up.", MetricType::kGauge, {}};
+  family.add(Labels{{"instance", "n1"}}, 1);
+  std::string text = encode_families({family});
+  EXPECT_NE(text.find("# HELP up Target is up."), std::string::npos);
+  EXPECT_NE(text.find("# TYPE up gauge"), std::string::npos);
+  EXPECT_NE(text.find("up{instance=\"n1\"} 1"), std::string::npos);
+}
+
+TEST(TextFormat, EscapesLabelValues) {
+  MetricFamily family{"m", "", MetricType::kUntyped, {}};
+  family.add(Labels{{"path", "a\\b\"c\nd"}}, 1);
+  std::string text = encode_families({family});
+  EXPECT_NE(text.find(R"(path="a\\b\"c\nd")"), std::string::npos);
+}
+
+TEST(TextFormat, RoundTrip) {
+  MetricFamily family{"ceems_compute_unit_cpu_usage_seconds_total",
+                      "CPU time.",
+                      MetricType::kCounter,
+                      {}};
+  family.add(Labels{{"uuid", "1001"}, {"mode", "user"}}, 123.5);
+  family.add(Labels{{"uuid", "1001"}, {"mode", "system"}}, 21.25);
+
+  ParsedExposition parsed = parse_exposition(encode_families({family}));
+  ASSERT_EQ(parsed.samples.size(), 2u);
+  EXPECT_EQ(parsed.samples[0].labels.name(),
+            "ceems_compute_unit_cpu_usage_seconds_total");
+  ASSERT_EQ(parsed.families.size(), 1u);
+  EXPECT_EQ(parsed.families[0].type, MetricType::kCounter);
+  EXPECT_EQ(parsed.families[0].help, "CPU time.");
+}
+
+TEST(TextFormat, ParseWithTimestamp) {
+  auto parsed = parse_exposition("m{a=\"b\"} 4.5 1700000000000\n");
+  ASSERT_EQ(parsed.samples.size(), 1u);
+  EXPECT_EQ(parsed.samples[0].timestamp_ms, 1700000000000LL);
+  EXPECT_DOUBLE_EQ(parsed.samples[0].value, 4.5);
+}
+
+TEST(TextFormat, ParseBareMetricNoLabels) {
+  auto parsed = parse_exposition("node_load1 0.5\n");
+  ASSERT_EQ(parsed.samples.size(), 1u);
+  EXPECT_EQ(parsed.samples[0].labels.size(), 1u);  // just __name__
+}
+
+TEST(TextFormat, ParseSpecialValues) {
+  auto parsed = parse_exposition("m 1\nn +Inf\no NaN\n");
+  EXPECT_TRUE(std::isinf(parsed.samples[1].value));
+  EXPECT_TRUE(std::isnan(parsed.samples[2].value));
+}
+
+TEST(TextFormat, MalformedLinesThrow) {
+  EXPECT_THROW(parse_exposition("metric{a=\"b\"\n"), ExpositionParseError);
+  EXPECT_THROW(parse_exposition("metric{a=b} 1\n"), ExpositionParseError);
+  EXPECT_THROW(parse_exposition("metric abc\n"), ExpositionParseError);
+  EXPECT_THROW(parse_exposition("9bad 1\n"), ExpositionParseError);
+  EXPECT_THROW(parse_exposition("m\n"), ExpositionParseError);
+}
+
+TEST(TextFormat, UnknownCommentsIgnored) {
+  auto parsed = parse_exposition("# EOF\n# random comment\nm 1\n");
+  EXPECT_EQ(parsed.samples.size(), 1u);
+}
+
+TEST(TextFormat, EscapedLabelValueRoundTrip) {
+  auto parsed = parse_exposition("m{p=\"a\\\\b\\\"c\\nd\"} 1\n");
+  ASSERT_EQ(parsed.samples.size(), 1u);
+  EXPECT_EQ(*parsed.samples[0].labels.get("p"), "a\\b\"c\nd");
+}
+
+// ---------- registry ----------
+
+TEST(Registry, CounterAccumulatesAndRejectsNegative) {
+  Registry registry;
+  auto counter = registry.counter("requests_total", "Total requests.");
+  counter->inc();
+  counter->inc(4.5);
+  EXPECT_DOUBLE_EQ(counter->value(), 5.5);
+  EXPECT_THROW(counter->inc(-1), std::invalid_argument);
+}
+
+TEST(Registry, SameNameAndLabelsSharesChild) {
+  Registry registry;
+  auto a = registry.counter("c", "h", Labels{{"x", "1"}});
+  auto b = registry.counter("c", "h", Labels{{"x", "1"}});
+  a->inc();
+  EXPECT_DOUBLE_EQ(b->value(), 1.0);
+  auto other = registry.counter("c", "h", Labels{{"x", "2"}});
+  EXPECT_DOUBLE_EQ(other->value(), 0.0);
+}
+
+TEST(Registry, CollectIsSortedAndComplete) {
+  Registry registry;
+  registry.gauge("z_gauge", "z")->set(3);
+  registry.counter("a_counter", "a")->inc();
+  auto families = registry.collect();
+  ASSERT_EQ(families.size(), 2u);
+  EXPECT_EQ(families[0].name, "a_counter");
+  EXPECT_EQ(families[0].type, MetricType::kCounter);
+  EXPECT_EQ(families[1].name, "z_gauge");
+  EXPECT_DOUBLE_EQ(families[1].metrics[0].value, 3.0);
+}
+
+TEST(Registry, InvalidNameThrows) {
+  Registry registry;
+  EXPECT_THROW(registry.counter("bad-name", "x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ceems::metrics

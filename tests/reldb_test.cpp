@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "reldb/database.h"
+
+namespace ceems::reldb {
+namespace {
+
+Schema jobs_schema() {
+  Schema schema;
+  schema.columns = {{"id", ColumnType::kInt},
+                    {"user", ColumnType::kText},
+                    {"energy", ColumnType::kReal}};
+  schema.primary_key = "id";
+  return schema;
+}
+
+// ---------- values ----------
+
+TEST(Value, TypedAccessAndCoercion) {
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(42).as_real(), 42.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_real(), 2.5);
+  EXPECT_EQ(Value("x").as_text(), "x");
+  EXPECT_EQ(Value("17").as_int(), 17);
+  EXPECT_TRUE(Value().is_null());
+}
+
+TEST(Value, TotalOrder) {
+  EXPECT_TRUE(Value() < Value(0));          // null < numbers
+  EXPECT_TRUE(Value(5) < Value("a"));       // numbers < text
+  EXPECT_TRUE(Value(2) < Value(2.5));       // numeric comparison across types
+  EXPECT_TRUE(Value(2) == Value(2.0));
+  EXPECT_FALSE(Value("2") == Value(2));     // text vs number differ
+}
+
+// ---------- table ----------
+
+TEST(Table, InsertUpsertEraseGet) {
+  Table table(jobs_schema());
+  EXPECT_TRUE(table.insert({Value(1), Value("alice"), Value(10.0)}));
+  EXPECT_FALSE(table.insert({Value(1), Value("bob"), Value(0.0)}));
+  EXPECT_EQ((*table.get(Value(1)))[1].as_text(), "alice");
+
+  table.upsert({Value(1), Value("bob"), Value(20.0)});
+  EXPECT_EQ((*table.get(Value(1)))[1].as_text(), "bob");
+  EXPECT_EQ(table.size(), 1u);
+
+  EXPECT_TRUE(table.erase(Value(1)));
+  EXPECT_FALSE(table.erase(Value(1)));
+  EXPECT_FALSE(table.get(Value(1)).has_value());
+}
+
+TEST(Table, EraseKeepsOtherRowsFindable) {
+  Table table(jobs_schema());
+  table.create_index("user");
+  for (int i = 0; i < 10; ++i) {
+    table.insert({Value(i), Value("u" + std::to_string(i % 3)),
+                  Value(static_cast<double>(i))});
+  }
+  table.erase(Value(0));
+  table.erase(Value(5));
+  // Swap-with-last on erase must keep the pk map and index consistent.
+  for (int i : {1, 2, 3, 4, 6, 7, 8, 9}) {
+    ASSERT_TRUE(table.get(Value(i)).has_value()) << i;
+  }
+  Query query;
+  query.where = {{"user", Predicate::Op::kEq, Value("u1")}};
+  EXPECT_EQ(table.execute(query).rows.size(), 3u);  // ids 1, 4, 7 (untouched)
+}
+
+TEST(Table, WhereOperators) {
+  Table table(jobs_schema());
+  for (int i = 0; i < 10; ++i) {
+    table.insert({Value(i), Value("u"), Value(static_cast<double>(i))});
+  }
+  auto count = [&](Predicate::Op op, double v) {
+    Query query;
+    query.where = {{"energy", op, Value(v)}};
+    return table.execute(query).rows.size();
+  };
+  EXPECT_EQ(count(Predicate::Op::kEq, 5), 1u);
+  EXPECT_EQ(count(Predicate::Op::kNe, 5), 9u);
+  EXPECT_EQ(count(Predicate::Op::kLt, 5), 5u);
+  EXPECT_EQ(count(Predicate::Op::kLe, 5), 6u);
+  EXPECT_EQ(count(Predicate::Op::kGt, 5), 4u);
+  EXPECT_EQ(count(Predicate::Op::kGe, 5), 5u);
+}
+
+TEST(Table, GroupByWithAggregates) {
+  Table table(jobs_schema());
+  table.insert({Value(1), Value("alice"), Value(10.0)});
+  table.insert({Value(2), Value("alice"), Value(30.0)});
+  table.insert({Value(3), Value("bob"), Value(5.0)});
+
+  Query query;
+  query.group_by = {"user"};
+  query.aggregates = {{AggFn::kSum, "energy", "total"},
+                      {AggFn::kAvg, "energy", "mean"},
+                      {AggFn::kMin, "energy", "lo"},
+                      {AggFn::kMax, "energy", "hi"},
+                      {AggFn::kCount, "", "n"}};
+  query.order_by = "user";
+  ResultSet result = table.execute(query);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.at(0, "total").as_real(), 40.0);
+  EXPECT_DOUBLE_EQ(result.at(0, "mean").as_real(), 20.0);
+  EXPECT_DOUBLE_EQ(result.at(0, "lo").as_real(), 10.0);
+  EXPECT_DOUBLE_EQ(result.at(0, "hi").as_real(), 30.0);
+  EXPECT_EQ(result.at(0, "n").as_int(), 2);
+  EXPECT_DOUBLE_EQ(result.at(1, "total").as_real(), 5.0);
+}
+
+TEST(Table, OrderByDescendingAndLimit) {
+  Table table(jobs_schema());
+  for (int i = 0; i < 10; ++i) {
+    table.insert({Value(i), Value("u"), Value(static_cast<double>(i))});
+  }
+  Query query;
+  query.order_by = "energy";
+  query.descending = true;
+  query.limit = 3;
+  ResultSet result = table.execute(query);
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.at(0, "energy").as_real(), 9.0);
+  EXPECT_DOUBLE_EQ(result.at(2, "energy").as_real(), 7.0);
+}
+
+TEST(Table, ProjectionSelectsColumns) {
+  Table table(jobs_schema());
+  table.insert({Value(1), Value("alice"), Value(10.0)});
+  Query query;
+  query.select = {"user"};
+  ResultSet result = table.execute(query);
+  ASSERT_EQ(result.columns.size(), 1u);
+  EXPECT_EQ(result.at(0, "user").as_text(), "alice");
+  EXPECT_THROW(result.at(0, "energy"), std::out_of_range);
+}
+
+TEST(Table, IndexedEqualityFastPathGivesSameAnswer) {
+  Table indexed(jobs_schema());
+  Table plain(jobs_schema());
+  indexed.create_index("user");
+  for (int i = 0; i < 100; ++i) {
+    Row row = {Value(i), Value("u" + std::to_string(i % 7)),
+               Value(static_cast<double>(i))};
+    indexed.insert(row);
+    plain.insert(row);
+  }
+  Query query;
+  query.where = {{"user", Predicate::Op::kEq, Value("u3")},
+                 {"energy", Predicate::Op::kGt, Value(50.0)}};
+  EXPECT_EQ(indexed.execute(query).rows.size(),
+            plain.execute(query).rows.size());
+}
+
+TEST(Table, SchemaErrors) {
+  EXPECT_THROW(Table(Schema{{{"a", ColumnType::kInt}}, "missing"}),
+               std::invalid_argument);
+  Table table(jobs_schema());
+  EXPECT_THROW(table.insert({Value(1)}), std::invalid_argument);
+  Query bad;
+  bad.select = {"nope"};
+  EXPECT_THROW(table.execute(bad), std::invalid_argument);
+}
+
+// ---------- wal ----------
+
+TEST(Wal, EntryRoundTrip) {
+  WalEntry entry;
+  entry.seq = 7;
+  entry.op = WalEntry::Op::kUpsert;
+  entry.table = "units";
+  entry.row = {Value(1), Value("alice"), Value(2.5)};
+  auto decoded = decode_wal_entry(encode_wal_entry(entry));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 7u);
+  EXPECT_EQ(decoded->table, "units");
+  ASSERT_EQ(decoded->row.size(), 3u);
+  EXPECT_EQ(decoded->row[1].as_text(), "alice");
+}
+
+TEST(Wal, CorruptLineRejected) {
+  EXPECT_FALSE(decode_wal_entry("{not json").has_value());
+  EXPECT_FALSE(decode_wal_entry("{\"op\":\"who\"}").has_value());
+}
+
+// ---------- database ----------
+
+class DatabaseFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "ceems_reldb_test_" +
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".wal";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(DatabaseFileTest, WalReplayRestoresState) {
+  {
+    Database db(path_);
+    db.create_table("jobs", jobs_schema());
+    db.upsert("jobs", {Value(1), Value("alice"), Value(10.0)});
+    db.upsert("jobs", {Value(2), Value("bob"), Value(20.0)});
+    db.upsert("jobs", {Value(1), Value("alice"), Value(15.0)});
+    db.erase("jobs", Value(2));
+  }
+  auto reopened = Database::open(path_);
+  EXPECT_EQ(reopened->table_size("jobs"), 1u);
+  EXPECT_DOUBLE_EQ((*reopened->get("jobs", Value(1)))[2].as_real(), 15.0);
+}
+
+TEST_F(DatabaseFileTest, TruncatedWalTailRecoversPrefix) {
+  {
+    Database db(path_);
+    db.create_table("jobs", jobs_schema());
+    db.upsert("jobs", {Value(1), Value("a"), Value(1.0)});
+    db.upsert("jobs", {Value(2), Value("b"), Value(2.0)});
+  }
+  // Corrupt the last line (torn write).
+  std::ifstream in(path_);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::trunc);
+  out << content.substr(0, content.size() - 15) << "\n";
+  out.close();
+
+  auto recovered = Database::open(path_);
+  EXPECT_EQ(recovered->table_size("jobs"), 1u);
+  EXPECT_TRUE(recovered->get("jobs", Value(1)).has_value());
+}
+
+TEST_F(DatabaseFileTest, BackupAndRestore) {
+  Database db;  // in-memory primary
+  db.create_table("jobs", jobs_schema());
+  for (int i = 0; i < 20; ++i) {
+    db.upsert("jobs", {Value(i), Value("u"), Value(static_cast<double>(i))});
+  }
+  db.backup_to(path_);
+  auto restored = Database::open(path_);
+  EXPECT_EQ(restored->table_size("jobs"), 20u);
+  EXPECT_DOUBLE_EQ((*restored->get("jobs", Value(7)))[2].as_real(), 7.0);
+}
+
+TEST(Database, ReplicatorShipsIncrementally) {
+  Database primary, replica;
+  Replicator replicator(primary, replica);
+  primary.create_table("jobs", jobs_schema());
+  primary.upsert("jobs", {Value(1), Value("a"), Value(1.0)});
+  EXPECT_EQ(replicator.sync(), 2u);  // create + upsert
+  EXPECT_EQ(replica.table_size("jobs"), 1u);
+
+  primary.upsert("jobs", {Value(2), Value("b"), Value(2.0)});
+  primary.erase("jobs", Value(1));
+  EXPECT_EQ(replicator.sync(), 2u);
+  EXPECT_EQ(replicator.sync(), 0u);  // idempotent
+  EXPECT_EQ(replica.table_size("jobs"), 1u);
+  EXPECT_TRUE(replica.get("jobs", Value(2)).has_value());
+}
+
+TEST(Database, ConcurrentReadersWithSingleWriter) {
+  Database db;
+  db.create_table("jobs", jobs_schema());
+  std::thread writer([&] {
+    for (int i = 0; i < 3000; ++i) {
+      db.upsert("jobs", {Value(i % 50), Value("u" + std::to_string(i % 5)),
+                         Value(static_cast<double>(i))});
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        Query query;
+        query.group_by = {"user"};
+        query.aggregates = {{AggFn::kSum, "energy", "total"}};
+        auto result = db.query("jobs", query);
+        EXPECT_LE(result.rows.size(), 5u);
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(db.table_size("jobs"), 50u);
+}
+
+TEST(Database, UnknownTableThrows) {
+  Database db;
+  EXPECT_THROW(db.upsert("nope", {}), std::invalid_argument);
+  EXPECT_THROW(db.query("nope", Query{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ceems::reldb

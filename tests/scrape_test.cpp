@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/node_exporter_factory.h"
+#include "exporter/exporter.h"
+#include "http/server.h"
+#include "node/node_sim.h"
+#include "tsdb/scrape.h"
+
+namespace ceems::tsdb {
+namespace {
+
+using common::make_sim_clock;
+
+class ScrapeTest : public ::testing::Test {
+ protected:
+  ScrapeTest()
+      : clock_(make_sim_clock(1000000)),
+        store_(std::make_shared<TimeSeriesStore>()) {}
+
+  std::shared_ptr<common::SimClock> clock_;
+  StorePtr store_;
+};
+
+TEST_F(ScrapeTest, HttpTargetIngestedWithTargetLabels) {
+  http::Server server{http::ServerConfig{}};
+  server.handle("/metrics", [](const http::Request&) {
+    return http::Response::text(200,
+                                "# TYPE m counter\nm{mode=\"user\"} 42\n");
+  });
+  server.start();
+
+  ScrapeManager manager(store_, clock_);
+  ScrapeTarget target;
+  target.url = server.base_url() + "/metrics";
+  target.labels = metrics::Labels{{"hostname", "n1"}};
+  manager.add_target(std::move(target));
+
+  ScrapeStats stats = manager.scrape_all_once();
+  EXPECT_EQ(stats.scrapes_total, 1u);
+  EXPECT_EQ(stats.scrapes_failed, 0u);
+  EXPECT_EQ(stats.samples_ingested, 1u);
+
+  auto series = store_->select({{"__name__", metrics::LabelMatcher::Op::kEq,
+                                 "m"}},
+                               0, clock_->now_ms());
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(*series[0].labels.get("hostname"), "n1");
+  EXPECT_EQ(series[0].samples[0].t, clock_->now_ms());
+
+  auto up = store_->select({{"__name__", metrics::LabelMatcher::Op::kEq,
+                             "up"}},
+                           0, clock_->now_ms());
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_DOUBLE_EQ(up[0].samples[0].v, 1);
+  server.stop();
+}
+
+TEST_F(ScrapeTest, DeadTargetRecordsUpZero) {
+  ScrapeManager manager(store_, clock_);
+  ScrapeTarget target;
+  target.url = "http://127.0.0.1:1/metrics";  // nothing listens
+  target.labels = metrics::Labels{{"hostname", "dead"}};
+  manager.add_target(std::move(target));
+
+  ScrapeStats stats = manager.scrape_all_once();
+  EXPECT_EQ(stats.scrapes_failed, 1u);
+  auto up = store_->select({{"__name__", metrics::LabelMatcher::Op::kEq,
+                             "up"}},
+                           0, clock_->now_ms());
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_DOUBLE_EQ(up[0].samples[0].v, 0);
+}
+
+TEST_F(ScrapeTest, MalformedExpositionIsScrapeFailure) {
+  http::Server server{http::ServerConfig{}};
+  server.handle("/metrics", [](const http::Request&) {
+    return http::Response::text(200, "9bad{ 1\n");
+  });
+  server.start();
+  ScrapeManager manager(store_, clock_);
+  ScrapeTarget target;
+  target.url = server.base_url() + "/metrics";
+  manager.add_target(std::move(target));
+  ScrapeStats stats = manager.scrape_all_once();
+  EXPECT_EQ(stats.scrapes_failed, 1u);
+  server.stop();
+}
+
+TEST_F(ScrapeTest, LocalTransportMatchesHttpPath) {
+  ScrapeManager manager(store_, clock_);
+  ScrapeTarget target;
+  target.local_fetch = [] {
+    return std::string("# TYPE g gauge\ng 7\n");
+  };
+  target.labels = metrics::Labels{{"hostname", "local1"}};
+  manager.add_target(std::move(target));
+  ScrapeStats stats = manager.scrape_all_once();
+  EXPECT_EQ(stats.samples_ingested, 1u);
+  auto series = store_->select({{"hostname", metrics::LabelMatcher::Op::kEq,
+                                 "local1"}},
+                               0, clock_->now_ms());
+  EXPECT_EQ(series.size(), 3u);  // g + up + scrape_duration_seconds
+}
+
+TEST_F(ScrapeTest, LocalTransportEmptyIsFailure) {
+  ScrapeManager manager(store_, clock_);
+  ScrapeTarget target;
+  target.local_fetch = [] { return std::string(); };
+  manager.add_target(std::move(target));
+  EXPECT_EQ(manager.scrape_all_once().scrapes_failed, 1u);
+}
+
+TEST_F(ScrapeTest, ManyTargetsScrapedInParallel) {
+  ScrapeConfig config;
+  config.parallelism = 8;
+  ScrapeManager manager(store_, clock_, config);
+  for (int i = 0; i < 50; ++i) {
+    ScrapeTarget target;
+    target.local_fetch = [i] {
+      return "m{i=\"" + std::to_string(i) + "\"} " + std::to_string(i) + "\n";
+    };
+    target.labels = metrics::Labels{{"hostname", "n" + std::to_string(i)}};
+    manager.add_target(std::move(target));
+  }
+  ScrapeStats stats = manager.scrape_all_once();
+  EXPECT_EQ(stats.scrapes_total, 50u);
+  EXPECT_EQ(stats.samples_ingested, 50u);
+  EXPECT_EQ(store_->stats().num_series, 150u);
+}
+
+TEST_F(ScrapeTest, BasicAuthAgainstExporter) {
+  auto node = std::make_shared<node::NodeSim>(
+      node::make_intel_cpu_node("n1"), clock_, 1);
+  exporter::ExporterConfig config;
+  config.http.basic_auth = {"prom", "pw"};
+  auto exp = core::make_ceems_exporter(node, clock_, config);
+  exp->start();
+
+  // Without credentials: 401 → scrape failure.
+  {
+    ScrapeManager manager(store_, clock_);
+    ScrapeTarget target;
+    target.url = exp->metrics_url();
+    manager.add_target(std::move(target));
+    EXPECT_EQ(manager.scrape_all_once().scrapes_failed, 1u);
+  }
+  // With credentials: success.
+  {
+    auto store = std::make_shared<TimeSeriesStore>();
+    ScrapeManager manager(store, clock_);
+    ScrapeTarget target;
+    target.url = exp->metrics_url();
+    target.auth = {"prom", "pw"};
+    manager.add_target(std::move(target));
+    ScrapeStats stats = manager.scrape_all_once();
+    EXPECT_EQ(stats.scrapes_failed, 0u);
+    EXPECT_GT(stats.samples_ingested, 10u);
+  }
+  exp->stop();
+}
+
+TEST_F(ScrapeTest, BackgroundLoopScrapesOnSimClock) {
+  ScrapeConfig config;
+  config.interval_ms = 30000;
+  ScrapeManager manager(store_, clock_, config);
+  ScrapeTarget target;
+  target.local_fetch = [] { return std::string("g 1\n"); };
+  manager.add_target(std::move(target));
+
+  manager.start();
+  for (int i = 0; i < 3; ++i) {
+    while (clock_->sleeper_count() == 0) std::this_thread::yield();
+    clock_->advance(30000);
+  }
+  manager.stop();
+  EXPECT_GE(manager.stats().scrapes_total, 3u);
+}
+
+}  // namespace
+}  // namespace ceems::tsdb

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "simfs/cgroup.h"
+#include "simfs/procfs.h"
+#include "simfs/pseudo_fs.h"
+#include "simfs/real_fs.h"
+
+namespace ceems::simfs {
+namespace {
+
+TEST(PseudoFs, WriteReadRemove) {
+  PseudoFs fs;
+  fs.write("/proc/stat", "cpu 1 2 3\n");
+  EXPECT_EQ(*fs.read("/proc/stat"), "cpu 1 2 3\n");
+  EXPECT_TRUE(fs.exists("/proc/stat"));
+  EXPECT_TRUE(fs.exists("/proc"));
+  EXPECT_TRUE(fs.is_dir("/proc"));
+  EXPECT_FALSE(fs.is_dir("/proc/stat"));
+  fs.remove("/proc/stat");
+  EXPECT_FALSE(fs.read("/proc/stat").has_value());
+}
+
+TEST(PseudoFs, PathNormalization) {
+  PseudoFs fs;
+  fs.write("//a///b/./c", "x");
+  EXPECT_EQ(*fs.read("/a/b/c"), "x");
+}
+
+TEST(PseudoFs, ListDirImmediateChildren) {
+  PseudoFs fs;
+  fs.write("/cg/job_1/cpu.stat", "a");
+  fs.write("/cg/job_1/memory.current", "b");
+  fs.write("/cg/job_2/cpu.stat", "c");
+  fs.write("/cg/top_file", "d");
+  auto children = fs.list_dir("/cg");
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0], "job_1");
+  EXPECT_EQ(children[1], "job_2");
+  EXPECT_EQ(children[2], "top_file");
+}
+
+TEST(PseudoFs, RemoveSubtree) {
+  PseudoFs fs;
+  fs.write("/cg/job_1/cpu.stat", "a");
+  fs.write("/cg/job_1/memory.current", "b");
+  fs.write("/cg/job_10/cpu.stat", "c");  // prefix sibling must survive
+  fs.remove("/cg/job_1");
+  EXPECT_FALSE(fs.exists("/cg/job_1"));
+  EXPECT_TRUE(fs.exists("/cg/job_10/cpu.stat"));
+}
+
+TEST(PseudoFs, DynamicFilesGenerateOnRead) {
+  PseudoFs fs;
+  int counter = 0;
+  fs.write_dynamic("/sys/dynamic", [&counter] {
+    return std::to_string(++counter);
+  });
+  EXPECT_EQ(*fs.read("/sys/dynamic"), "1");
+  EXPECT_EQ(*fs.read("/sys/dynamic"), "2");
+}
+
+TEST(PseudoFs, ParseFlatKeyed) {
+  auto map = parse_flat_keyed("usage_usec 123\nuser_usec 100\nbad line x\n");
+  EXPECT_EQ(map["usage_usec"], 123);
+  EXPECT_EQ(map["user_usec"], 100);
+  EXPECT_EQ(map.count("bad"), 0u);
+}
+
+// ---------- RealFs (against a staging directory) ----------
+
+class RealFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "realfs_" + std::to_string(::getpid());
+    std::filesystem::create_directories(root_ + "/proc");
+    std::filesystem::create_directories(root_ + "/cg/job_1");
+    write_file("/proc/stat", "cpu 100 0 50 850 0 0 0 0 0 0\nbtime 1700000000\n");
+    write_file("/proc/meminfo", "MemTotal: 1000 kB\nMemFree: 600 kB\nMemAvailable: 700 kB\n");
+    write_file("/cg/job_1/cpu.stat", "usage_usec 5\nuser_usec 4\nsystem_usec 1\n");
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  void write_file(const std::string& rel, const std::string& content) {
+    std::ofstream out(root_ + rel);
+    out << content;
+  }
+  std::string root_;
+};
+
+TEST_F(RealFsTest, ReadsRealFiles) {
+  RealFs fs(root_);
+  auto stat = read_proc_stat(fs);
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->aggregate.user, 100);
+  EXPECT_EQ(stat->boot_time_sec, 1700000000);
+  auto mem = read_meminfo(fs);
+  ASSERT_TRUE(mem.has_value());
+  EXPECT_EQ(mem->mem_total_kb, 1000);
+}
+
+TEST_F(RealFsTest, ListsAndReadsCgroups) {
+  RealFs fs(root_);
+  EXPECT_TRUE(fs.is_dir("/cg"));
+  EXPECT_FALSE(fs.is_dir("/cg/job_1/cpu.stat"));
+  auto children = list_child_cgroups(fs, "/cg");
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], "job_1");
+  auto stats = read_cgroup(fs, "/cg/job_1");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->cpu.usage_usec, 5);
+}
+
+TEST_F(RealFsTest, MissingPathsAreNullopt) {
+  RealFs fs(root_);
+  EXPECT_FALSE(fs.read("/nope").has_value());
+  EXPECT_FALSE(fs.exists("/nope"));
+  EXPECT_TRUE(fs.list_dir("/nope").empty());
+}
+
+TEST(RealFsHost, ReadsTheActualProc) {
+  // The test host is Linux: /proc/stat must parse.
+  RealFs fs;
+  auto stat = read_proc_stat(fs);
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_GT(stat->aggregate.total(), 0);
+  EXPECT_GT(stat->cpus.size(), 0u);
+}
+
+// ---------- cgroup ----------
+
+TEST(Cgroup, WriterCreatesKernelFormatFiles) {
+  auto fs = std::make_shared<PseudoFs>();
+  CgroupWriter writer(fs, std::string(kSlurmScope) + "/job_42");
+  writer.update_cpu({5000000, 4000000, 1000000});
+  writer.update_memory({1 << 20, 2 << 20, 4 << 20, 900000, 100000});
+  writer.update_io({111, 222, 3, 4});
+  writer.set_procs({4201, 4202});
+
+  auto stats = read_cgroup(*fs, std::string(kSlurmScope) + "/job_42");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->cpu.usage_usec, 5000000);
+  EXPECT_EQ(stats->cpu.user_usec, 4000000);
+  EXPECT_EQ(stats->memory.current_bytes, 1 << 20);
+  EXPECT_EQ(stats->memory.peak_bytes, 2 << 20);
+  EXPECT_EQ(stats->memory.max_bytes, 4 << 20);
+  EXPECT_EQ(stats->io.rbytes, 111);
+  EXPECT_EQ(stats->io.wbytes, 222);
+  ASSERT_EQ(stats->procs.size(), 2u);
+  EXPECT_EQ(stats->procs[0], 4201);
+}
+
+TEST(Cgroup, MemoryMaxUnlimitedRendersAsMax) {
+  auto fs = std::make_shared<PseudoFs>();
+  CgroupWriter writer(fs, "/cg/j");
+  CgroupMemoryStat memory;
+  memory.max_bytes = -1;
+  writer.update_memory(memory);
+  EXPECT_EQ(*fs->read("/cg/j/memory.max"), "max\n");
+  auto stats = read_cgroup(*fs, "/cg/j");
+  EXPECT_EQ(stats->memory.max_bytes, -1);
+}
+
+TEST(Cgroup, ReadMissingReturnsNullopt) {
+  PseudoFs fs;
+  EXPECT_FALSE(read_cgroup(fs, "/cg/gone").has_value());
+}
+
+TEST(Cgroup, DestroyRemovesDirectory) {
+  auto fs = std::make_shared<PseudoFs>();
+  CgroupWriter writer(fs, std::string(kSlurmScope) + "/job_7");
+  EXPECT_EQ(list_child_cgroups(*fs, kSlurmScope).size(), 1u);
+  writer.destroy();
+  EXPECT_TRUE(list_child_cgroups(*fs, kSlurmScope).empty());
+}
+
+TEST(Cgroup, ListChildCgroups) {
+  auto fs = std::make_shared<PseudoFs>();
+  CgroupWriter a(fs, std::string(kSlurmScope) + "/job_1");
+  CgroupWriter b(fs, std::string(kSlurmScope) + "/job_2");
+  auto children = list_child_cgroups(*fs, kSlurmScope);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0], "job_1");
+}
+
+// ---------- procfs ----------
+
+TEST(Procfs, ProcStatRoundTrip) {
+  PseudoFs fs;
+  ProcStat stat;
+  stat.cpus.resize(2);
+  stat.cpus[0] = {100, 0, 50, 850, 10, 0, 0};
+  stat.cpus[1] = {200, 5, 60, 700, 20, 5, 10};
+  for (const auto& cpu : stat.cpus) {
+    stat.aggregate.user += cpu.user;
+    stat.aggregate.nice += cpu.nice;
+    stat.aggregate.system += cpu.system;
+    stat.aggregate.idle += cpu.idle;
+    stat.aggregate.iowait += cpu.iowait;
+    stat.aggregate.irq += cpu.irq;
+    stat.aggregate.softirq += cpu.softirq;
+  }
+  stat.boot_time_sec = 1700000000;
+  write_proc_stat(fs, stat);
+
+  auto parsed = read_proc_stat(fs);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->aggregate.user, 300);
+  EXPECT_EQ(parsed->cpus.size(), 2u);
+  EXPECT_EQ(parsed->cpus[1].system, 60);
+  EXPECT_EQ(parsed->boot_time_sec, 1700000000);
+  EXPECT_EQ(parsed->aggregate.busy(),
+            parsed->aggregate.total() - parsed->aggregate.idle -
+                parsed->aggregate.iowait);
+}
+
+TEST(Procfs, MeminfoRoundTrip) {
+  PseudoFs fs;
+  MemInfo info{192 * 1024 * 1024, 100 * 1024 * 1024, 120 * 1024 * 1024,
+               1024, 2048};
+  write_meminfo(fs, info);
+  auto parsed = read_meminfo(fs);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->mem_total_kb, info.mem_total_kb);
+  EXPECT_EQ(parsed->mem_available_kb, info.mem_available_kb);
+}
+
+TEST(Procfs, MissingFilesReturnNullopt) {
+  PseudoFs fs;
+  EXPECT_FALSE(read_proc_stat(fs).has_value());
+  EXPECT_FALSE(read_meminfo(fs).has_value());
+}
+
+}  // namespace
+}  // namespace ceems::simfs

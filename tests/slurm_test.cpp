@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include "slurm/cluster_sim.h"
+
+namespace ceems::slurm {
+namespace {
+
+using common::make_sim_clock;
+
+JobRequest basic_request(const std::string& user, int nodes, int cpus,
+                         int64_t duration_ms) {
+  JobRequest request;
+  request.name = "test";
+  request.user = user;
+  request.account = "prj0";
+  request.partition = "cpu";
+  request.num_nodes = nodes;
+  request.cpus_per_node = cpus;
+  request.memory_per_node_bytes = 4LL << 30;
+  request.true_duration_ms = duration_ms;
+  request.walltime_limit_ms = duration_ms * 2;
+  request.failure_probability = 0;
+  request.behavior.cpu_util_jitter = 0;
+  return request;
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  // Start the clock away from 0: timestamp 0 is the "never happened"
+  // sentinel in accounting records.
+  SchedulerTest()
+      : clock_(make_sim_clock(1000000)), cluster_("test", clock_, 1) {
+    cluster_.add_partition("cpu", "c", 2, node::make_intel_cpu_node);
+    scheduler_ = std::make_unique<Scheduler>(cluster_, dbd_, 99);
+  }
+
+  void tick(int64_t dt_ms) {
+    scheduler_->step();
+    cluster_.step_nodes(dt_ms);
+    clock_->advance(dt_ms);
+  }
+
+  std::shared_ptr<common::SimClock> clock_;
+  Cluster cluster_;
+  SlurmDbd dbd_;
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+TEST_F(SchedulerTest, JobLifecycle) {
+  int64_t id = scheduler_->submit(basic_request("alice", 1, 10, 60000));
+  EXPECT_EQ(dbd_.job(id)->state, JobState::kPending);
+
+  tick(1000);
+  EXPECT_EQ(dbd_.job(id)->state, JobState::kRunning);
+  EXPECT_EQ(scheduler_->running_count(), 1u);
+  // The workload exists on the assigned node.
+  Job job = *dbd_.job(id);
+  ASSERT_EQ(job.hostnames.size(), 1u);
+  EXPECT_TRUE(cluster_.node(job.hostnames[0])->has_workload(id));
+
+  for (int i = 0; i < 70; ++i) tick(1000);
+  EXPECT_EQ(dbd_.job(id)->state, JobState::kCompleted);
+  EXPECT_FALSE(cluster_.node(job.hostnames[0])->has_workload(id));
+  EXPECT_GT(dbd_.job(id)->end_time_ms, dbd_.job(id)->start_time_ms);
+}
+
+TEST_F(SchedulerTest, NeverOversubscribesCpus) {
+  // Each node has 40 CPUs; submit many 12-cpu jobs.
+  for (int i = 0; i < 12; ++i) {
+    scheduler_->submit(basic_request("bob", 1, 12, 600000));
+  }
+  tick(1000);
+  for (const auto& node : cluster_.all_nodes()) {
+    EXPECT_LE(node->allocated_cpus(), node->spec().total_cpus());
+  }
+  // 2 nodes × floor(40/12)=3 jobs run; the rest queue.
+  EXPECT_EQ(scheduler_->running_count(), 6u);
+  EXPECT_EQ(scheduler_->pending_count(), 6u);
+}
+
+TEST_F(SchedulerTest, QueuedJobsStartWhenResourcesFree) {
+  for (int i = 0; i < 12; ++i) {
+    scheduler_->submit(basic_request("bob", 1, 12, 30000));
+  }
+  for (int i = 0; i < 120; ++i) tick(1000);
+  EXPECT_EQ(dbd_.count_in_state(JobState::kCompleted), 12u);
+}
+
+TEST_F(SchedulerTest, MultiNodeJobGetsDistinctHosts) {
+  int64_t id = scheduler_->submit(basic_request("carol", 2, 40, 60000));
+  tick(1000);
+  Job job = *dbd_.job(id);
+  ASSERT_EQ(job.hostnames.size(), 2u);
+  EXPECT_NE(job.hostnames[0], job.hostnames[1]);
+  for (const auto& hostname : job.hostnames) {
+    EXPECT_TRUE(cluster_.node(hostname)->has_workload(id));
+  }
+}
+
+TEST_F(SchedulerTest, OversizedRequestRejected) {
+  EXPECT_THROW(scheduler_->submit(basic_request("dave", 3, 40, 1000)),
+               std::invalid_argument);  // only 2 nodes exist
+  EXPECT_THROW(scheduler_->submit(basic_request("dave", 1, 100, 1000)),
+               std::invalid_argument);  // 100 cpus > 40
+  JobRequest bad_partition = basic_request("dave", 1, 1, 1000);
+  bad_partition.partition = "nope";
+  EXPECT_THROW(scheduler_->submit(bad_partition), std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, CancelPendingAndRunning) {
+  int64_t running = scheduler_->submit(basic_request("eve", 2, 40, 600000));
+  tick(1000);
+  // Fills both nodes; next job queues.
+  int64_t pending = scheduler_->submit(basic_request("eve", 1, 40, 600000));
+  tick(1000);
+  EXPECT_EQ(dbd_.job(pending)->state, JobState::kPending);
+
+  EXPECT_TRUE(scheduler_->cancel(pending));
+  EXPECT_EQ(dbd_.job(pending)->state, JobState::kCancelled);
+  EXPECT_TRUE(scheduler_->cancel(running));
+  EXPECT_EQ(dbd_.job(running)->state, JobState::kCancelled);
+  EXPECT_FALSE(scheduler_->cancel(99999));
+  tick(1000);
+  EXPECT_EQ(scheduler_->running_count(), 0u);
+}
+
+TEST_F(SchedulerTest, TimeoutWhenWalltimeExceeded) {
+  JobRequest request = basic_request("frank", 1, 4, 100000);
+  request.walltime_limit_ms = 50000;  // wall < true duration
+  int64_t id = scheduler_->submit(request);
+  for (int i = 0; i < 60; ++i) tick(1000);
+  EXPECT_EQ(dbd_.job(id)->state, JobState::kTimeout);
+  // Ran until the walltime wall, not the true duration.
+  EXPECT_NEAR(static_cast<double>(dbd_.job(id)->elapsed_ms(0)), 50000.0,
+              2000.0);
+}
+
+TEST_F(SchedulerTest, BackfillFillsBehindBlockedHead) {
+  // Fill both nodes with a long job.
+  scheduler_->submit(basic_request("head", 2, 40, 300000));
+  tick(1000);
+  // Head of queue needs both nodes -> blocked.
+  int64_t blocked = scheduler_->submit(basic_request("head", 2, 40, 300000));
+  // Short small job can backfill (fits in leftover? nodes are full).
+  tick(1000);
+  EXPECT_EQ(dbd_.job(blocked)->state, JobState::kPending);
+  EXPECT_EQ(scheduler_->running_count(), 1u);
+}
+
+TEST_F(SchedulerTest, GpuBindingExclusive) {
+  Cluster gpu_cluster("gpu", clock_, 2);
+  gpu_cluster.add_partition("gpu", "g", 1, node::make_v100_node);
+  SlurmDbd dbd;
+  Scheduler scheduler(gpu_cluster, dbd, 5);
+
+  JobRequest request = basic_request("gina", 1, 8, 600000);
+  request.partition = "gpu";
+  request.gpus_per_node = 2;
+  int64_t first = scheduler.submit(request);
+  int64_t second = scheduler.submit(request);
+  scheduler.step();
+
+  Job job_a = *dbd.job(first);
+  Job job_b = *dbd.job(second);
+  ASSERT_EQ(job_a.gpu_ordinals_per_node[0].size(), 2u);
+  ASSERT_EQ(job_b.gpu_ordinals_per_node[0].size(), 2u);
+  // All four V100s bound, no overlap.
+  std::set<int> bound;
+  for (int g : job_a.gpu_ordinals_per_node[0]) bound.insert(g);
+  for (int g : job_b.gpu_ordinals_per_node[0]) bound.insert(g);
+  EXPECT_EQ(bound.size(), 4u);
+
+  // A third 2-GPU job must wait.
+  scheduler.submit(request);
+  scheduler.step();
+  EXPECT_EQ(scheduler.pending_count(), 1u);
+}
+
+TEST(Fairshare, LightUserJumpsAheadOfHeavyUser) {
+  auto clock = make_sim_clock(1000000);
+  Cluster cluster("fs", clock, 1);
+  cluster.add_partition("cpu", "c", 1, node::make_intel_cpu_node);  // 40 cpus
+  SlurmDbd dbd;
+  SchedulerConfig config;
+  config.fairshare = true;
+  Scheduler scheduler(cluster, dbd, 7, config);
+
+  auto tick = [&](int64_t dt_ms) {
+    scheduler.step();
+    cluster.step_nodes(dt_ms);
+    clock->advance(dt_ms);
+  };
+
+  // Heavy user burns the whole node for a while, accruing usage.
+  int64_t warmup = scheduler.submit(basic_request("heavy", 1, 40, 600000));
+  for (int i = 0; i < 650; ++i) tick(1000);
+  ASSERT_EQ(dbd.job(warmup)->state, JobState::kCompleted);
+  EXPECT_GT(scheduler.user_usage("heavy"), 10000.0);
+  EXPECT_DOUBLE_EQ(scheduler.user_usage("light"), 0.0);
+
+  // Node full again; heavy submits more work FIRST, then light.
+  scheduler.submit(basic_request("blocker", 1, 40, 120000));
+  tick(1000);
+  int64_t heavy_pending = scheduler.submit(
+      basic_request("heavy", 1, 40, 60000));
+  int64_t light_pending = scheduler.submit(
+      basic_request("light", 1, 40, 60000));
+  // When the blocker ends, fairshare must start light's job despite heavy
+  // submitting earlier.
+  for (int i = 0; i < 180; ++i) tick(1000);
+  Job heavy_job = *dbd.job(heavy_pending);
+  Job light_job = *dbd.job(light_pending);
+  ASSERT_NE(light_job.start_time_ms, 0);
+  EXPECT_LT(light_job.start_time_ms, heavy_job.start_time_ms == 0
+                                         ? INT64_MAX
+                                         : heavy_job.start_time_ms);
+}
+
+TEST(Fairshare, UsageDecaysWithHalflife) {
+  auto clock = make_sim_clock(1000000);
+  Cluster cluster("fs", clock, 1);
+  cluster.add_partition("cpu", "c", 1, node::make_intel_cpu_node);
+  SlurmDbd dbd;
+  SchedulerConfig config;
+  config.fairshare = true;
+  config.usage_halflife_ms = common::kMillisPerHour;
+  Scheduler scheduler(cluster, dbd, 7, config);
+
+  scheduler.submit(basic_request("u", 1, 40, 60000));
+  for (int i = 0; i < 70; ++i) {
+    scheduler.step();
+    cluster.step_nodes(1000);
+    clock->advance(1000);
+  }
+  double usage_after_job = scheduler.user_usage("u");
+  ASSERT_GT(usage_after_job, 0.0);
+  // One halflife later the charge has roughly halved.
+  clock->advance(common::kMillisPerHour);
+  scheduler.step();
+  EXPECT_NEAR(scheduler.user_usage("u"), usage_after_job / 2,
+              usage_after_job * 0.03);
+}
+
+TEST(Fairshare, DisabledKeepsFcfsOrder) {
+  auto clock = make_sim_clock(1000000);
+  Cluster cluster("fs", clock, 1);
+  cluster.add_partition("cpu", "c", 1, node::make_intel_cpu_node);
+  SlurmDbd dbd;
+  Scheduler scheduler(cluster, dbd, 7);  // fairshare off
+
+  int64_t warmup = scheduler.submit(basic_request("heavy", 1, 40, 60000));
+  for (int i = 0; i < 70; ++i) {
+    scheduler.step();
+    cluster.step_nodes(1000);
+    clock->advance(1000);
+  }
+  ASSERT_EQ(dbd.job(warmup)->state, JobState::kCompleted);
+
+  scheduler.submit(basic_request("blocker", 1, 40, 120000));
+  scheduler.step();
+  int64_t heavy_pending =
+      scheduler.submit(basic_request("heavy", 1, 40, 60000));
+  int64_t light_pending =
+      scheduler.submit(basic_request("light", 1, 40, 60000));
+  for (int i = 0; i < 180; ++i) {
+    scheduler.step();
+    cluster.step_nodes(1000);
+    clock->advance(1000);
+  }
+  // FCFS: heavy (submitted first) runs before light.
+  ASSERT_NE(dbd.job(heavy_pending)->start_time_ms, 0);
+  EXPECT_LT(dbd.job(heavy_pending)->start_time_ms,
+            dbd.job(light_pending)->start_time_ms == 0
+                ? INT64_MAX
+                : dbd.job(light_pending)->start_time_ms);
+}
+
+// ---------- dbd ----------
+
+TEST(SlurmDbd, ActiveBetweenWindowQueries) {
+  SlurmDbd dbd;
+  Job job;
+  job.job_id = 1;
+  job.submit_time_ms = 100;
+  job.start_time_ms = 1000;
+  job.end_time_ms = 2000;
+  dbd.upsert(job);
+  job.job_id = 2;
+  job.start_time_ms = 5000;
+  job.end_time_ms = 0;  // still running
+  dbd.upsert(job);
+
+  EXPECT_EQ(dbd.jobs_active_between(0, 500).size(), 0u);   // not started
+  EXPECT_EQ(dbd.jobs_active_between(1500, 1600).size(), 1u);
+  EXPECT_EQ(dbd.jobs_active_between(2000, 3000).size(), 0u);  // 1 ended at 2000
+  EXPECT_EQ(dbd.jobs_active_between(6000, 7000).size(), 1u);  // running job
+  EXPECT_EQ(dbd.jobs_active_between(900, 6000).size(), 2u);
+}
+
+TEST(SlurmDbd, ChangedSinceTracksUpdates) {
+  SlurmDbd dbd;
+  Job job;
+  job.job_id = 1;
+  job.submit_time_ms = 100;
+  dbd.upsert(job);
+  EXPECT_EQ(dbd.jobs_changed_since(0).size(), 1u);
+  EXPECT_EQ(dbd.jobs_changed_since(101).size(), 0u);
+  job.start_time_ms = 500;
+  dbd.upsert(job);
+  EXPECT_EQ(dbd.jobs_changed_since(101).size(), 1u);
+}
+
+// ---------- workload generator ----------
+
+TEST(WorkloadGen, ArrivalRateMatchesConfig) {
+  WorkloadGenConfig config;
+  config.jobs_per_day = 2400;  // 100/hour
+  config.partitions = {{"cpu", 1.0, false, 4, 40, 0, 192LL << 30}};
+  WorkloadGenerator generator(config);
+  std::size_t total = 0;
+  // 10 hours of 30 s steps.
+  for (int i = 0; i < 1200; ++i) {
+    total += generator.arrivals(30000).size();
+  }
+  EXPECT_NEAR(static_cast<double>(total), 1000.0, 120.0);
+}
+
+TEST(WorkloadGen, RequestsAreSatisfiable) {
+  WorkloadGenConfig config;
+  config.partitions = {{"cpu", 1.0, false, 4, 40, 0, 192LL << 30},
+                       {"gpu", 1.0, true, 1, 40, 4, 384LL << 30}};
+  WorkloadGenerator generator(config);
+  for (int i = 0; i < 500; ++i) {
+    JobRequest request = generator.sample();
+    EXPECT_GT(request.true_duration_ms, 0);
+    EXPECT_GE(request.walltime_limit_ms, request.true_duration_ms);
+    EXPECT_GE(request.cpus_per_node, 1);
+    if (request.partition == "cpu") {
+      EXPECT_LE(request.cpus_per_node, 40);
+      EXPECT_EQ(request.gpus_per_node, 0);
+    } else {
+      EXPECT_LE(request.gpus_per_node, 4);
+      EXPECT_GE(request.gpus_per_node, 1);
+      EXPECT_EQ(request.num_nodes, 1);
+    }
+    EXPECT_FALSE(request.user.empty());
+    EXPECT_EQ(generator.project_of(request.user), request.account);
+  }
+}
+
+TEST(WorkloadGen, UserActivityIsSkewed) {
+  WorkloadGenConfig config;
+  config.num_users = 50;
+  config.partitions = {{"cpu", 1.0, false, 4, 40, 0, 192LL << 30}};
+  WorkloadGenerator generator(config);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 2000; ++i) counts[generator.sample().user]++;
+  // Zipf: the most active user should dominate the median user.
+  EXPECT_GT(counts["user0"], 200);
+}
+
+// ---------- cluster sim ----------
+
+TEST(ClusterSim, JeanZayScaleCounts) {
+  JeanZayScale full;
+  EXPECT_EQ(full.total_nodes(), 1400);
+  JeanZayScale tiny = full.scaled(0.01);
+  EXPECT_GE(tiny.total_nodes(), 5);  // every family keeps >= 1 node
+  EXPECT_LE(tiny.total_nodes(), 20);
+}
+
+TEST(ClusterSim, RunsAndChurnsJobs) {
+  auto clock = make_sim_clock(0);
+  JeanZayScale scale = JeanZayScale{}.scaled(0.01);
+  auto cluster = make_jean_zay_cluster(clock, scale, 3);
+  auto gen_config = make_jean_zay_workload_config(scale, 2000);
+  gen_config.seed = 3;
+  ClusterSim sim(clock, std::move(cluster), gen_config, 3);
+
+  sim.run_for(2 * common::kMillisPerHour, 10 * common::kMillisPerSecond);
+  EXPECT_GT(sim.jobs_submitted(), 100u);
+  EXPECT_GT(sim.dbd().count_in_state(JobState::kCompleted) +
+                sim.dbd().count_in_state(JobState::kRunning) +
+                sim.dbd().count_in_state(JobState::kFailed) +
+                sim.dbd().count_in_state(JobState::kTimeout),
+            50u);
+}
+
+TEST(ClusterSim, StepCallbackSeesMonotonicTime) {
+  auto clock = make_sim_clock(0);
+  JeanZayScale scale = JeanZayScale{}.scaled(0.005);
+  ClusterSim sim(clock, make_jean_zay_cluster(clock, scale, 1),
+                 make_jean_zay_workload_config(scale, 500), 1);
+  common::TimestampMs last = -1;
+  sim.run_for(10 * common::kMillisPerMinute, 30000,
+              [&](common::TimestampMs now) {
+                EXPECT_GT(now, last);
+                last = now;
+              });
+  EXPECT_EQ(last, 10 * common::kMillisPerMinute);
+}
+
+}  // namespace
+}  // namespace ceems::slurm
