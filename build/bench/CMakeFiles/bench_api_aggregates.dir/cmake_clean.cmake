@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_api_aggregates.dir/bench_api_aggregates.cpp.o"
+  "CMakeFiles/bench_api_aggregates.dir/bench_api_aggregates.cpp.o.d"
+  "bench_api_aggregates"
+  "bench_api_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_api_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emissions.dir/bench_emissions.cpp.o"
+  "CMakeFiles/bench_emissions.dir/bench_emissions.cpp.o.d"
+  "bench_emissions"
+  "bench_emissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

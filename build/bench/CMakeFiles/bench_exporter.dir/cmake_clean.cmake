@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exporter.dir/bench_exporter.cpp.o"
+  "CMakeFiles/bench_exporter.dir/bench_exporter.cpp.o.d"
+  "bench_exporter"
+  "bench_exporter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exporter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

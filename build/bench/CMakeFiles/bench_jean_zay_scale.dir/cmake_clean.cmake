@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jean_zay_scale.dir/bench_jean_zay_scale.cpp.o"
+  "CMakeFiles/bench_jean_zay_scale.dir/bench_jean_zay_scale.cpp.o.d"
+  "bench_jean_zay_scale"
+  "bench_jean_zay_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jean_zay_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

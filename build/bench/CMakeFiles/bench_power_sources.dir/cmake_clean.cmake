@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_sources.dir/bench_power_sources.cpp.o"
+  "CMakeFiles/bench_power_sources.dir/bench_power_sources.cpp.o.d"
+  "bench_power_sources"
+  "bench_power_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

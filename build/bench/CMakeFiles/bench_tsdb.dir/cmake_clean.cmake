@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tsdb.dir/bench_tsdb.cpp.o"
+  "CMakeFiles/bench_tsdb.dir/bench_tsdb.cpp.o.d"
+  "bench_tsdb"
+  "bench_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

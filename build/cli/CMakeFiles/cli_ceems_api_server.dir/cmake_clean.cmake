@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_ceems_api_server.dir/ceems_api_server.cpp.o"
+  "CMakeFiles/cli_ceems_api_server.dir/ceems_api_server.cpp.o.d"
+  "ceems_api_server"
+  "ceems_api_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_ceems_api_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_ceems_exporter.dir/ceems_exporter.cpp.o"
+  "CMakeFiles/cli_ceems_exporter.dir/ceems_exporter.cpp.o.d"
+  "ceems_exporter"
+  "ceems_exporter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_ceems_exporter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

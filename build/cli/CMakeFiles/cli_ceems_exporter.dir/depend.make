@@ -1,0 +1,2 @@
+# Empty dependencies file for cli_ceems_exporter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_ceems_lb.dir/ceems_lb.cpp.o"
+  "CMakeFiles/cli_ceems_lb.dir/ceems_lb.cpp.o.d"
+  "ceems_lb"
+  "ceems_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_ceems_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_ceems_stack.dir/ceems_stack.cpp.o"
+  "CMakeFiles/cli_ceems_stack.dir/ceems_stack.cpp.o.d"
+  "ceems_stack"
+  "ceems_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_ceems_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jean_zay.dir/jean_zay.cpp.o"
+  "CMakeFiles/jean_zay.dir/jean_zay.cpp.o.d"
+  "jean_zay"
+  "jean_zay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jean_zay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jean_zay.
+# This may be replaced when dependencies are built.

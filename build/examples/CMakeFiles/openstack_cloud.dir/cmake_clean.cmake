@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openstack_cloud.dir/openstack_cloud.cpp.o"
+  "CMakeFiles/openstack_cloud.dir/openstack_cloud.cpp.o.d"
+  "openstack_cloud"
+  "openstack_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openstack_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

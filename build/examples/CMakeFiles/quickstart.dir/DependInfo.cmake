@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ceems_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exporter/CMakeFiles/ceems_exporter.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/ceems_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/apiserver/CMakeFiles/ceems_apiserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/slurm/CMakeFiles/ceems_slurm.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ceems_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/simfs/CMakeFiles/ceems_simfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/emissions/CMakeFiles/ceems_emissions.dir/DependInfo.cmake"
+  "/root/repo/build/src/reldb/CMakeFiles/ceems_reldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/dashboard/CMakeFiles/ceems_dashboard.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/ceems_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ceems_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/ceems_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ceems_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_dashboard.dir/user_dashboard.cpp.o"
+  "CMakeFiles/user_dashboard.dir/user_dashboard.cpp.o.d"
+  "user_dashboard"
+  "user_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("metrics")
+subdirs("http")
+subdirs("simfs")
+subdirs("node")
+subdirs("slurm")
+subdirs("emissions")
+subdirs("tsdb")
+subdirs("reldb")
+subdirs("exporter")
+subdirs("apiserver")
+subdirs("lb")
+subdirs("dashboard")
+subdirs("core")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_apiserver.dir/api_server.cpp.o"
+  "CMakeFiles/ceems_apiserver.dir/api_server.cpp.o.d"
+  "CMakeFiles/ceems_apiserver.dir/reports.cpp.o"
+  "CMakeFiles/ceems_apiserver.dir/reports.cpp.o.d"
+  "CMakeFiles/ceems_apiserver.dir/resource_manager.cpp.o"
+  "CMakeFiles/ceems_apiserver.dir/resource_manager.cpp.o.d"
+  "CMakeFiles/ceems_apiserver.dir/schema.cpp.o"
+  "CMakeFiles/ceems_apiserver.dir/schema.cpp.o.d"
+  "CMakeFiles/ceems_apiserver.dir/updater.cpp.o"
+  "CMakeFiles/ceems_apiserver.dir/updater.cpp.o.d"
+  "libceems_apiserver.a"
+  "libceems_apiserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_apiserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_common.dir/clock.cpp.o"
+  "CMakeFiles/ceems_common.dir/clock.cpp.o.d"
+  "CMakeFiles/ceems_common.dir/json.cpp.o"
+  "CMakeFiles/ceems_common.dir/json.cpp.o.d"
+  "CMakeFiles/ceems_common.dir/logging.cpp.o"
+  "CMakeFiles/ceems_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ceems_common.dir/rng.cpp.o"
+  "CMakeFiles/ceems_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ceems_common.dir/strutil.cpp.o"
+  "CMakeFiles/ceems_common.dir/strutil.cpp.o.d"
+  "CMakeFiles/ceems_common.dir/threadpool.cpp.o"
+  "CMakeFiles/ceems_common.dir/threadpool.cpp.o.d"
+  "CMakeFiles/ceems_common.dir/yamlconf.cpp.o"
+  "CMakeFiles/ceems_common.dir/yamlconf.cpp.o.d"
+  "libceems_common.a"
+  "libceems_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

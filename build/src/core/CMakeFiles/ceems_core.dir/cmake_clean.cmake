@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_core.dir/config.cpp.o"
+  "CMakeFiles/ceems_core.dir/config.cpp.o.d"
+  "CMakeFiles/ceems_core.dir/node_exporter_factory.cpp.o"
+  "CMakeFiles/ceems_core.dir/node_exporter_factory.cpp.o.d"
+  "CMakeFiles/ceems_core.dir/rules_library.cpp.o"
+  "CMakeFiles/ceems_core.dir/rules_library.cpp.o.d"
+  "CMakeFiles/ceems_core.dir/stack.cpp.o"
+  "CMakeFiles/ceems_core.dir/stack.cpp.o.d"
+  "libceems_core.a"
+  "libceems_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

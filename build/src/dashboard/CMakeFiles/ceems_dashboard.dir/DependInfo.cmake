@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dashboard/ceems_dashboards.cpp" "src/dashboard/CMakeFiles/ceems_dashboard.dir/ceems_dashboards.cpp.o" "gcc" "src/dashboard/CMakeFiles/ceems_dashboard.dir/ceems_dashboards.cpp.o.d"
+  "/root/repo/src/dashboard/grafana_client.cpp" "src/dashboard/CMakeFiles/ceems_dashboard.dir/grafana_client.cpp.o" "gcc" "src/dashboard/CMakeFiles/ceems_dashboard.dir/grafana_client.cpp.o.d"
+  "/root/repo/src/dashboard/grafana_export.cpp" "src/dashboard/CMakeFiles/ceems_dashboard.dir/grafana_export.cpp.o" "gcc" "src/dashboard/CMakeFiles/ceems_dashboard.dir/grafana_export.cpp.o.d"
+  "/root/repo/src/dashboard/panels.cpp" "src/dashboard/CMakeFiles/ceems_dashboard.dir/panels.cpp.o" "gcc" "src/dashboard/CMakeFiles/ceems_dashboard.dir/panels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/ceems_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/ceems_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ceems_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

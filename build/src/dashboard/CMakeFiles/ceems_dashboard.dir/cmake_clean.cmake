@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_dashboard.dir/ceems_dashboards.cpp.o"
+  "CMakeFiles/ceems_dashboard.dir/ceems_dashboards.cpp.o.d"
+  "CMakeFiles/ceems_dashboard.dir/grafana_client.cpp.o"
+  "CMakeFiles/ceems_dashboard.dir/grafana_client.cpp.o.d"
+  "CMakeFiles/ceems_dashboard.dir/grafana_export.cpp.o"
+  "CMakeFiles/ceems_dashboard.dir/grafana_export.cpp.o.d"
+  "CMakeFiles/ceems_dashboard.dir/panels.cpp.o"
+  "CMakeFiles/ceems_dashboard.dir/panels.cpp.o.d"
+  "libceems_dashboard.a"
+  "libceems_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

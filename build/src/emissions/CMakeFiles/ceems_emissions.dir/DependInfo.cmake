@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emissions/electricity_maps.cpp" "src/emissions/CMakeFiles/ceems_emissions.dir/electricity_maps.cpp.o" "gcc" "src/emissions/CMakeFiles/ceems_emissions.dir/electricity_maps.cpp.o.d"
+  "/root/repo/src/emissions/owid.cpp" "src/emissions/CMakeFiles/ceems_emissions.dir/owid.cpp.o" "gcc" "src/emissions/CMakeFiles/ceems_emissions.dir/owid.cpp.o.d"
+  "/root/repo/src/emissions/provider.cpp" "src/emissions/CMakeFiles/ceems_emissions.dir/provider.cpp.o" "gcc" "src/emissions/CMakeFiles/ceems_emissions.dir/provider.cpp.o.d"
+  "/root/repo/src/emissions/rte.cpp" "src/emissions/CMakeFiles/ceems_emissions.dir/rte.cpp.o" "gcc" "src/emissions/CMakeFiles/ceems_emissions.dir/rte.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceems_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_emissions.dir/electricity_maps.cpp.o"
+  "CMakeFiles/ceems_emissions.dir/electricity_maps.cpp.o.d"
+  "CMakeFiles/ceems_emissions.dir/owid.cpp.o"
+  "CMakeFiles/ceems_emissions.dir/owid.cpp.o.d"
+  "CMakeFiles/ceems_emissions.dir/provider.cpp.o"
+  "CMakeFiles/ceems_emissions.dir/provider.cpp.o.d"
+  "CMakeFiles/ceems_emissions.dir/rte.cpp.o"
+  "CMakeFiles/ceems_emissions.dir/rte.cpp.o.d"
+  "libceems_emissions.a"
+  "libceems_emissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_emissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libceems_emissions.a"
+)

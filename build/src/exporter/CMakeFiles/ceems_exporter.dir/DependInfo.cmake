@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exporter/cgroup_collector.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/cgroup_collector.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/cgroup_collector.cpp.o.d"
+  "/root/repo/src/exporter/collector.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/collector.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/collector.cpp.o.d"
+  "/root/repo/src/exporter/ebpf_collector.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/ebpf_collector.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/ebpf_collector.cpp.o.d"
+  "/root/repo/src/exporter/emissions_collector.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/emissions_collector.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/emissions_collector.cpp.o.d"
+  "/root/repo/src/exporter/exporter.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/exporter.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/exporter.cpp.o.d"
+  "/root/repo/src/exporter/gpu_collector.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/gpu_collector.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/gpu_collector.cpp.o.d"
+  "/root/repo/src/exporter/gpu_map_collector.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/gpu_map_collector.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/gpu_map_collector.cpp.o.d"
+  "/root/repo/src/exporter/ipmi_collector.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/ipmi_collector.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/ipmi_collector.cpp.o.d"
+  "/root/repo/src/exporter/node_collector.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/node_collector.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/node_collector.cpp.o.d"
+  "/root/repo/src/exporter/rapl_collector.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/rapl_collector.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/rapl_collector.cpp.o.d"
+  "/root/repo/src/exporter/self_collector.cpp" "src/exporter/CMakeFiles/ceems_exporter.dir/self_collector.cpp.o" "gcc" "src/exporter/CMakeFiles/ceems_exporter.dir/self_collector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ceems_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/ceems_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/simfs/CMakeFiles/ceems_simfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ceems_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/emissions/CMakeFiles/ceems_emissions.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

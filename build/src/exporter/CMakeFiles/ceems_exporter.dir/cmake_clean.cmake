@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_exporter.dir/cgroup_collector.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/cgroup_collector.cpp.o.d"
+  "CMakeFiles/ceems_exporter.dir/collector.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/collector.cpp.o.d"
+  "CMakeFiles/ceems_exporter.dir/ebpf_collector.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/ebpf_collector.cpp.o.d"
+  "CMakeFiles/ceems_exporter.dir/emissions_collector.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/emissions_collector.cpp.o.d"
+  "CMakeFiles/ceems_exporter.dir/exporter.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/exporter.cpp.o.d"
+  "CMakeFiles/ceems_exporter.dir/gpu_collector.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/gpu_collector.cpp.o.d"
+  "CMakeFiles/ceems_exporter.dir/gpu_map_collector.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/gpu_map_collector.cpp.o.d"
+  "CMakeFiles/ceems_exporter.dir/ipmi_collector.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/ipmi_collector.cpp.o.d"
+  "CMakeFiles/ceems_exporter.dir/node_collector.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/node_collector.cpp.o.d"
+  "CMakeFiles/ceems_exporter.dir/rapl_collector.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/rapl_collector.cpp.o.d"
+  "CMakeFiles/ceems_exporter.dir/self_collector.cpp.o"
+  "CMakeFiles/ceems_exporter.dir/self_collector.cpp.o.d"
+  "libceems_exporter.a"
+  "libceems_exporter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_exporter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

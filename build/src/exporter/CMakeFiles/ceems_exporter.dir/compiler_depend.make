@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ceems_exporter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_http.dir/client.cpp.o"
+  "CMakeFiles/ceems_http.dir/client.cpp.o.d"
+  "CMakeFiles/ceems_http.dir/message.cpp.o"
+  "CMakeFiles/ceems_http.dir/message.cpp.o.d"
+  "CMakeFiles/ceems_http.dir/server.cpp.o"
+  "CMakeFiles/ceems_http.dir/server.cpp.o.d"
+  "libceems_http.a"
+  "libceems_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

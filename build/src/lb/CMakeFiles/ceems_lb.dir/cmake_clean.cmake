@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_lb.dir/load_balancer.cpp.o"
+  "CMakeFiles/ceems_lb.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/ceems_lb.dir/query_introspect.cpp.o"
+  "CMakeFiles/ceems_lb.dir/query_introspect.cpp.o.d"
+  "libceems_lb.a"
+  "libceems_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/labels.cpp" "src/metrics/CMakeFiles/ceems_metrics.dir/labels.cpp.o" "gcc" "src/metrics/CMakeFiles/ceems_metrics.dir/labels.cpp.o.d"
+  "/root/repo/src/metrics/model.cpp" "src/metrics/CMakeFiles/ceems_metrics.dir/model.cpp.o" "gcc" "src/metrics/CMakeFiles/ceems_metrics.dir/model.cpp.o.d"
+  "/root/repo/src/metrics/registry.cpp" "src/metrics/CMakeFiles/ceems_metrics.dir/registry.cpp.o" "gcc" "src/metrics/CMakeFiles/ceems_metrics.dir/registry.cpp.o.d"
+  "/root/repo/src/metrics/text_format.cpp" "src/metrics/CMakeFiles/ceems_metrics.dir/text_format.cpp.o" "gcc" "src/metrics/CMakeFiles/ceems_metrics.dir/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceems_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_metrics.dir/labels.cpp.o"
+  "CMakeFiles/ceems_metrics.dir/labels.cpp.o.d"
+  "CMakeFiles/ceems_metrics.dir/model.cpp.o"
+  "CMakeFiles/ceems_metrics.dir/model.cpp.o.d"
+  "CMakeFiles/ceems_metrics.dir/registry.cpp.o"
+  "CMakeFiles/ceems_metrics.dir/registry.cpp.o.d"
+  "CMakeFiles/ceems_metrics.dir/text_format.cpp.o"
+  "CMakeFiles/ceems_metrics.dir/text_format.cpp.o.d"
+  "libceems_metrics.a"
+  "libceems_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/gpu.cpp" "src/node/CMakeFiles/ceems_node.dir/gpu.cpp.o" "gcc" "src/node/CMakeFiles/ceems_node.dir/gpu.cpp.o.d"
+  "/root/repo/src/node/ipmi.cpp" "src/node/CMakeFiles/ceems_node.dir/ipmi.cpp.o" "gcc" "src/node/CMakeFiles/ceems_node.dir/ipmi.cpp.o.d"
+  "/root/repo/src/node/node_sim.cpp" "src/node/CMakeFiles/ceems_node.dir/node_sim.cpp.o" "gcc" "src/node/CMakeFiles/ceems_node.dir/node_sim.cpp.o.d"
+  "/root/repo/src/node/power_model.cpp" "src/node/CMakeFiles/ceems_node.dir/power_model.cpp.o" "gcc" "src/node/CMakeFiles/ceems_node.dir/power_model.cpp.o.d"
+  "/root/repo/src/node/rapl.cpp" "src/node/CMakeFiles/ceems_node.dir/rapl.cpp.o" "gcc" "src/node/CMakeFiles/ceems_node.dir/rapl.cpp.o.d"
+  "/root/repo/src/node/spec.cpp" "src/node/CMakeFiles/ceems_node.dir/spec.cpp.o" "gcc" "src/node/CMakeFiles/ceems_node.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simfs/CMakeFiles/ceems_simfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_node.dir/gpu.cpp.o"
+  "CMakeFiles/ceems_node.dir/gpu.cpp.o.d"
+  "CMakeFiles/ceems_node.dir/ipmi.cpp.o"
+  "CMakeFiles/ceems_node.dir/ipmi.cpp.o.d"
+  "CMakeFiles/ceems_node.dir/node_sim.cpp.o"
+  "CMakeFiles/ceems_node.dir/node_sim.cpp.o.d"
+  "CMakeFiles/ceems_node.dir/power_model.cpp.o"
+  "CMakeFiles/ceems_node.dir/power_model.cpp.o.d"
+  "CMakeFiles/ceems_node.dir/rapl.cpp.o"
+  "CMakeFiles/ceems_node.dir/rapl.cpp.o.d"
+  "CMakeFiles/ceems_node.dir/spec.cpp.o"
+  "CMakeFiles/ceems_node.dir/spec.cpp.o.d"
+  "libceems_node.a"
+  "libceems_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reldb/database.cpp" "src/reldb/CMakeFiles/ceems_reldb.dir/database.cpp.o" "gcc" "src/reldb/CMakeFiles/ceems_reldb.dir/database.cpp.o.d"
+  "/root/repo/src/reldb/table.cpp" "src/reldb/CMakeFiles/ceems_reldb.dir/table.cpp.o" "gcc" "src/reldb/CMakeFiles/ceems_reldb.dir/table.cpp.o.d"
+  "/root/repo/src/reldb/value.cpp" "src/reldb/CMakeFiles/ceems_reldb.dir/value.cpp.o" "gcc" "src/reldb/CMakeFiles/ceems_reldb.dir/value.cpp.o.d"
+  "/root/repo/src/reldb/wal.cpp" "src/reldb/CMakeFiles/ceems_reldb.dir/wal.cpp.o" "gcc" "src/reldb/CMakeFiles/ceems_reldb.dir/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceems_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

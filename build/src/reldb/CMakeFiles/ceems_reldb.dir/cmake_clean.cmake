@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_reldb.dir/database.cpp.o"
+  "CMakeFiles/ceems_reldb.dir/database.cpp.o.d"
+  "CMakeFiles/ceems_reldb.dir/table.cpp.o"
+  "CMakeFiles/ceems_reldb.dir/table.cpp.o.d"
+  "CMakeFiles/ceems_reldb.dir/value.cpp.o"
+  "CMakeFiles/ceems_reldb.dir/value.cpp.o.d"
+  "CMakeFiles/ceems_reldb.dir/wal.cpp.o"
+  "CMakeFiles/ceems_reldb.dir/wal.cpp.o.d"
+  "libceems_reldb.a"
+  "libceems_reldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_reldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

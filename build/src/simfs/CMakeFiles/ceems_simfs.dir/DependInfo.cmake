@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simfs/cgroup.cpp" "src/simfs/CMakeFiles/ceems_simfs.dir/cgroup.cpp.o" "gcc" "src/simfs/CMakeFiles/ceems_simfs.dir/cgroup.cpp.o.d"
+  "/root/repo/src/simfs/procfs.cpp" "src/simfs/CMakeFiles/ceems_simfs.dir/procfs.cpp.o" "gcc" "src/simfs/CMakeFiles/ceems_simfs.dir/procfs.cpp.o.d"
+  "/root/repo/src/simfs/pseudo_fs.cpp" "src/simfs/CMakeFiles/ceems_simfs.dir/pseudo_fs.cpp.o" "gcc" "src/simfs/CMakeFiles/ceems_simfs.dir/pseudo_fs.cpp.o.d"
+  "/root/repo/src/simfs/real_fs.cpp" "src/simfs/CMakeFiles/ceems_simfs.dir/real_fs.cpp.o" "gcc" "src/simfs/CMakeFiles/ceems_simfs.dir/real_fs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceems_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_simfs.dir/cgroup.cpp.o"
+  "CMakeFiles/ceems_simfs.dir/cgroup.cpp.o.d"
+  "CMakeFiles/ceems_simfs.dir/procfs.cpp.o"
+  "CMakeFiles/ceems_simfs.dir/procfs.cpp.o.d"
+  "CMakeFiles/ceems_simfs.dir/pseudo_fs.cpp.o"
+  "CMakeFiles/ceems_simfs.dir/pseudo_fs.cpp.o.d"
+  "CMakeFiles/ceems_simfs.dir/real_fs.cpp.o"
+  "CMakeFiles/ceems_simfs.dir/real_fs.cpp.o.d"
+  "libceems_simfs.a"
+  "libceems_simfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_simfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

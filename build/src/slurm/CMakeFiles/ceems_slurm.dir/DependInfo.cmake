@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slurm/cluster.cpp" "src/slurm/CMakeFiles/ceems_slurm.dir/cluster.cpp.o" "gcc" "src/slurm/CMakeFiles/ceems_slurm.dir/cluster.cpp.o.d"
+  "/root/repo/src/slurm/cluster_sim.cpp" "src/slurm/CMakeFiles/ceems_slurm.dir/cluster_sim.cpp.o" "gcc" "src/slurm/CMakeFiles/ceems_slurm.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/slurm/job.cpp" "src/slurm/CMakeFiles/ceems_slurm.dir/job.cpp.o" "gcc" "src/slurm/CMakeFiles/ceems_slurm.dir/job.cpp.o.d"
+  "/root/repo/src/slurm/scheduler.cpp" "src/slurm/CMakeFiles/ceems_slurm.dir/scheduler.cpp.o" "gcc" "src/slurm/CMakeFiles/ceems_slurm.dir/scheduler.cpp.o.d"
+  "/root/repo/src/slurm/slurmdbd.cpp" "src/slurm/CMakeFiles/ceems_slurm.dir/slurmdbd.cpp.o" "gcc" "src/slurm/CMakeFiles/ceems_slurm.dir/slurmdbd.cpp.o.d"
+  "/root/repo/src/slurm/workload_gen.cpp" "src/slurm/CMakeFiles/ceems_slurm.dir/workload_gen.cpp.o" "gcc" "src/slurm/CMakeFiles/ceems_slurm.dir/workload_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ceems_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/simfs/CMakeFiles/ceems_simfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

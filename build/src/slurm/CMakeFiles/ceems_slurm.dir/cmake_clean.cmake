@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_slurm.dir/cluster.cpp.o"
+  "CMakeFiles/ceems_slurm.dir/cluster.cpp.o.d"
+  "CMakeFiles/ceems_slurm.dir/cluster_sim.cpp.o"
+  "CMakeFiles/ceems_slurm.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/ceems_slurm.dir/job.cpp.o"
+  "CMakeFiles/ceems_slurm.dir/job.cpp.o.d"
+  "CMakeFiles/ceems_slurm.dir/scheduler.cpp.o"
+  "CMakeFiles/ceems_slurm.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ceems_slurm.dir/slurmdbd.cpp.o"
+  "CMakeFiles/ceems_slurm.dir/slurmdbd.cpp.o.d"
+  "CMakeFiles/ceems_slurm.dir/workload_gen.cpp.o"
+  "CMakeFiles/ceems_slurm.dir/workload_gen.cpp.o.d"
+  "libceems_slurm.a"
+  "libceems_slurm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsdb/http_api.cpp" "src/tsdb/CMakeFiles/ceems_tsdb.dir/http_api.cpp.o" "gcc" "src/tsdb/CMakeFiles/ceems_tsdb.dir/http_api.cpp.o.d"
+  "/root/repo/src/tsdb/longterm.cpp" "src/tsdb/CMakeFiles/ceems_tsdb.dir/longterm.cpp.o" "gcc" "src/tsdb/CMakeFiles/ceems_tsdb.dir/longterm.cpp.o.d"
+  "/root/repo/src/tsdb/promql_eval.cpp" "src/tsdb/CMakeFiles/ceems_tsdb.dir/promql_eval.cpp.o" "gcc" "src/tsdb/CMakeFiles/ceems_tsdb.dir/promql_eval.cpp.o.d"
+  "/root/repo/src/tsdb/promql_lexer.cpp" "src/tsdb/CMakeFiles/ceems_tsdb.dir/promql_lexer.cpp.o" "gcc" "src/tsdb/CMakeFiles/ceems_tsdb.dir/promql_lexer.cpp.o.d"
+  "/root/repo/src/tsdb/promql_parser.cpp" "src/tsdb/CMakeFiles/ceems_tsdb.dir/promql_parser.cpp.o" "gcc" "src/tsdb/CMakeFiles/ceems_tsdb.dir/promql_parser.cpp.o.d"
+  "/root/repo/src/tsdb/rules.cpp" "src/tsdb/CMakeFiles/ceems_tsdb.dir/rules.cpp.o" "gcc" "src/tsdb/CMakeFiles/ceems_tsdb.dir/rules.cpp.o.d"
+  "/root/repo/src/tsdb/scrape.cpp" "src/tsdb/CMakeFiles/ceems_tsdb.dir/scrape.cpp.o" "gcc" "src/tsdb/CMakeFiles/ceems_tsdb.dir/scrape.cpp.o.d"
+  "/root/repo/src/tsdb/storage.cpp" "src/tsdb/CMakeFiles/ceems_tsdb.dir/storage.cpp.o" "gcc" "src/tsdb/CMakeFiles/ceems_tsdb.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceems_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ceems_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/ceems_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceems_tsdb.dir/http_api.cpp.o"
+  "CMakeFiles/ceems_tsdb.dir/http_api.cpp.o.d"
+  "CMakeFiles/ceems_tsdb.dir/longterm.cpp.o"
+  "CMakeFiles/ceems_tsdb.dir/longterm.cpp.o.d"
+  "CMakeFiles/ceems_tsdb.dir/promql_eval.cpp.o"
+  "CMakeFiles/ceems_tsdb.dir/promql_eval.cpp.o.d"
+  "CMakeFiles/ceems_tsdb.dir/promql_lexer.cpp.o"
+  "CMakeFiles/ceems_tsdb.dir/promql_lexer.cpp.o.d"
+  "CMakeFiles/ceems_tsdb.dir/promql_parser.cpp.o"
+  "CMakeFiles/ceems_tsdb.dir/promql_parser.cpp.o.d"
+  "CMakeFiles/ceems_tsdb.dir/rules.cpp.o"
+  "CMakeFiles/ceems_tsdb.dir/rules.cpp.o.d"
+  "CMakeFiles/ceems_tsdb.dir/scrape.cpp.o"
+  "CMakeFiles/ceems_tsdb.dir/scrape.cpp.o.d"
+  "CMakeFiles/ceems_tsdb.dir/storage.cpp.o"
+  "CMakeFiles/ceems_tsdb.dir/storage.cpp.o.d"
+  "libceems_tsdb.a"
+  "libceems_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceems_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apiserver_test.dir/apiserver_test.cpp.o"
+  "CMakeFiles/apiserver_test.dir/apiserver_test.cpp.o.d"
+  "apiserver_test"
+  "apiserver_test.pdb"
+  "apiserver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apiserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

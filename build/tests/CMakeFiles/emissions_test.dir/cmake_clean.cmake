@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emissions_test.dir/emissions_test.cpp.o"
+  "CMakeFiles/emissions_test.dir/emissions_test.cpp.o.d"
+  "emissions_test"
+  "emissions_test.pdb"
+  "emissions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emissions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

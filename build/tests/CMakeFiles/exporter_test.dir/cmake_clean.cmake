@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exporter_test.dir/exporter_test.cpp.o"
+  "CMakeFiles/exporter_test.dir/exporter_test.cpp.o.d"
+  "exporter_test"
+  "exporter_test.pdb"
+  "exporter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exporter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

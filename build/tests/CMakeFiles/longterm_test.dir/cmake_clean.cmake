@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longterm_test.dir/longterm_test.cpp.o"
+  "CMakeFiles/longterm_test.dir/longterm_test.cpp.o.d"
+  "longterm_test"
+  "longterm_test.pdb"
+  "longterm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longterm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

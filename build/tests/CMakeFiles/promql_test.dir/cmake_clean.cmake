@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promql_test.dir/promql_test.cpp.o"
+  "CMakeFiles/promql_test.dir/promql_test.cpp.o.d"
+  "promql_test"
+  "promql_test.pdb"
+  "promql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

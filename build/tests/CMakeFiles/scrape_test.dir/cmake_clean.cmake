@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrape_test.dir/scrape_test.cpp.o"
+  "CMakeFiles/scrape_test.dir/scrape_test.cpp.o.d"
+  "scrape_test"
+  "scrape_test.pdb"
+  "scrape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simfs_test.dir/simfs_test.cpp.o"
+  "CMakeFiles/simfs_test.dir/simfs_test.cpp.o.d"
+  "simfs_test"
+  "simfs_test.pdb"
+  "simfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/simfs_test[1]_include.cmake")
+include("/root/repo/build/tests/ebpf_test[1]_include.cmake")
+include("/root/repo/build/tests/alerts_test[1]_include.cmake")
+include("/root/repo/build/tests/node_test[1]_include.cmake")
+include("/root/repo/build/tests/slurm_test[1]_include.cmake")
+include("/root/repo/build/tests/emissions_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/promql_test[1]_include.cmake")
+include("/root/repo/build/tests/scrape_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/longterm_test[1]_include.cmake")
+include("/root/repo/build/tests/reldb_test[1]_include.cmake")
+include("/root/repo/build/tests/exporter_test[1]_include.cmake")
+include("/root/repo/build/tests/apiserver_test[1]_include.cmake")
+include("/root/repo/build/tests/lb_test[1]_include.cmake")
+include("/root/repo/build/tests/dashboard_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
