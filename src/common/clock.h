@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 
 namespace ceems::common {
 
@@ -70,6 +71,9 @@ class SimClock final : public Clock {
   void interrupt() override;
 
   // Moves time forward, waking any sleeper whose deadline has passed.
+  // Blocks until every such sleeper has actually left sleep_until, so a
+  // driver polling sleeper_count() cannot spend two advances on the same
+  // sleep when the woken thread has not been scheduled yet.
   void advance(TimestampMs delta_ms);
   void set(TimestampMs now_ms);
 
@@ -78,11 +82,17 @@ class SimClock final : public Clock {
   int sleeper_count() const;
 
  private:
+  void wait_for_due_sleepers(std::unique_lock<std::mutex>& lock);
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  // Signalled each time a sleeper exits sleep_until; advance()/set() wait on
+  // it until no sleeper with an expired deadline remains parked.
+  std::condition_variable sleeper_exit_cv_;
   TimestampMs now_;
   bool interrupted_ = false;
   int sleepers_ = 0;
+  std::multiset<TimestampMs> sleeper_deadlines_;
 };
 
 ClockPtr make_real_clock();

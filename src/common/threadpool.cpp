@@ -23,6 +23,35 @@ bool ThreadPool::submit(std::function<void()> task) {
   return true;
 }
 
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->remaining = tasks.size();
+  for (auto& task : tasks) {
+    auto wrapped = [sync, task = std::move(task)]() mutable {
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard lock(sync->mu);
+      if (error && !sync->error) sync->error = error;
+      if (--sync->remaining == 0) sync->cv.notify_all();
+    };
+    if (!submit(wrapped)) wrapped();  // shutting down: run inline
+  }
+  std::unique_lock lock(sync->mu);
+  sync->cv.wait(lock, [&] { return sync->remaining == 0; });
+  if (sync->error) std::rethrow_exception(sync->error);
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });

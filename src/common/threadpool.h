@@ -23,6 +23,13 @@ class ThreadPool {
   // Enqueues a task. Returns false if the pool is shutting down.
   bool submit(std::function<void()> task);
 
+  // Runs every task and blocks until *these* tasks have finished — unlike
+  // wait_idle(), this is safe on a pool shared with other submitters. If
+  // the pool is shutting down the remaining tasks run on the caller's
+  // thread. The first exception thrown by any task is rethrown here after
+  // all tasks have completed.
+  void run_all(std::vector<std::function<void()>> tasks);
+
   // Blocks until every queued and running task has finished.
   void wait_idle();
 

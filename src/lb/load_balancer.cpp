@@ -54,21 +54,31 @@ bool LoadBalancer::check_ownership(const std::string& user,
   return result.ok && result.response.status == 200;
 }
 
-LoadBalancer::Backend* LoadBalancer::pick_backend() {
+LoadBalancer::Backend* LoadBalancer::pick_backend(common::TimestampMs now) {
   if (backends_.empty()) return nullptr;
+  auto available = [&](const Backend& backend) {
+    return backend.down_until_ms.load(std::memory_order_acquire) <= now;
+  };
   if (config_.strategy == Strategy::kRoundRobin) {
-    std::size_t index =
-        round_robin_next_.fetch_add(1) % backends_.size();
-    return backends_[index].get();
+    // Skip backends inside their failure cooldown, up to one rotation;
+    // if everything is down, fall through and probe anyway.
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      std::size_t index = round_robin_next_.fetch_add(1) % backends_.size();
+      if (available(*backends_[index])) return backends_[index].get();
+    }
+    return backends_[round_robin_next_.fetch_add(1) % backends_.size()].get();
   }
-  // Least connection.
+  // Least connection, preferring backends outside their cooldown.
   Backend* best = nullptr;
   int best_inflight = std::numeric_limits<int>::max();
-  for (const auto& backend : backends_) {
-    int inflight = backend->inflight.load();
-    if (inflight < best_inflight) {
-      best_inflight = inflight;
-      best = backend.get();
+  for (int pass = 0; pass < 2 && !best; ++pass) {
+    for (const auto& backend : backends_) {
+      if (pass == 0 && !available(*backend)) continue;
+      int inflight = backend->inflight.load();
+      if (inflight < best_inflight) {
+        best_inflight = inflight;
+        best = backend.get();
+      }
     }
   }
   return best;
@@ -128,10 +138,13 @@ http::Response LoadBalancer::handle_proxy(const http::Request& request) {
   headers.erase("Connection");
 
   // Failover: a backend that fails at the transport level is skipped and
-  // the request retried on the next one, up to one full rotation.
+  // the request retried on the next one, up to one full rotation. Failed
+  // backends enter a cooldown so later requests don't re-probe them on
+  // every rotation.
   std::string last_error = "no backends configured";
   for (std::size_t attempt = 0; attempt < backends_.size(); ++attempt) {
-    Backend* backend = pick_backend();
+    common::TimestampMs now = clock_->now_ms();
+    Backend* backend = pick_backend(now);
     if (!backend) break;
     ++backend->inflight;
     ++backend->requests;
@@ -140,8 +153,15 @@ http::Response LoadBalancer::handle_proxy(const http::Request& request) {
                                  backend->base_url + request.target,
                                  request.body, headers);
     --backend->inflight;
-    if (result.ok) return result.response;
+    if (result.ok) {
+      backend->down_until_ms.store(0, std::memory_order_release);
+      return result.response;
+    }
     ++backend->failures;
+    if (config_.failover_cooldown_ms > 0) {
+      backend->down_until_ms.store(now + config_.failover_cooldown_ms,
+                                   std::memory_order_release);
+    }
     last_error = result.error;
   }
   return http::Response::json(

@@ -30,6 +30,9 @@ struct LbConfig {
   std::set<std::string> admin_users;
   // API-server verify endpoint, used when no direct DB handle is set.
   std::string api_server_url;
+  // A backend that fails at the transport level is skipped for this long
+  // before being probed again (circuit breaker). 0 disables the breaker.
+  int64_t failover_cooldown_ms = 2000;
 };
 
 struct BackendStats {
@@ -68,11 +71,13 @@ class LoadBalancer {
     std::atomic<int> inflight{0};
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> failures{0};
+    // Circuit breaker: skipped by pick_backend() until this timestamp.
+    std::atomic<int64_t> down_until_ms{0};
   };
 
   bool check_ownership(const std::string& user,
                        const std::set<std::string>& uuids);
-  Backend* pick_backend();
+  Backend* pick_backend(common::TimestampMs now);
 
   LbConfig config_;
   common::ClockPtr clock_;

@@ -1,6 +1,8 @@
 #include "tsdb/http_api.h"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "common/strutil.h"
 
@@ -39,6 +41,23 @@ Json success_body(Json data) {
   object["status"] = Json("success");
   object["data"] = std::move(data);
   return Json(std::move(object));
+}
+
+// One process-wide evaluation pool shared by every PromApi frontend (the
+// stack runs several Thanos-style query backends in one process; a shared
+// pool keeps the thread count bounded). run_all() waits on its own tasks
+// only, so concurrent range queries interleave safely on it.
+std::shared_ptr<common::ThreadPool> query_eval_pool() {
+  static std::shared_ptr<common::ThreadPool> pool =
+      std::make_shared<common::ThreadPool>(
+          std::clamp<std::size_t>(std::thread::hardware_concurrency(), 2, 8),
+          "promql-eval");
+  return pool;
+}
+
+promql::EngineOptions with_default_pool(promql::EngineOptions options) {
+  if (!options.pool) options.pool = query_eval_pool();
+  return options;
 }
 
 }  // namespace
@@ -96,7 +115,9 @@ Json matrix_to_json(const std::vector<Series>& matrix) {
 
 PromApi::PromApi(std::shared_ptr<const Queryable> source,
                  common::ClockPtr clock, promql::EngineOptions options)
-    : source_(std::move(source)), clock_(std::move(clock)), engine_(options) {}
+    : source_(std::move(source)),
+      clock_(std::move(clock)),
+      engine_(with_default_pool(std::move(options))) {}
 
 void PromApi::attach(http::Server& server) {
   server.handle("/api/v1/query",

@@ -77,6 +77,13 @@ std::vector<Series> LongTermStore::select(
   return out;
 }
 
+std::vector<uint64_t> LongTermStore::version_signature() const {
+  std::vector<uint64_t> out = raw_.version_signature();
+  std::vector<uint64_t> coarse = downsampled_.version_signature();
+  out.insert(out.end(), coarse.begin(), coarse.end());
+  return out;
+}
+
 StorageStats LongTermStore::stats() const {
   std::lock_guard lock(mu_);
   StorageStats raw = raw_.stats();

@@ -39,6 +39,10 @@ class LongTermStore final : public Queryable {
                              TimestampMs min_t,
                              TimestampMs max_t) const override;
 
+  // Concatenated raw + downsampled shard versions, so query-result cache
+  // entries over this store invalidate when either side mutates.
+  std::vector<uint64_t> version_signature() const override;
+
   StorageStats stats() const;
   StorageStats raw_stats() const { return raw_.stats(); }
   StorageStats downsampled_stats() const { return downsampled_.stats(); }

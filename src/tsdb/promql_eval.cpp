@@ -742,10 +742,9 @@ Value Engine::eval(const Queryable& source, const std::string& expr,
   return eval(source, parse(expr), t);
 }
 
-std::vector<Series> Engine::eval_range(const Queryable& source,
-                                       const ExprPtr& expr, TimestampMs start,
-                                       TimestampMs end, int64_t step_ms) const {
-  if (step_ms <= 0) throw EvalError("step must be positive");
+std::map<uint64_t, Series> Engine::eval_range_steps(
+    const Queryable& source, const ExprPtr& expr, TimestampMs start,
+    TimestampMs end, int64_t step_ms) const {
   std::map<uint64_t, Series> by_labels;
   for (TimestampMs t = start; t <= end; t += step_ms) {
     Value value = eval(source, expr, t);
@@ -762,6 +761,60 @@ std::vector<Series> Engine::eval_range(const Queryable& source,
       series.samples.push_back({t, sample.value});
     }
   }
+  return by_labels;
+}
+
+std::vector<Series> Engine::eval_range(const Queryable& source,
+                                       const ExprPtr& expr, TimestampMs start,
+                                       TimestampMs end, int64_t step_ms) const {
+  if (step_ms <= 0) throw EvalError("step must be positive");
+  const int64_t num_steps = end < start ? 0 : (end - start) / step_ms + 1;
+
+  std::map<uint64_t, Series> by_labels;
+  common::ThreadPool* pool = options_.pool.get();
+  if (!pool || pool->size() < 2 || num_steps < options_.min_parallel_steps) {
+    by_labels = eval_range_steps(source, expr, start, end, step_ms);
+  } else {
+    // Chunk the step grid across the pool; each chunk evaluates its steps
+    // serially, then chunks are merged in order, so sample order (and the
+    // whole result) is bit-identical to the serial path. Each evaluation
+    // step is independent — Prometheus' range-query model — which is what
+    // makes this safe.
+    const int64_t num_chunks =
+        std::min<int64_t>(num_steps,
+                          static_cast<int64_t>(pool->size()) * 4);
+    const int64_t steps_per_chunk = (num_steps + num_chunks - 1) / num_chunks;
+    std::vector<std::map<uint64_t, Series>> partials(
+        static_cast<std::size_t>(num_chunks));
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(static_cast<std::size_t>(num_chunks));
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      int64_t first_step = c * steps_per_chunk;
+      if (first_step >= num_steps) break;
+      int64_t last_step = std::min(num_steps - 1,
+                                   first_step + steps_per_chunk - 1);
+      TimestampMs chunk_start = start + first_step * step_ms;
+      TimestampMs chunk_end = start + last_step * step_ms;
+      tasks.push_back([this, &source, &expr, &partials, c, chunk_start,
+                       chunk_end, step_ms] {
+        partials[static_cast<std::size_t>(c)] =
+            eval_range_steps(source, expr, chunk_start, chunk_end, step_ms);
+      });
+    }
+    pool->run_all(std::move(tasks));
+    for (auto& partial : partials) {
+      for (auto& [key, series] : partial) {
+        Series& dst = by_labels[key];
+        if (dst.samples.empty()) {
+          dst = std::move(series);
+        } else {
+          dst.samples.insert(dst.samples.end(), series.samples.begin(),
+                             series.samples.end());
+        }
+      }
+    }
+  }
+
   std::vector<Series> out;
   out.reserve(by_labels.size());
   for (auto& [key, series] : by_labels) out.push_back(std::move(series));
@@ -775,7 +828,24 @@ std::vector<Series> Engine::eval_range(const Queryable& source,
                                        const std::string& expr,
                                        TimestampMs start, TimestampMs end,
                                        int64_t step_ms) const {
+  if (cache_) {
+    // The signature is read *before* evaluation: a write landing during
+    // the evaluation bumps its shard counter, so the entry we store below
+    // fails its next validation instead of serving a stale mix.
+    std::vector<uint64_t> versions = source.version_signature();
+    if (!versions.empty()) {
+      QueryCacheKey key{expr, start, end, step_ms};
+      if (auto hit = cache_->lookup(key, versions)) return std::move(*hit);
+      auto result = eval_range(source, parse(expr), start, end, step_ms);
+      cache_->insert(key, std::move(versions), result);
+      return result;
+    }
+  }
   return eval_range(source, parse(expr), start, end, step_ms);
+}
+
+QueryCacheStats Engine::cache_stats() const {
+  return cache_ ? cache_->stats() : QueryCacheStats{};
 }
 
 }  // namespace ceems::tsdb::promql

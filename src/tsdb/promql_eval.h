@@ -12,11 +12,15 @@
 //     5 min) alone decides sample visibility.
 #pragma once
 
+#include <map>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "common/threadpool.h"
 #include "tsdb/promql_ast.h"
+#include "tsdb/query_cache.h"
 #include "tsdb/storage.h"
 
 namespace ceems::tsdb::promql {
@@ -43,11 +47,27 @@ struct Value {
 
 struct EngineOptions {
   int64_t lookback_ms = 5 * common::kMillisPerMinute;
+  // Worker pool for range queries: evaluation steps are chunked across the
+  // pool and merged in step order, so results are bit-identical to the
+  // serial evaluator. nullptr (the default) keeps evaluation serial.
+  std::shared_ptr<common::ThreadPool> pool;
+  // Range queries with fewer steps than this stay serial even with a pool
+  // (chunking overhead would dominate).
+  int64_t min_parallel_steps = 8;
+  // Capacity of the bounded LRU result cache for string-form range
+  // queries, keyed on (query, start, end, step) and invalidated through
+  // the source's per-shard version signature. 0 disables caching.
+  std::size_t query_cache_capacity = 128;
 };
 
 class Engine {
  public:
-  explicit Engine(EngineOptions options = {}) : options_(options) {}
+  explicit Engine(EngineOptions options = {})
+      : options_(std::move(options)),
+        cache_(options_.query_cache_capacity > 0
+                   ? std::make_shared<QueryCache>(
+                         options_.query_cache_capacity)
+                   : nullptr) {}
 
   // Evaluates `expr` at instant `t`.
   Value eval(const Queryable& source, const ExprPtr& expr,
@@ -64,8 +84,21 @@ class Engine {
                                  const std::string& expr, TimestampMs start,
                                  TimestampMs end, int64_t step_ms) const;
 
+  // Result-cache counters (zeroed stats when caching is disabled).
+  QueryCacheStats cache_stats() const;
+
  private:
+  // Evaluates the steps start, start+step, ... <= end into a
+  // fingerprint-keyed accumulator (samples in step order).
+  std::map<uint64_t, Series> eval_range_steps(const Queryable& source,
+                                              const ExprPtr& expr,
+                                              TimestampMs start,
+                                              TimestampMs end,
+                                              int64_t step_ms) const;
+
   EngineOptions options_;
+  // Shared (not unique) so Engine stays copyable; copies share the cache.
+  std::shared_ptr<QueryCache> cache_;
 };
 
 }  // namespace ceems::tsdb::promql

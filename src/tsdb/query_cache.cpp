@@ -1,0 +1,63 @@
+#include "tsdb/query_cache.h"
+
+namespace ceems::tsdb::promql {
+
+std::string QueryCacheKey::encode() const {
+  return query + "\x1f" + std::to_string(start) + "\x1f" +
+         std::to_string(end) + "\x1f" + std::to_string(step_ms);
+}
+
+std::optional<std::vector<Series>> QueryCache::lookup(
+    const QueryCacheKey& key, const std::vector<uint64_t>& versions) {
+  std::string encoded = key.encode();
+  std::lock_guard lock(mu_);
+  auto it = by_key_.find(encoded);
+  if (it == by_key_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->versions != versions) {
+    lru_.erase(it->second);
+    by_key_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->result;
+}
+
+void QueryCache::insert(const QueryCacheKey& key,
+                        std::vector<uint64_t> versions,
+                        std::vector<Series> result) {
+  if (capacity_ == 0) return;
+  std::string encoded = key.encode();
+  std::lock_guard lock(mu_);
+  if (auto it = by_key_.find(encoded); it != by_key_.end()) {
+    lru_.erase(it->second);
+    by_key_.erase(it);
+  }
+  lru_.push_front(Entry{encoded, std::move(versions), std::move(result)});
+  by_key_[encoded] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    by_key_.erase(lru_.back().encoded_key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+QueryCacheStats QueryCache::stats() const {
+  std::lock_guard lock(mu_);
+  QueryCacheStats out = stats_;
+  out.size = lru_.size();
+  return out;
+}
+
+void QueryCache::clear() {
+  std::lock_guard lock(mu_);
+  lru_.clear();
+  by_key_.clear();
+}
+
+}  // namespace ceems::tsdb::promql

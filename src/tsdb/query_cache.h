@@ -1,0 +1,75 @@
+// Bounded LRU cache for PromQL range-query results, keyed on
+// (query text, start, end, step). Every entry records the source's
+// version signature (per-shard write counters) at evaluation time; a
+// lookup whose current signature differs sees the entry dropped — i.e. a
+// write to any storage shard invalidates the results computed over it.
+// The signature is captured *before* evaluation, so a write racing the
+// evaluation leaves a stale signature behind and the entry self-evicts on
+// its next lookup; the cache can serve stale data only never.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tsdb/storage.h"
+
+namespace ceems::tsdb::promql {
+
+struct QueryCacheKey {
+  std::string query;
+  TimestampMs start = 0;
+  TimestampMs end = 0;
+  int64_t step_ms = 0;
+
+  bool operator==(const QueryCacheKey& other) const {
+    return query == other.query && start == other.start &&
+           end == other.end && step_ms == other.step_ms;
+  }
+  // Canonical string form used as the hash-map key.
+  std::string encode() const;
+};
+
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;  // entries dropped on signature mismatch
+  uint64_t evictions = 0;      // entries dropped by LRU capacity
+  std::size_t size = 0;        // current entry count
+};
+
+class QueryCache {
+ public:
+  explicit QueryCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns the cached matrix when present and its recorded version
+  // signature equals `versions`; a mismatched entry is dropped.
+  std::optional<std::vector<Series>> lookup(
+      const QueryCacheKey& key, const std::vector<uint64_t>& versions);
+
+  // Stores (replacing any entry for `key`) and evicts LRU past capacity.
+  void insert(const QueryCacheKey& key, std::vector<uint64_t> versions,
+              std::vector<Series> result);
+
+  QueryCacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::string encoded_key;
+    std::vector<uint64_t> versions;
+    std::vector<Series> result;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
+  QueryCacheStats stats_;
+};
+
+}  // namespace ceems::tsdb::promql

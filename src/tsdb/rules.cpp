@@ -21,6 +21,7 @@ void RuleEngine::add_group(RuleGroup group) {
       throw promql::ParseError("alerting rule without a name");
     rule.parsed = promql::parse(rule.expr);
   }
+  std::lock_guard lock(eval_mu_);
   groups_.push_back(std::move(group));
   last_eval_.push_back(-1);
 }
@@ -119,6 +120,7 @@ RuleEvalStats RuleEngine::evaluate_group(RuleGroup& group,
 
 RuleEvalStats RuleEngine::evaluate_due(common::TimestampMs t) {
   RuleEvalStats total;
+  std::lock_guard lock(eval_mu_);
   for (std::size_t i = 0; i < groups_.size(); ++i) {
     if (last_eval_[i] >= 0 && t - last_eval_[i] < groups_[i].interval_ms)
       continue;
@@ -135,6 +137,7 @@ RuleEvalStats RuleEngine::evaluate_due(common::TimestampMs t) {
 
 RuleEvalStats RuleEngine::evaluate_all(common::TimestampMs t) {
   RuleEvalStats total;
+  std::lock_guard lock(eval_mu_);
   for (std::size_t i = 0; i < groups_.size(); ++i) {
     last_eval_[i] = t;
     RuleEvalStats stats = evaluate_group(groups_[i], t);
@@ -148,6 +151,7 @@ RuleEvalStats RuleEngine::evaluate_all(common::TimestampMs t) {
 }
 
 std::vector<ActiveAlert> RuleEngine::active_alerts() const {
+  std::lock_guard lock(eval_mu_);
   std::vector<ActiveAlert> out;
   out.reserve(active_.size());
   for (const auto& [key, alert] : active_) out.push_back(alert);

@@ -9,6 +9,7 @@
 // Eq. 1 be decomposed into named sub-expressions.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,7 +69,10 @@ class RuleEngine {
   // Parses every rule expression up front; throws promql::ParseError on
   // invalid rules (fail fast at config load, like promtool check rules).
   void add_group(RuleGroup group);
-  std::size_t group_count() const { return groups_.size(); }
+  std::size_t group_count() const {
+    std::lock_guard lock(eval_mu_);
+    return groups_.size();
+  }
 
   // Evaluates every group due at `t` (interval grid) and writes results.
   RuleEvalStats evaluate_due(common::TimestampMs t);
@@ -86,6 +90,10 @@ class RuleEngine {
 
   StorePtr store_;
   promql::Engine engine_;
+  // Serialises rule evaluation against group registration and alert
+  // snapshots: the evaluation loop runs on a timer thread while
+  // active_alerts() is read from HTTP handlers.
+  mutable std::mutex eval_mu_;
   std::vector<RuleGroup> groups_;
   std::vector<common::TimestampMs> last_eval_;
   // Key: alertname fingerprint ^ labels fingerprint.

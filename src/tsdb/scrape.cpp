@@ -59,6 +59,11 @@ int64_t ScrapeManager::scrape_target(TargetState& state,
   int64_t count = 0;
   try {
     auto parsed = metrics::parse_exposition(result.response.body);
+    // Batch the whole scrape through append_all: samples are grouped by
+    // storage shard so each per-shard lock is taken once per sweep rather
+    // than once per sample.
+    std::vector<metrics::Sample> batch;
+    batch.reserve(parsed.samples.size());
     for (auto& sample : parsed.samples) {
       Labels labels = sample.labels;
       for (const auto& [name, value] : state.target.labels.pairs()) {
@@ -68,8 +73,9 @@ int64_t ScrapeManager::scrape_target(TargetState& state,
           config_.honor_timestamps && sample.timestamp_ms != 0
               ? sample.timestamp_ms
               : now;
-      if (store_->append(labels, t, sample.value)) ++count;
+      batch.push_back({std::move(labels), t, sample.value});
     }
+    count = static_cast<int64_t>(store_->append_all(batch));
   } catch (const metrics::ExpositionParseError& e) {
     CEEMS_LOG_WARN("scrape") << state.target.url << ": " << e.what();
     store_->append(up_labels, now, 0);

@@ -6,14 +6,14 @@
 
 namespace ceems::tsdb {
 
-bool TimeSeriesStore::append(const Labels& labels, TimestampMs t, double v) {
-  uint64_t fingerprint = labels.fingerprint();
-  std::unique_lock lock(mu_);
-  auto it = series_.find(fingerprint);
-  if (it == series_.end()) {
-    it = series_.emplace(fingerprint, SeriesData{labels, {}}).first;
+bool TimeSeriesStore::append_locked(Shard& shard, uint64_t fingerprint,
+                                    const Labels& labels, TimestampMs t,
+                                    double v) {
+  auto it = shard.series.find(fingerprint);
+  if (it == shard.series.end()) {
+    it = shard.series.emplace(fingerprint, SeriesData{labels, {}}).first;
     for (const auto& [name, value] : labels.pairs()) {
-      index_[name][value].insert(fingerprint);
+      shard.index[name][value].insert(fingerprint);
     }
   }
   SeriesData& data = it->second;
@@ -25,25 +25,59 @@ bool TimeSeriesStore::append(const Labels& labels, TimestampMs t, double v) {
     return true;
   }
   data.samples.push_back({t, v});
-  ++total_samples_;
+  ++shard.num_samples;
   return true;
 }
 
-void TimeSeriesStore::append_all(const std::vector<metrics::Sample>& samples) {
+bool TimeSeriesStore::append(const Labels& labels, TimestampMs t, double v) {
+  uint64_t fingerprint = labels.fingerprint();
+  Shard& shard = shards_[shard_of(fingerprint)];
+  std::unique_lock lock(shard.mu);
+  bool accepted = append_locked(shard, fingerprint, labels, t, v);
+  if (accepted) shard.version.fetch_add(1, std::memory_order_acq_rel);
+  return accepted;
+}
+
+std::size_t TimeSeriesStore::append_all(
+    const std::vector<metrics::Sample>& samples) {
+  // Bucket by shard first so each shard lock is acquired once per batch.
+  std::array<std::vector<std::pair<uint64_t, const metrics::Sample*>>,
+             kShardCount>
+      buckets;
   for (const auto& sample : samples) {
-    append(sample.labels, sample.timestamp_ms, sample.value);
+    uint64_t fingerprint = sample.labels.fingerprint();
+    buckets[shard_of(fingerprint)].emplace_back(fingerprint, &sample);
   }
+  std::size_t accepted = 0;
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    if (buckets[s].empty()) continue;
+    Shard& shard = shards_[s];
+    std::unique_lock lock(shard.mu);
+    std::size_t shard_accepted = 0;
+    for (const auto& [fingerprint, sample] : buckets[s]) {
+      if (append_locked(shard, fingerprint, sample->labels,
+                        sample->timestamp_ms, sample->value)) {
+        ++shard_accepted;
+      }
+    }
+    // One version bump per shard per batch is enough for cache
+    // invalidation (entries compare signatures for equality).
+    if (shard_accepted > 0)
+      shard.version.fetch_add(1, std::memory_order_acq_rel);
+    accepted += shard_accepted;
+  }
+  return accepted;
 }
 
 std::vector<uint64_t> TimeSeriesStore::match_ids(
-    const std::vector<LabelMatcher>& matchers) const {
+    const Shard& shard, const std::vector<LabelMatcher>& matchers) {
   // Start from the most selective equality matcher via the inverted index,
   // then filter.
   std::optional<std::set<uint64_t>> candidates;
   for (const auto& matcher : matchers) {
     if (matcher.op != LabelMatcher::Op::kEq || matcher.value.empty()) continue;
-    auto name_it = index_.find(matcher.name);
-    if (name_it == index_.end()) return {};
+    auto name_it = shard.index.find(matcher.name);
+    if (name_it == shard.index.end()) return {};
     auto value_it = name_it->second.find(matcher.value);
     if (value_it == name_it->second.end()) return {};
     if (!candidates) {
@@ -68,11 +102,11 @@ std::vector<uint64_t> TimeSeriesStore::match_ids(
   };
   if (candidates) {
     for (uint64_t id : *candidates) {
-      auto it = series_.find(id);
-      if (it != series_.end()) check(id, it->second);
+      auto it = shard.series.find(id);
+      if (it != shard.series.end()) check(id, it->second);
     }
   } else {
-    for (const auto& [id, data] : series_) check(id, data);
+    for (const auto& [id, data] : shard.series) check(id, data);
   }
   return out;
 }
@@ -80,21 +114,23 @@ std::vector<uint64_t> TimeSeriesStore::match_ids(
 std::vector<Series> TimeSeriesStore::select(
     const std::vector<LabelMatcher>& matchers, TimestampMs min_t,
     TimestampMs max_t) const {
-  std::shared_lock lock(mu_);
   std::vector<Series> out;
-  for (uint64_t id : match_ids(matchers)) {
-    const SeriesData& data = series_.at(id);
-    auto begin = std::lower_bound(
-        data.samples.begin(), data.samples.end(), min_t,
-        [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
-    auto end = std::upper_bound(
-        data.samples.begin(), data.samples.end(), max_t,
-        [](TimestampMs t, const SamplePoint& s) { return t < s.t; });
-    if (begin == end) continue;
-    Series series;
-    series.labels = data.labels;
-    series.samples.assign(begin, end);
-    out.push_back(std::move(series));
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (uint64_t id : match_ids(shard, matchers)) {
+      const SeriesData& data = shard.series.at(id);
+      auto begin = std::lower_bound(
+          data.samples.begin(), data.samples.end(), min_t,
+          [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
+      auto end = std::upper_bound(
+          data.samples.begin(), data.samples.end(), max_t,
+          [](TimestampMs t, const SamplePoint& s) { return t < s.t; });
+      if (begin == end) continue;
+      Series series;
+      series.labels = data.labels;
+      series.samples.assign(begin, end);
+      out.push_back(std::move(series));
+    }
   }
   // Deterministic output order.
   std::sort(out.begin(), out.end(), [](const Series& a, const Series& b) {
@@ -103,94 +139,124 @@ std::vector<Series> TimeSeriesStore::select(
   return out;
 }
 
-std::vector<std::string> TimeSeriesStore::label_values(
-    const std::string& label_name) const {
-  std::shared_lock lock(mu_);
-  std::vector<std::string> out;
-  auto it = index_.find(label_name);
-  if (it == index_.end()) return out;
-  for (const auto& [value, ids] : it->second) {
-    if (!ids.empty()) out.push_back(value);
+std::vector<uint64_t> TimeSeriesStore::version_signature() const {
+  std::vector<uint64_t> out;
+  out.reserve(kShardCount);
+  for (const Shard& shard : shards_) {
+    out.push_back(shard.version.load(std::memory_order_acquire));
   }
   return out;
 }
 
-std::size_t TimeSeriesStore::purge_before(TimestampMs cutoff) {
-  std::unique_lock lock(mu_);
-  std::size_t dropped = 0;
-  for (auto it = series_.begin(); it != series_.end();) {
-    auto& samples = it->second.samples;
-    auto keep_from = std::lower_bound(
-        samples.begin(), samples.end(), cutoff,
-        [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
-    dropped += static_cast<std::size_t>(keep_from - samples.begin());
-    samples.erase(samples.begin(), keep_from);
-    if (samples.empty()) {
-      for (const auto& [name, value] : it->second.labels.pairs()) {
-        index_[name][value].erase(it->first);
-      }
-      it = series_.erase(it);
-    } else {
-      ++it;
+std::vector<std::string> TimeSeriesStore::label_values(
+    const std::string& label_name) const {
+  std::set<std::string> merged;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    auto it = shard.index.find(label_name);
+    if (it == shard.index.end()) continue;
+    for (const auto& [value, ids] : it->second) {
+      if (!ids.empty()) merged.insert(value);
     }
   }
-  total_samples_ -= dropped;
+  return {merged.begin(), merged.end()};
+}
+
+std::size_t TimeSeriesStore::purge_before(TimestampMs cutoff) {
+  std::size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mu);
+    std::size_t shard_dropped = 0;
+    for (auto it = shard.series.begin(); it != shard.series.end();) {
+      auto& samples = it->second.samples;
+      auto keep_from = std::lower_bound(
+          samples.begin(), samples.end(), cutoff,
+          [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
+      shard_dropped += static_cast<std::size_t>(keep_from - samples.begin());
+      samples.erase(samples.begin(), keep_from);
+      if (samples.empty()) {
+        for (const auto& [name, value] : it->second.labels.pairs()) {
+          shard.index[name][value].erase(it->first);
+        }
+        it = shard.series.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (shard_dropped > 0) {
+      shard.num_samples -= shard_dropped;
+      shard.version.fetch_add(1, std::memory_order_acq_rel);
+    }
+    dropped += shard_dropped;
+  }
   return dropped;
 }
 
 std::size_t TimeSeriesStore::delete_series(
     const std::vector<LabelMatcher>& matchers) {
-  std::unique_lock lock(mu_);
   std::size_t deleted = 0;
-  for (uint64_t id : match_ids(matchers)) {
-    auto it = series_.find(id);
-    if (it == series_.end()) continue;
-    total_samples_ -= it->second.samples.size();
-    for (const auto& [name, value] : it->second.labels.pairs()) {
-      index_[name][value].erase(id);
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mu);
+    bool mutated = false;
+    for (uint64_t id : match_ids(shard, matchers)) {
+      auto it = shard.series.find(id);
+      if (it == shard.series.end()) continue;
+      shard.num_samples -= it->second.samples.size();
+      for (const auto& [name, value] : it->second.labels.pairs()) {
+        shard.index[name][value].erase(id);
+      }
+      shard.series.erase(it);
+      ++deleted;
+      mutated = true;
     }
-    series_.erase(it);
-    ++deleted;
+    if (mutated) shard.version.fetch_add(1, std::memory_order_acq_rel);
   }
   return deleted;
 }
 
 StorageStats TimeSeriesStore::stats() const {
-  std::shared_lock lock(mu_);
   StorageStats stats;
-  stats.num_series = series_.size();
-  stats.num_samples = total_samples_;
-  stats.approx_bytes = total_samples_ * sizeof(SamplePoint);
-  for (const auto& [id, data] : series_) {
-    for (const auto& [name, value] : data.labels.pairs()) {
-      stats.approx_bytes += name.size() + value.size() + 2 * sizeof(void*);
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    stats.num_series += shard.series.size();
+    stats.num_samples += shard.num_samples;
+    stats.approx_bytes += shard.num_samples * sizeof(SamplePoint);
+    for (const auto& [id, data] : shard.series) {
+      for (const auto& [name, value] : data.labels.pairs()) {
+        stats.approx_bytes += name.size() + value.size() + 2 * sizeof(void*);
+      }
     }
   }
   return stats;
 }
 
 std::optional<TimestampMs> TimeSeriesStore::max_time() const {
-  std::shared_lock lock(mu_);
   std::optional<TimestampMs> max_t;
-  for (const auto& [id, data] : series_) {
-    if (data.samples.empty()) continue;
-    if (!max_t || data.samples.back().t > *max_t) max_t = data.samples.back().t;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [id, data] : shard.series) {
+      if (data.samples.empty()) continue;
+      if (!max_t || data.samples.back().t > *max_t)
+        max_t = data.samples.back().t;
+    }
   }
   return max_t;
 }
 
 std::vector<Series> TimeSeriesStore::series_since(TimestampMs since) const {
-  std::shared_lock lock(mu_);
   std::vector<Series> out;
-  for (const auto& [id, data] : series_) {
-    auto begin = std::lower_bound(
-        data.samples.begin(), data.samples.end(), since,
-        [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
-    if (begin == data.samples.end()) continue;
-    Series series;
-    series.labels = data.labels;
-    series.samples.assign(begin, data.samples.end());
-    out.push_back(std::move(series));
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [id, data] : shard.series) {
+      auto begin = std::lower_bound(
+          data.samples.begin(), data.samples.end(), since,
+          [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
+      if (begin == data.samples.end()) continue;
+      Series series;
+      series.labels = data.labels;
+      series.samples.assign(begin, data.samples.end());
+      out.push_back(std::move(series));
+    }
   }
   return out;
 }
@@ -228,21 +294,31 @@ bool get_string(std::istream& in, std::string& text) {
 }  // namespace
 
 bool TimeSeriesStore::snapshot_to(const std::string& path) const {
-  std::shared_lock lock(mu_);
+  // Hold every shard lock (in index order, so concurrent snapshots cannot
+  // deadlock) for a consistent cut across shards.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(kShardCount);
+  std::size_t num_series = 0;
+  for (const Shard& shard : shards_) {
+    locks.emplace_back(shard.mu);
+    num_series += shard.series.size();
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.good()) return false;
   out.write(kSnapshotMagic, sizeof(kSnapshotMagic) - 1);
-  put_u64(out, series_.size());
-  for (const auto& [id, data] : series_) {
-    put_u64(out, data.labels.pairs().size());
-    for (const auto& [name, value] : data.labels.pairs()) {
-      put_string(out, name);
-      put_string(out, value);
-    }
-    put_u64(out, data.samples.size());
-    for (const auto& sample : data.samples) {
-      put_u64(out, static_cast<uint64_t>(sample.t));
-      put_f64(out, sample.v);
+  put_u64(out, num_series);
+  for (const Shard& shard : shards_) {
+    for (const auto& [id, data] : shard.series) {
+      put_u64(out, data.labels.pairs().size());
+      for (const auto& [name, value] : data.labels.pairs()) {
+        put_string(out, name);
+        put_string(out, value);
+      }
+      put_u64(out, data.samples.size());
+      for (const auto& sample : data.samples) {
+        put_u64(out, static_cast<uint64_t>(sample.t));
+        put_f64(out, sample.v);
+      }
     }
   }
   return out.good();

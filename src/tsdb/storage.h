@@ -4,11 +4,23 @@
 // Samples per series are kept time-ordered; out-of-order appends within a
 // small tolerance are rejected like Prometheus does.
 //
+// Concurrency: the series map is sharded by label-set fingerprint into
+// kShardCount lock-striped shards, each with its own shared_mutex and
+// inverted index. Appends touch exactly one shard, so ingestion from many
+// scrape threads scales with cores instead of serialising on one mutex.
+// Reads take per-shard shared locks in sequence; a select() that overlaps
+// a concurrent write may see the new sample in one shard but not another —
+// the same head-block semantics Prometheus exposes to queriers. Every
+// mutation bumps the owning shard's version counter, which the PromQL
+// query-result cache uses for invalidation.
+//
 // The same Queryable interface is implemented by the long-term store, so
 // the PromQL engine runs unchanged over either — mirroring how Thanos
 // serves the Prometheus remote-read API.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -48,6 +60,12 @@ class Queryable {
   virtual std::vector<Series> select(const std::vector<LabelMatcher>& matchers,
                                      TimestampMs min_t,
                                      TimestampMs max_t) const = 0;
+  // Monotone change signature for query-result caching: one counter per
+  // internal shard, bumped on every mutation of that shard. A cached
+  // result is valid only while the signature it was computed under is
+  // unchanged. Sources that cannot version themselves return {} and are
+  // never cached.
+  virtual std::vector<uint64_t> version_signature() const { return {}; }
 };
 
 struct StorageStats {
@@ -58,15 +76,21 @@ struct StorageStats {
 
 class TimeSeriesStore final : public Queryable {
  public:
+  // Lock stripes; power of two so shard_of() is a mask.
+  static constexpr std::size_t kShardCount = 16;
+
   // Appends one sample; creates the series on first sight. Returns false
   // (and drops the sample) if it is older than the series' newest sample.
   bool append(const Labels& labels, TimestampMs t, double v);
-  // Bulk append of scrape output.
-  void append_all(const std::vector<metrics::Sample>& samples);
+  // Bulk append of scrape output, grouped by shard so each shard lock is
+  // taken once per batch. Returns the number of samples accepted.
+  std::size_t append_all(const std::vector<metrics::Sample>& samples);
 
   std::vector<Series> select(const std::vector<LabelMatcher>& matchers,
                              TimestampMs min_t,
                              TimestampMs max_t) const override;
+
+  std::vector<uint64_t> version_signature() const override;
 
   // Label values seen for a name (for API /api/v1/label/<n>/values).
   std::vector<std::string> label_values(const std::string& label_name) const;
@@ -89,31 +113,45 @@ class TimeSeriesStore final : public Queryable {
   std::vector<Series> series_since(TimestampMs since) const;
 
   // Durability: writes a compact binary snapshot of every series (the
-  // Prometheus block-on-local-disk analogue of Fig. 1). Returns false on
-  // IO error.
+  // Prometheus block-on-local-disk analogue of Fig. 1). Holds every shard
+  // lock for the duration, so the snapshot is a consistent cut. Returns
+  // false on IO error.
   bool snapshot_to(const std::string& path) const;
   // Loads a snapshot into this (empty or compatible) store; samples merge
   // through the normal append path. Returns samples restored, or nullopt
   // when the file is missing/corrupt (a torn header aborts cleanly).
   std::optional<std::size_t> restore_from(const std::string& path);
 
- private:
-  struct Stripe;  // forward: per-series storage
+  static std::size_t shard_of(uint64_t fingerprint) {
+    return static_cast<std::size_t>(fingerprint) & (kShardCount - 1);
+  }
 
+ private:
   struct SeriesData {
     Labels labels;
     std::vector<SamplePoint> samples;
   };
 
-  // Returns ids of series matching all matchers. Caller holds mu_.
-  std::vector<uint64_t> match_ids(
-      const std::vector<LabelMatcher>& matchers) const;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, SeriesData> series;  // by fingerprint
+    // Inverted index: label name -> value -> fingerprints.
+    std::map<std::string, std::map<std::string, std::set<uint64_t>>> index;
+    std::size_t num_samples = 0;
+    // Bumped on every mutation; read lock-free by version_signature().
+    std::atomic<uint64_t> version{0};
+  };
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<uint64_t, SeriesData> series_;  // by fingerprint
-  // Inverted index: label name -> value -> fingerprints.
-  std::map<std::string, std::map<std::string, std::set<uint64_t>>> index_;
-  std::size_t total_samples_ = 0;
+  // Appends into `shard`; caller holds the shard's exclusive lock.
+  bool append_locked(Shard& shard, uint64_t fingerprint, const Labels& labels,
+                     TimestampMs t, double v);
+
+  // Returns ids of series in `shard` matching all matchers. Caller holds
+  // at least a shared lock on the shard.
+  static std::vector<uint64_t> match_ids(
+      const Shard& shard, const std::vector<LabelMatcher>& matchers);
+
+  std::array<Shard, kShardCount> shards_;
 };
 
 using StorePtr = std::shared_ptr<TimeSeriesStore>;

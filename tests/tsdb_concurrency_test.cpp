@@ -1,0 +1,291 @@
+// Concurrency coverage for the sharded TSDB: multi-threaded ingestion with
+// simultaneous range queries. Asserts the two properties the aggregation
+// tier depends on at fleet scale: no accepted sample is lost, and readers
+// always observe time-ordered, monotone counter series (a query racing a
+// write may see a prefix of a series, never a torn or reordered one).
+// These tests are the workload the CI ThreadSanitizer job gates on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tsdb/promql_eval.h"
+#include "tsdb/storage.h"
+
+using namespace ceems;
+using tsdb::TimeSeriesStore;
+
+namespace {
+
+metrics::Labels worker_series(int worker, int series) {
+  return metrics::Labels{{"worker", "w" + std::to_string(worker)},
+                         {"uuid", std::to_string(series)}}
+      .with_name("ctr");
+}
+
+TEST(TsdbConcurrency, ParallelIngestLosesNoSamples) {
+  constexpr int kWorkers = 8;
+  constexpr int kSeriesPerWorker = 16;
+  constexpr int kSamplesPerSeries = 200;
+
+  TimeSeriesStore store;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&store, w] {
+      for (int i = 0; i < kSamplesPerSeries; ++i) {
+        for (int s = 0; s < kSeriesPerWorker; ++s) {
+          ASSERT_TRUE(
+              store.append(worker_series(w, s), i * 1000, i * 10.0));
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  auto stats = store.stats();
+  EXPECT_EQ(stats.num_series,
+            static_cast<std::size_t>(kWorkers * kSeriesPerWorker));
+  EXPECT_EQ(stats.num_samples, static_cast<std::size_t>(
+                                   kWorkers * kSeriesPerWorker *
+                                   kSamplesPerSeries));
+  // Every series is complete and time-ordered.
+  for (int w = 0; w < kWorkers; ++w) {
+    for (int s = 0; s < kSeriesPerWorker; ++s) {
+      auto result = store.select(
+          {{"worker", metrics::LabelMatcher::Op::kEq, "w" + std::to_string(w)},
+           {"uuid", metrics::LabelMatcher::Op::kEq, std::to_string(s)}},
+          0, kSamplesPerSeries * 1000);
+      ASSERT_EQ(result.size(), 1u);
+      ASSERT_EQ(result[0].samples.size(),
+                static_cast<std::size_t>(kSamplesPerSeries));
+      for (std::size_t i = 1; i < result[0].samples.size(); ++i) {
+        EXPECT_LT(result[0].samples[i - 1].t, result[0].samples[i].t);
+      }
+    }
+  }
+}
+
+TEST(TsdbConcurrency, QueriesDuringIngestSeeMonotonicCounters) {
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kSeriesPerWriter = 8;
+  constexpr int kSamplesPerSeries = 300;
+
+  TimeSeriesStore store;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store, w] {
+      for (int i = 0; i < kSamplesPerSeries; ++i) {
+        for (int s = 0; s < kSeriesPerWriter; ++s) {
+          store.append(worker_series(w, s), i * 1000, i * 10.0);
+        }
+      }
+    });
+  }
+
+  // Readers hammer full-range selects and PromQL range queries while the
+  // writers run. Counters only ever increase, so any torn read would show
+  // up as a non-monotone series.
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      tsdb::promql::Engine engine;
+      while (!done.load(std::memory_order_acquire)) {
+        auto series = store.select(
+            {{"__name__", metrics::LabelMatcher::Op::kEq, "ctr"}}, 0,
+            kSamplesPerSeries * 1000);
+        for (const auto& s : series) {
+          for (std::size_t i = 1; i < s.samples.size(); ++i) {
+            ASSERT_LT(s.samples[i - 1].t, s.samples[i].t);
+            ASSERT_LE(s.samples[i - 1].v, s.samples[i].v);
+          }
+        }
+        auto matrix = engine.eval_range(
+            store, "sum by (worker) (ctr)", 0, kSamplesPerSeries * 1000,
+            10 * 1000);
+        for (const auto& s : matrix) {
+          for (std::size_t i = 1; i < s.samples.size(); ++i) {
+            ASSERT_LT(s.samples[i - 1].t, s.samples[i].t);
+          }
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (auto& writer : writers) writer.join();
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  EXPECT_GT(reads.load(), 0u);
+
+  // Once writers are quiesced, nothing was lost.
+  auto stats = store.stats();
+  EXPECT_EQ(stats.num_samples, static_cast<std::size_t>(
+                                   kWriters * kSeriesPerWriter *
+                                   kSamplesPerSeries));
+}
+
+TEST(TsdbConcurrency, PurgeAndDeleteRaceAppends) {
+  constexpr int kWriters = 4;
+  constexpr int kIterations = 200;
+
+  TimeSeriesStore store;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store, w] {
+      for (int i = 0; i < kIterations; ++i) {
+        store.append(worker_series(w, i % 4), i * 1000, i);
+      }
+    });
+  }
+  std::thread maintenance([&store] {
+    for (int i = 0; i < 50; ++i) {
+      store.purge_before(i * 500);
+      store.delete_series(
+          {{"worker", metrics::LabelMatcher::Op::kEq, "w0"}});
+      store.label_values("worker");
+      store.stats();
+      store.max_time();
+    }
+  });
+  for (auto& writer : writers) writer.join();
+  maintenance.join();
+  // Post-condition is only internal consistency: every surviving series is
+  // time-ordered.
+  for (const auto& series : store.series_since(0)) {
+    for (std::size_t i = 1; i < series.samples.size(); ++i) {
+      EXPECT_LT(series.samples[i - 1].t, series.samples[i].t);
+    }
+  }
+}
+
+TEST(TsdbConcurrency, ParallelRangeEvalMatchesSerialBitForBit) {
+  TimeSeriesStore store;
+  for (int h = 0; h < 12; ++h) {
+    for (int s = 0; s < 6; ++s) {
+      auto labels = metrics::Labels{{"hostname", "n" + std::to_string(h)},
+                                    {"uuid", std::to_string(s)}}
+                        .with_name("m");
+      for (int i = 0; i < 240; ++i) {
+        store.append(labels, i * 30000, i * 7.0 + h * 0.25 + s * 0.125);
+      }
+    }
+  }
+
+  tsdb::promql::EngineOptions serial_options;
+  serial_options.query_cache_capacity = 0;
+  tsdb::promql::Engine serial(serial_options);
+
+  tsdb::promql::EngineOptions parallel_options;
+  parallel_options.query_cache_capacity = 0;
+  parallel_options.pool = std::make_shared<common::ThreadPool>(8, "eval");
+  tsdb::promql::Engine parallel(parallel_options);
+
+  for (const std::string query :
+       {"sum by (hostname) (rate(m[2m]))", "avg(m)", "m * 2",
+        "topk(3, sum by (hostname) (m))"}) {
+    auto expected = serial.eval_range(store, query, 0, 240 * 30000, 30000);
+    auto actual = parallel.eval_range(store, query, 0, 240 * 30000, 30000);
+    ASSERT_EQ(expected.size(), actual.size()) << query;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].labels, actual[i].labels) << query;
+      ASSERT_EQ(expected[i].samples.size(), actual[i].samples.size())
+          << query;
+      for (std::size_t j = 0; j < expected[i].samples.size(); ++j) {
+        EXPECT_EQ(expected[i].samples[j].t, actual[i].samples[j].t) << query;
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(expected[i].samples[j].v, actual[i].samples[j].v) << query;
+      }
+    }
+  }
+}
+
+TEST(TsdbConcurrency, QueryCacheHitsAndShardInvalidation) {
+  auto store = std::make_shared<TimeSeriesStore>();
+  auto labels = metrics::Labels{{"uuid", "1"}}.with_name("m");
+  for (int i = 0; i < 100; ++i) store->append(labels, i * 1000, i);
+
+  tsdb::promql::EngineOptions options;
+  options.query_cache_capacity = 8;
+  tsdb::promql::Engine engine(options);
+
+  auto first = engine.eval_range(*store, "m", 0, 99 * 1000, 1000);
+  auto second = engine.eval_range(*store, "m", 0, 99 * 1000, 1000);
+  auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(first[0].samples.size(), second[0].samples.size());
+
+  // A write to the owning shard invalidates the entry...
+  store->append(labels, 200 * 1000, 200);
+  auto third = engine.eval_range(*store, "m", 0, 99 * 1000, 1000);
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  ASSERT_EQ(third.size(), first.size());
+
+  // ...and the refreshed entry serves hits again.
+  engine.eval_range(*store, "m", 0, 99 * 1000, 1000);
+  EXPECT_EQ(engine.cache_stats().hits, 2u);
+}
+
+TEST(TsdbConcurrency, CacheCapacityEvictsLru) {
+  auto store = std::make_shared<TimeSeriesStore>();
+  auto labels = metrics::Labels{{"uuid", "1"}}.with_name("m");
+  for (int i = 0; i < 10; ++i) store->append(labels, i * 1000, i);
+
+  tsdb::promql::EngineOptions options;
+  options.query_cache_capacity = 2;
+  tsdb::promql::Engine engine(options);
+  engine.eval_range(*store, "m", 0, 9000, 1000);
+  engine.eval_range(*store, "m * 2", 0, 9000, 1000);
+  engine.eval_range(*store, "m * 3", 0, 9000, 1000);  // evicts "m"
+  auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  engine.eval_range(*store, "m", 0, 9000, 1000);  // miss again
+  EXPECT_EQ(engine.cache_stats().misses, 4u);
+}
+
+TEST(TsdbConcurrency, ConcurrentCachedQueriesDuringWrites) {
+  auto store = std::make_shared<TimeSeriesStore>();
+  for (int s = 0; s < 32; ++s) {
+    auto labels = metrics::Labels{{"uuid", std::to_string(s)}}.with_name("m");
+    for (int i = 0; i < 50; ++i) store->append(labels, i * 1000, i);
+  }
+
+  tsdb::promql::EngineOptions options;
+  options.query_cache_capacity = 32;
+  options.pool = std::make_shared<common::ThreadPool>(4, "eval");
+  tsdb::promql::Engine engine(options);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    auto labels = metrics::Labels{{"uuid", "w"}}.with_name("m");
+    for (int i = 0; i < 500; ++i) store->append(labels, i * 1000, i);
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> queriers;
+  for (int q = 0; q < 4; ++q) {
+    queriers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        auto matrix =
+            engine.eval_range(*store, "sum(m)", 0, 49 * 1000, 1000);
+        ASSERT_EQ(matrix.size(), 1u);
+        // Sums over monotone counters must themselves be monotone.
+        for (std::size_t i = 1; i < matrix[0].samples.size(); ++i) {
+          ASSERT_LE(matrix[0].samples[i - 1].v, matrix[0].samples[i].v);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& querier : queriers) querier.join();
+}
+
+}  // namespace
