@@ -10,8 +10,13 @@
 // --benchmark_out flag overrides that.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -23,6 +28,31 @@
 
 using namespace ceems;
 using tsdb::TimeSeriesStore;
+
+// Global allocation counter: every operator new in the binary bumps it, so
+// steady-state ingest can be characterised as allocations-per-sample. The
+// chunked head buffer should amortise to ~0 allocations per append.
+static std::atomic<uint64_t> g_alloc_count{0};
+static std::atomic<uint64_t> g_alloc_bytes{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -300,6 +330,71 @@ BENCHMARK(BM_concurrent_range_queries)
     ->Threads(8)
     ->UseRealTime();
 
+// ---------- storage-footprint benchmarks (chunked store) ----------
+
+// A day-long regular scrape per series: the shape sealed Gorilla chunks
+// are built for. Timed section is stats() (the accounting walk); the
+// counters carry the storage-efficiency numbers.
+void BM_storage_bytes_per_sample(benchmark::State& state) {
+  int series = static_cast<int>(state.range(0));
+  auto store = std::make_shared<TimeSeriesStore>();
+  for (int s = 0; s < series; ++s) {
+    metrics::Labels labels =
+        metrics::Labels{{"hostname", "n" + std::to_string(s % 16)},
+                        {"uuid", std::to_string(s)}}
+            .with_name("m");
+    for (int i = 0; i < 2880; ++i) {  // 24 h at 30 s
+      store->append(labels, int64_t{i} * 30000, 100.0 + (i % 60) * 0.5);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->stats());
+  }
+  auto stats = store->stats();
+  double bytes_per_sample =
+      static_cast<double>(stats.approx_bytes) /
+      static_cast<double>(stats.num_samples);
+  state.counters["bytes_per_sample"] = bytes_per_sample;
+  state.counters["raw_bytes_per_sample"] =
+      static_cast<double>(sizeof(tsdb::SamplePoint));
+  state.counters["compression_ratio"] =
+      static_cast<double>(sizeof(tsdb::SamplePoint)) / bytes_per_sample;
+}
+BENCHMARK(BM_storage_bytes_per_sample)->Arg(10)->Arg(100);
+
+// Steady-state ingest allocations: once series exist and head buffers have
+// grown, the Labels overload of append costs one small allocation (the
+// interned symbol vector used as the lookup key); the sample itself lands
+// in the pre-grown head buffer with no heap traffic.
+void BM_ingest_allocations(benchmark::State& state) {
+  TimeSeriesStore store;
+  std::vector<metrics::Labels> labels;
+  for (int s = 0; s < 256; ++s) {
+    labels.push_back(metrics::Labels{{"uuid", std::to_string(s)}}
+                         .with_name("m"));
+  }
+  // Warm: create the series and grow the head buffers once.
+  for (int i = 0; i < 8; ++i) {
+    for (std::size_t s = 0; s < labels.size(); ++s) {
+      store.append(labels[s], int64_t{i} * 30000, 1.0);
+    }
+  }
+  int64_t t = 8 * 30000;
+  std::size_t i = 0;
+  uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    store.append(labels[i % labels.size()], t, 1.0);
+    if (++i % labels.size() == 0) t += 30000;
+  }
+  uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) -
+                    allocs_before;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["allocs_per_sample"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ingest_allocations);
+
 // Hit path of the (query, start, end, step) result cache.
 void BM_cached_range_query(benchmark::State& state) {
   auto store = make_store(20, 10, 240);
@@ -316,6 +411,95 @@ void BM_cached_range_query(benchmark::State& state) {
       static_cast<double>(engine.cache_stats().hits);
 }
 BENCHMARK(BM_cached_range_query);
+
+// Direct measurement of the storage-model numbers the chunked pipeline is
+// judged on, written to BENCH_storage.json on every run (fast enough for
+// the CI smoke job): bytes/sample vs the 16-byte raw baseline, batched
+// ingest throughput, and steady-state allocations per append.
+void write_storage_report() {
+  using clock = std::chrono::steady_clock;
+
+  // Footprint: 100 series × 24 h of regular 30 s gauge samples.
+  auto store = std::make_shared<TimeSeriesStore>();
+  std::vector<metrics::Labels> labels;
+  for (int s = 0; s < 100; ++s) {
+    labels.push_back(
+        metrics::Labels{{"hostname", "n" + std::to_string(s % 16)},
+                        {"uuid", std::to_string(s)}}
+            .with_name("m"));
+  }
+  for (int i = 0; i < 2880; ++i) {
+    for (const auto& l : labels) {
+      store->append(l, int64_t{i} * 30000, 100.0 + (i % 60) * 0.5);
+    }
+  }
+  auto stats = store->stats();
+  double bytes_per_sample = static_cast<double>(stats.approx_bytes) /
+                            static_cast<double>(stats.num_samples);
+  double raw = static_cast<double>(sizeof(tsdb::SamplePoint));
+
+  // Ingest throughput: scrape-sweep batches through append_all.
+  TimeSeriesStore ingest;
+  std::vector<metrics::Sample> batch;
+  for (int s = 0; s < 256; ++s) {
+    batch.push_back(
+        {metrics::Labels{{"uuid", std::to_string(s)}}.with_name("m"), 0,
+         1.0});
+  }
+  constexpr int kSweeps = 2000;
+  auto start = clock::now();
+  for (int i = 0; i < kSweeps; ++i) {
+    for (auto& sample : batch) sample.timestamp_ms = int64_t{i} * 30000;
+    ingest.append_all(batch);
+  }
+  double seconds = std::chrono::duration<double>(clock::now() - start).count();
+  double samples_per_sec = kSweeps * static_cast<double>(batch.size()) /
+                           seconds;
+
+  // Steady-state allocations per single-sample append.
+  std::vector<metrics::Labels> hot;
+  for (int s = 0; s < 64; ++s) {
+    hot.push_back(metrics::Labels{{"uuid", "a" + std::to_string(s)}}
+                      .with_name("hot"));
+  }
+  TimeSeriesStore alloc_store;
+  for (int i = 0; i < 8; ++i) {
+    for (const auto& l : hot) alloc_store.append(l, int64_t{i} * 30000, 1.0);
+  }
+  constexpr int kAllocRounds = 4000;
+  uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 8; i < 8 + kAllocRounds; ++i) {
+    for (const auto& l : hot) alloc_store.append(l, int64_t{i} * 30000, 1.0);
+  }
+  double allocs_per_sample =
+      static_cast<double>(g_alloc_count.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      (kAllocRounds * static_cast<double>(hot.size()));
+
+  std::FILE* f = std::fopen("BENCH_storage.json", "w");
+  if (!f) return;
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"workload\": \"100 series x 2880 samples, 30s interval, sawtooth "
+      "gauge\",\n"
+      "  \"num_samples\": %zu,\n"
+      "  \"approx_bytes\": %zu,\n"
+      "  \"bytes_per_sample\": %.3f,\n"
+      "  \"raw_bytes_per_sample\": %.1f,\n"
+      "  \"reduction_factor\": %.2f,\n"
+      "  \"ingest_samples_per_sec\": %.0f,\n"
+      "  \"ingest_allocs_per_sample\": %.4f\n"
+      "}\n",
+      stats.num_samples, stats.approx_bytes, bytes_per_sample, raw,
+      raw / bytes_per_sample, samples_per_sec, allocs_per_sample);
+  std::fclose(f);
+  std::fprintf(stderr,
+               "BENCH_storage.json: %.2f bytes/sample (%.1fx reduction), "
+               "%.0f samples/s ingest, %.3f allocs/sample\n",
+               bytes_per_sample, raw / bytes_per_sample, samples_per_sec,
+               allocs_per_sample);
+}
 
 }  // namespace
 
@@ -339,5 +523,6 @@ int main(int argc, char** argv) {
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  write_storage_report();
   return 0;
 }

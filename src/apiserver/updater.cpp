@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "common/logging.h"
 #include "common/strutil.h"
+#include "metrics/symbols.h"
 
 namespace ceems::apiserver {
 
@@ -71,16 +73,19 @@ void Updater::update_aggregates(common::TimestampMs now, UpdateStats& stats) {
   std::string window = common::format_duration_ms(window_ms);
 
   // Batched per-uuid queries over the window. Every query groups by uuid
-  // so one TSDB pass covers every running unit.
+  // so one TSDB pass covers every running unit. Result maps are keyed by
+  // the uuid's interned symbol id: seven queries per cycle over hundreds
+  // of units would otherwise copy the same uuid strings into every map.
+  auto& symtab = metrics::SymbolTable::global();
   auto vector_by_uuid = [&](const std::string& query)
-      -> std::map<std::string, double> {
-    std::map<std::string, double> out;
+      -> std::map<uint32_t, double> {
+    std::map<uint32_t, double> out;
     try {
       Value value = engine_.eval(*tsdb_, query, now);
       if (value.kind != Value::Kind::kVector) return out;
       for (const auto& sample : value.vector) {
         auto uuid = sample.labels.get("uuid");
-        if (uuid) out[std::string(*uuid)] = sample.value;
+        if (uuid) out[symtab.intern(*uuid)] = sample.value;
       }
     } catch (const std::exception& e) {
       CEEMS_LOG_WARN("updater") << "query failed: " << e.what();
@@ -125,12 +130,14 @@ void Updater::update_aggregates(common::TimestampMs now, UpdateStats& stats) {
   }
 
   // Collect all uuids that have any activity this window.
-  std::map<std::string, bool> touched;
-  for (const auto& [uuid, v] : cpu_time) touched[uuid] = true;
-  for (const auto& [uuid, v] : cpu_power) touched[uuid] = true;
-  for (const auto& [uuid, v] : gpu_power) touched[uuid] = true;
+  std::set<uint32_t> touched;
+  for (const auto& [uuid, v] : cpu_time) touched.insert(uuid);
+  for (const auto& [uuid, v] : cpu_power) touched.insert(uuid);
+  for (const auto& [uuid, v] : gpu_power) touched.insert(uuid);
 
-  for (const auto& [uuid, ignored] : touched) {
+  for (uint32_t uuid_sym : touched) {
+    // One string materialisation per active unit per cycle, for the DB key.
+    std::string uuid(symtab.text(uuid_sym));
     auto row = db_.get(kUnitsTable, reldb::Value(uuid));
     if (!row) continue;  // metrics for a unit the manager hasn't reported yet
     Unit unit = unit_from_row(*row);
@@ -143,13 +150,12 @@ void Updater::update_aggregates(common::TimestampMs now, UpdateStats& stats) {
     }
     double elapsed_sec = static_cast<double>(unit.elapsed_ms) / 1000.0;
 
-    auto get = [](const std::map<std::string, double>& m,
-                  const std::string& key) {
-      auto it = m.find(key);
+    auto get = [uuid_sym](const std::map<uint32_t, double>& m) {
+      auto it = m.find(uuid_sym);
       return it == m.end() ? 0.0 : it->second;
     };
 
-    unit.total_cpu_time_seconds += get(cpu_time, uuid);
+    unit.total_cpu_time_seconds += get(cpu_time);
     if (elapsed_sec > 0 && unit.num_cpus > 0) {
       unit.avg_cpu_usage = unit.total_cpu_time_seconds /
                            (elapsed_sec * static_cast<double>(unit.num_cpus));
@@ -161,22 +167,21 @@ void Updater::update_aggregates(common::TimestampMs now, UpdateStats& stats) {
       return (old_avg * prev_elapsed_sec + window_value * effective_window) /
              (prev_elapsed_sec + effective_window);
     };
-    if (mem_avg.count(uuid))
-      unit.avg_cpu_mem_bytes = fold_avg(unit.avg_cpu_mem_bytes,
-                                        get(mem_avg, uuid));
-    if (gpu_util.count(uuid))
-      unit.avg_gpu_usage = fold_avg(unit.avg_gpu_usage, get(gpu_util, uuid));
+    if (mem_avg.count(uuid_sym))
+      unit.avg_cpu_mem_bytes = fold_avg(unit.avg_cpu_mem_bytes, get(mem_avg));
+    if (gpu_util.count(uuid_sym))
+      unit.avg_gpu_usage = fold_avg(unit.avg_gpu_usage, get(gpu_util));
 
-    double cpu_energy_inc = get(cpu_power, uuid) * window_sec;
-    double gpu_energy_inc = get(gpu_power, uuid) * window_sec;
+    double cpu_energy_inc = get(cpu_power) * window_sec;
+    double gpu_energy_inc = get(gpu_power) * window_sec;
     unit.total_cpu_energy_joules += cpu_energy_inc;
     unit.total_gpu_energy_joules += gpu_energy_inc;
     unit.total_energy_joules =
         unit.total_cpu_energy_joules + unit.total_gpu_energy_joules;
     unit.total_emissions_grams +=
         (cpu_energy_inc + gpu_energy_inc) / 3.6e6 * factor;
-    unit.total_io_read_bytes += get(io_read, uuid);
-    unit.total_io_write_bytes += get(io_write, uuid);
+    unit.total_io_read_bytes += get(io_read);
+    unit.total_io_write_bytes += get(io_write);
 
     db_.upsert(kUnitsTable, unit_to_row(unit));
     ++stats.units_aggregated;

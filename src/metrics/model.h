@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "metrics/labels.h"
+#include "metrics/symbols.h"
 
 namespace ceems::metrics {
 
@@ -16,9 +17,11 @@ enum class MetricType { kCounter, kGauge, kUntyped };
 
 std::string_view metric_type_name(MetricType type);
 
-// One (labels, timestamp, value) observation.
+// One (labels, timestamp, value) observation. Labels are interned: on the
+// scrape→storage hot path a sample carries symbol ids plus a precomputed
+// fingerprint, so batching/sharding/series lookup never re-hash strings.
 struct Sample {
-  Labels labels;
+  InternedLabels labels;
   TimestampMs timestamp_ms = 0;
   double value = 0;
 };

@@ -70,10 +70,10 @@ std::vector<MetricFamily> Registry::collect() const {
   for (const auto& [name, family] : families_) {
     MetricFamily mf{name, family.help, family.type, {}};
     for (const auto& [labels, counter] : family.counters) {
-      mf.add(labels, counter->value());
+      mf.add(labels.to_labels(), counter->value());
     }
     for (const auto& [labels, gauge] : family.gauges) {
-      mf.add(labels, gauge->value());
+      mf.add(labels.to_labels(), gauge->value());
     }
     // Deterministic order for tests/golden output.
     std::sort(mf.metrics.begin(), mf.metrics.end(),

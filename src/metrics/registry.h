@@ -54,11 +54,19 @@ class Registry {
   std::vector<MetricFamily> collect() const;
 
  private:
+  // Children are keyed by interned label sets: the incoming Labels are
+  // resolved to symbol ids once per call, so repeated lookups of the same
+  // child hash a fingerprint instead of re-hashing label strings, and the
+  // registry holds one copy of each label string process-wide.
   struct Family {
     std::string help;
     MetricType type;
-    std::unordered_map<Labels, std::shared_ptr<Counter>, LabelsHash> counters;
-    std::unordered_map<Labels, std::shared_ptr<Gauge>, LabelsHash> gauges;
+    std::unordered_map<InternedLabels, std::shared_ptr<Counter>,
+                       InternedLabelsHash>
+        counters;
+    std::unordered_map<InternedLabels, std::shared_ptr<Gauge>,
+                       InternedLabelsHash>
+        gauges;
   };
   mutable std::mutex mu_;
   std::unordered_map<std::string, Family> families_;

@@ -1,0 +1,168 @@
+#include "metrics/symbols.h"
+
+#include <algorithm>
+#include <mutex>
+#include <regex>
+
+namespace ceems::metrics {
+
+SymbolTable& SymbolTable::global() {
+  static SymbolTable* table = new SymbolTable();  // immortal, like the ids
+  return *table;
+}
+
+uint32_t SymbolTable::intern(std::string_view text) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = ids_.find(text);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto it = ids_.find(text);  // raced insert between the two locks
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(text);
+  ids_.emplace(std::string_view(strings_.back()), id);
+  string_bytes_ += text.size();
+  return id;
+}
+
+std::optional<uint32_t> SymbolTable::find(std::string_view text) const {
+  std::shared_lock lock(mu_);
+  auto it = ids_.find(text);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view SymbolTable::text(uint32_t id) const {
+  std::shared_lock lock(mu_);
+  if (id >= strings_.size()) return {};
+  // The string's storage is stable for the process lifetime; only the
+  // deque's internal bookkeeping needs the lock.
+  return strings_[id];
+}
+
+std::size_t SymbolTable::size() const {
+  std::shared_lock lock(mu_);
+  return strings_.size();
+}
+
+std::size_t SymbolTable::approx_bytes() const {
+  std::shared_lock lock(mu_);
+  return string_bytes_ +
+         strings_.size() * (sizeof(std::string) + sizeof(std::string_view) +
+                            sizeof(uint32_t) + 2 * sizeof(void*));
+}
+
+InternedLabels::InternedLabels(const Labels& labels) {
+  SymbolTable& table = SymbolTable::global();
+  syms_.reserve(labels.size());
+  for (const auto& [name, value] : labels.pairs()) {
+    syms_.emplace_back(table.intern(name), table.intern(value));
+  }
+  fingerprint_ = labels.fingerprint();
+}
+
+InternedLabels::InternedLabels(const Labels& labels,
+                               uint64_t fingerprint_override)
+    : InternedLabels(labels) {
+  fingerprint_ = fingerprint_override;
+}
+
+void InternedLabels::rebuild(const std::vector<SymbolPair>& syms) {
+  SymbolTable& table = SymbolTable::global();
+  syms_ = syms;
+  std::sort(syms_.begin(), syms_.end(),
+            [&table](const SymbolPair& a, const SymbolPair& b) {
+              return table.text(a.first) < table.text(b.first);
+            });
+  // Same FNV-1a-with-separators scheme as Labels::fingerprint().
+  uint64_t hash = kEmptyFingerprint;
+  auto mix = [&hash](std::string_view text) {
+    for (char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ULL;
+    }
+    hash ^= 0xff;
+    hash *= 0x100000001b3ULL;
+  };
+  for (const auto& [name_sym, value_sym] : syms_) {
+    mix(table.text(name_sym));
+    mix(table.text(value_sym));
+  }
+  fingerprint_ = hash;
+}
+
+std::optional<std::string_view> InternedLabels::get(
+    std::string_view name) const {
+  SymbolTable& table = SymbolTable::global();
+  auto name_sym = table.find(name);
+  if (!name_sym) return std::nullopt;
+  for (const auto& [n, v] : syms_) {
+    if (n == *name_sym) return table.text(v);
+  }
+  return std::nullopt;
+}
+
+std::string_view InternedLabels::name() const {
+  auto value = get(kMetricNameLabel);
+  return value ? *value : std::string_view{};
+}
+
+InternedLabels InternedLabels::with(std::string_view name,
+                                    std::string_view value) const {
+  SymbolTable& table = SymbolTable::global();
+  return with_symbols(table.intern(name), table.intern(value));
+}
+
+InternedLabels InternedLabels::with_symbols(uint32_t name_sym,
+                                            uint32_t value_sym) const {
+  std::vector<SymbolPair> syms;
+  syms.reserve(syms_.size() + 1);
+  bool replaced = false;
+  for (const auto& pair : syms_) {
+    if (pair.first == name_sym) {
+      syms.emplace_back(name_sym, value_sym);
+      replaced = true;
+    } else {
+      syms.push_back(pair);
+    }
+  }
+  if (!replaced) syms.emplace_back(name_sym, value_sym);
+  InternedLabels out;
+  out.rebuild(syms);
+  return out;
+}
+
+Labels InternedLabels::to_labels() const {
+  SymbolTable& table = SymbolTable::global();
+  std::vector<Labels::Pair> pairs;
+  pairs.reserve(syms_.size());
+  for (const auto& [name_sym, value_sym] : syms_) {
+    pairs.emplace_back(std::string(table.text(name_sym)),
+                       std::string(table.text(value_sym)));
+  }
+  return Labels(std::move(pairs));
+}
+
+bool LabelMatcher::matches(const InternedLabels& labels) const {
+  auto actual = labels.get(name);
+  std::string_view value_view = actual.value_or(std::string_view{});
+  switch (op) {
+    case Op::kEq:
+      return value_view == value;
+    case Op::kNe:
+      return value_view != value;
+    case Op::kRegexMatch:
+    case Op::kRegexNoMatch: {
+      // PromQL regexes are fully anchored (same behaviour as the Labels
+      // overload in labels.cpp).
+      std::regex re("^(?:" + value + ")$", std::regex::ECMAScript);
+      bool match = std::regex_search(std::string(value_view), re);
+      return op == Op::kRegexMatch ? match : !match;
+    }
+  }
+  return false;
+}
+
+}  // namespace ceems::metrics

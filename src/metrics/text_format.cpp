@@ -27,6 +27,21 @@ std::string escape_label_value(std::string_view value) {
   return out;
 }
 
+std::string unescape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] == '\\' && i + 1 < value.size()) {
+      char e = value[++i];
+      if (e == 'n') out += '\n';
+      else out += e;  // covers \\ and \" plus unknown escapes verbatim
+    } else {
+      out += value[i];
+    }
+  }
+  return out;
+}
+
 std::string encode_families(const std::vector<MetricFamily>& families) {
   std::string out;
   for (const auto& family : families) {
@@ -93,22 +108,16 @@ Labels parse_label_block(std::string_view line, std::size_t& pos) {
       throw ExpositionParseError("label value must be quoted: " +
                                  std::string(line));
     ++pos;  // '"'
-    std::string value;
+    std::size_t value_start = pos;
     while (pos < line.size() && line[pos] != '"') {
-      if (line[pos] == '\\' && pos + 1 < line.size()) {
-        char e = line[pos + 1];
-        if (e == 'n') value += '\n';
-        else if (e == '\\') value += '\\';
-        else if (e == '"') value += '"';
-        else value += e;
-        pos += 2;
-      } else {
-        value += line[pos++];
-      }
+      if (line[pos] == '\\' && pos + 1 < line.size()) pos += 2;
+      else ++pos;
     }
     if (pos >= line.size())
       throw ExpositionParseError("unterminated label value: " +
                                  std::string(line));
+    std::string value =
+        unescape_label_value(line.substr(value_start, pos - value_start));
     ++pos;  // closing '"'
     if (!is_valid_label_name(name))
       throw ExpositionParseError("invalid label name '" + name + "'");
@@ -185,9 +194,13 @@ ParsedExposition parse_exposition(std::string_view text) {
     }
 
     MetricFamily& family = family_for(name);
-    family.metrics.push_back({labels, *value, timestamp});
+    // Intern the label set once per line; after the first scrape of a
+    // target every (name, value) string resolves to an existing symbol, so
+    // steady-state parsing allocates no per-sample label strings.
     result.samples.push_back(
-        Sample{labels.with_name(name), timestamp, *value});
+        Sample{InternedLabels(labels).with(kMetricNameLabel, name), timestamp,
+               *value});
+    family.metrics.push_back({std::move(labels), *value, timestamp});
   }
   return result;
 }

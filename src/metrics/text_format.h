@@ -37,5 +37,10 @@ ParsedExposition parse_exposition(std::string_view text);
 
 // Escapes a label value for the exposition format (\, ", \n).
 std::string escape_label_value(std::string_view value);
+// Inverse of escape_label_value: resolves \\, \", \n escape sequences (an
+// unknown escape yields the escaped character verbatim, matching the
+// Prometheus parser's tolerance). The scrape-side parser uses this, so
+// encode → parse round-trips every label value byte-for-byte.
+std::string unescape_label_value(std::string_view value);
 
 }  // namespace ceems::metrics

@@ -1,0 +1,160 @@
+// Gorilla-style compressed sample chunks — the Prometheus chunk encoding
+// analogue. Timestamps are delta-of-delta coded (regular scrape intervals
+// cost one bit per sample), values are XOR coded against their predecessor
+// (flat or slowly-drifting gauges cost a bit or two). Both codings are
+// bit-lossless: decode(encode(samples)) reproduces every int64 timestamp
+// and every double bit pattern exactly, including NaN payloads and ±Inf —
+// which is what lets the chunked store promise bit-identical query results
+// against the old raw-vector representation.
+//
+// A ChunkedSeries is a run of immutable sealed chunks plus a small mutable
+// head of raw samples. Appends go to the head; once the head reaches
+// kChunkSamples and a strictly newer sample arrives, it is sealed into a
+// compressed chunk (so the newest sample — the one duplicate-timestamp
+// rewrites target — always lives in the head). Readers hand out
+// shared_ptrs to sealed chunks: a SeriesView captured under the shard lock
+// stays valid and immutable after the lock is released, and decoding
+// happens lazily on the reader's thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "metrics/labels.h"
+
+namespace ceems::tsdb {
+
+using common::TimestampMs;
+
+struct SamplePoint {
+  TimestampMs t = 0;
+  double v = 0;
+};
+
+// A fully-materialised time series: the exchange type at API boundaries
+// (PromQL matrix values, range-query results, HTTP API rendering).
+struct Series {
+  metrics::Labels labels;
+  std::vector<SamplePoint> samples;  // time-ordered
+};
+
+// One sealed, immutable compressed chunk.
+class GorillaChunk {
+ public:
+  // Encodes `count` time-ordered samples. count must be >= 1.
+  static std::shared_ptr<const GorillaChunk> encode(const SamplePoint* samples,
+                                                    std::size_t count);
+  // Reconstructs a chunk from serialized parts (snapshot restore). Returns
+  // nullptr when the byte stream does not decode to exactly `count`
+  // samples spanning [min_t, max_t] — a corrupt or truncated snapshot.
+  static std::shared_ptr<const GorillaChunk> from_parts(
+      std::vector<uint8_t> bytes, uint32_t count, TimestampMs min_t,
+      TimestampMs max_t);
+
+  // Decodes every sample. Returns nullopt on a malformed byte stream
+  // (cannot happen for chunks built by encode()).
+  std::optional<std::vector<SamplePoint>> decode() const;
+
+  uint32_t count() const { return count_; }
+  TimestampMs min_time() const { return min_t_; }
+  TimestampMs max_time() const { return max_t_; }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  GorillaChunk(std::vector<uint8_t> bytes, uint32_t count, TimestampMs min_t,
+               TimestampMs max_t)
+      : bytes_(std::move(bytes)), count_(count), min_t_(min_t), max_t_(max_t) {}
+
+  std::vector<uint8_t> bytes_;
+  uint32_t count_;
+  TimestampMs min_t_;
+  TimestampMs max_t_;
+};
+
+using ChunkPtr = std::shared_ptr<const GorillaChunk>;
+
+// One time-ordered segment of a series view: either a whole sealed chunk
+// (kept compressed, decoded lazily) or an owned run of raw points (head
+// samples, or the in-range part of a chunk that straddles the range
+// boundary).
+struct ChunkSlice {
+  ChunkPtr chunk;                   // set: every sample is in range
+  std::vector<SamplePoint> points;  // otherwise: pre-filtered raw points
+
+  std::size_t count() const { return chunk ? chunk->count() : points.size(); }
+};
+
+// A chunk-backed view of one series over a time range, as returned by
+// Queryable::select(). Copying a view is cheap (label handle + chunk
+// refcounts); samples() decodes. Materialise only at the point the full
+// sample vector is actually consumed.
+struct SeriesView {
+  metrics::Labels labels;
+  std::vector<ChunkSlice> slices;
+
+  // Exact number of samples in range, without decoding.
+  std::size_t sample_count() const;
+  // Decodes and concatenates every slice (time-ordered).
+  std::vector<SamplePoint> samples() const;
+  // Last sample in range; decodes at most one chunk.
+  std::optional<SamplePoint> last() const;
+  Series materialize() const { return {labels, samples()}; }
+
+  // Wraps already-materialised samples (merged/derived series).
+  static SeriesView owned(metrics::Labels labels,
+                          std::vector<SamplePoint> samples);
+};
+
+// Samples-per-chunk seal threshold; 120 matches Prometheus (one chunk per
+// hour at a 30s scrape interval).
+inline constexpr std::size_t kChunkSamples = 120;
+
+enum class AppendResult { kRejected, kAppended, kOverwrote };
+
+class ChunkedSeries {
+ public:
+  // Ordering rules match the old raw-vector store: a timestamp older than
+  // the newest sample is rejected, an equal timestamp overwrites the
+  // newest sample's value (last write wins), a newer one is appended.
+  AppendResult append(TimestampMs t, double v);
+
+  std::size_t num_samples() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  TimestampMs min_time() const;
+  TimestampMs max_time() const { return last_t_; }
+
+  // Sealed chunk bytes + head capacity: the real storage footprint this
+  // series contributes to StorageStats::approx_bytes.
+  std::size_t approx_bytes() const;
+
+  // Chunk-backed slices covering [min_t, max_t]; boundary chunks are
+  // decoded and filtered eagerly (so a view with sample_count() == 0 means
+  // "no samples in range" exactly). Fully-covered chunks stay compressed.
+  std::vector<ChunkSlice> slices_between(TimestampMs min_t,
+                                         TimestampMs max_t) const;
+  // Materialised samples in [min_t, max_t] (replication / compaction use).
+  std::vector<SamplePoint> samples_between(TimestampMs min_t,
+                                           TimestampMs max_t) const;
+
+  // Drops samples with t < cutoff; returns how many were dropped. A chunk
+  // straddling the cutoff is decoded, filtered and re-sealed.
+  std::size_t drop_before(TimestampMs cutoff);
+
+  const std::vector<ChunkPtr>& sealed() const { return sealed_; }
+  const std::vector<SamplePoint>& head() const { return head_; }
+
+  // Snapshot-restore fast path: adopts a sealed chunk wholesale. Only
+  // valid when the chunk is strictly newer than everything stored so far.
+  bool adopt_sealed(ChunkPtr chunk);
+
+ private:
+  std::vector<ChunkPtr> sealed_;
+  std::vector<SamplePoint> head_;
+  TimestampMs last_t_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ceems::tsdb

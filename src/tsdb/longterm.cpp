@@ -25,13 +25,13 @@ void LongTermStore::compact(common::TimestampMs now) {
   if (cutoff > downsample_cursor_) {
     // Bucketize everything in [downsample_cursor_, cutoff) into the coarse
     // resolution, keeping the last sample per bucket.
-    for (const auto& series : raw_.select({}, downsample_cursor_, cutoff - 1)) {
+    for (const auto& view : raw_.select({}, downsample_cursor_, cutoff - 1)) {
       std::map<int64_t, SamplePoint> buckets;
-      for (const auto& sample : series.samples) {
+      for (const auto& sample : view.samples()) {
         buckets[sample.t / config_.resolution_ms] = sample;
       }
       for (const auto& [bucket, sample] : buckets) {
-        downsampled_.append(series.labels, sample.t, sample.v);
+        downsampled_.append(view.labels, sample.t, sample.v);
       }
     }
     raw_.purge_before(cutoff);
@@ -42,38 +42,42 @@ void LongTermStore::compact(common::TimestampMs now) {
   }
 }
 
-std::vector<Series> LongTermStore::select(
+std::vector<SeriesView> LongTermStore::select(
     const std::vector<LabelMatcher>& matchers, TimestampMs min_t,
     TimestampMs max_t) const {
   std::lock_guard lock(mu_);
-  std::vector<Series> coarse = downsampled_.select(matchers, min_t, max_t);
-  std::vector<Series> fine = raw_.select(matchers, min_t, max_t);
+  std::vector<SeriesView> coarse = downsampled_.select(matchers, min_t, max_t);
+  std::vector<SeriesView> fine = raw_.select(matchers, min_t, max_t);
 
   // Merge per label set: downsampled history followed by the raw tail.
-  std::map<uint64_t, Series> merged;
-  for (auto& series : coarse) {
-    merged[series.labels.fingerprint()] = std::move(series);
+  // Keyed by the full label set, not its fingerprint — two distinct label
+  // sets whose fingerprints collide must stay distinct series. Series
+  // present on only one side keep their chunk-backed views; only series
+  // straddling the downsample horizon are materialised to splice.
+  std::map<Labels, SeriesView> merged;
+  for (auto& view : coarse) {
+    Labels key = view.labels;
+    merged.emplace(std::move(key), std::move(view));
   }
-  for (auto& series : fine) {
-    auto [it, inserted] =
-        merged.emplace(series.labels.fingerprint(), Series{});
-    if (inserted) {
-      it->second = std::move(series);
+  for (auto& view : fine) {
+    auto it = merged.find(view.labels);
+    if (it == merged.end()) {
+      Labels key = view.labels;
+      merged.emplace(std::move(key), std::move(view));
       continue;
     }
-    Series& target = it->second;
-    for (auto& sample : series.samples) {
-      if (target.samples.empty() || sample.t > target.samples.back().t) {
-        target.samples.push_back(sample);
+    std::vector<SamplePoint> spliced = it->second.samples();
+    for (const auto& sample : view.samples()) {
+      if (spliced.empty() || sample.t > spliced.back().t) {
+        spliced.push_back(sample);
       }
     }
+    it->second = SeriesView::owned(std::move(view.labels), std::move(spliced));
   }
-  std::vector<Series> out;
+  std::vector<SeriesView> out;
   out.reserve(merged.size());
-  for (auto& [key, series] : merged) out.push_back(std::move(series));
-  std::sort(out.begin(), out.end(), [](const Series& a, const Series& b) {
-    return a.labels < b.labels;
-  });
+  // Map iteration is ordered by labels, so output stays deterministic.
+  for (auto& [key, view] : merged) out.push_back(std::move(view));
   return out;
 }
 

@@ -35,9 +35,9 @@ class LongTermStore final : public Queryable {
   // Downsamples data older than the horizon and applies retention.
   void compact(common::TimestampMs now);
 
-  std::vector<Series> select(const std::vector<LabelMatcher>& matchers,
-                             TimestampMs min_t,
-                             TimestampMs max_t) const override;
+  std::vector<SeriesView> select(const std::vector<LabelMatcher>& matchers,
+                                 TimestampMs min_t,
+                                 TimestampMs max_t) const override;
 
   // Concatenated raw + downsampled shard versions, so query-result cache
   // entries over this store invalidate when either side mutates.

@@ -27,12 +27,13 @@ std::vector<metrics::LabelMatcher> full_matchers(const Expr& expr) {
 InstantVector eval_vector_selector(const Queryable& source, const Expr& expr,
                                    TimestampMs t, int64_t lookback_ms) {
   TimestampMs at = t - expr.offset_ms;
-  auto series = source.select(full_matchers(expr), at - lookback_ms, at);
+  auto views = source.select(full_matchers(expr), at - lookback_ms, at);
   InstantVector out;
-  out.reserve(series.size());
-  for (const auto& s : series) {
-    if (s.samples.empty()) continue;
-    out.push_back({s.labels, s.samples.back().v});
+  out.reserve(views.size());
+  for (const auto& view : views) {
+    // last() decodes at most one chunk; an instant selector never pays for
+    // materialising the whole lookback window.
+    if (auto last = view.last()) out.push_back({view.labels, last->v});
   }
   return out;
 }
@@ -40,8 +41,13 @@ InstantVector eval_vector_selector(const Queryable& source, const Expr& expr,
 std::vector<Series> eval_matrix_selector(const Queryable& source,
                                          const Expr& expr, TimestampMs t) {
   TimestampMs at = t - expr.offset_ms;
-  // Range selectors are left-open: (t-range, t].
-  return source.select(full_matchers(expr), at - expr.range_ms + 1, at);
+  // Range selectors are left-open: (t-range, t]. Range functions walk the
+  // full window, so views materialise here — the API boundary.
+  auto views = source.select(full_matchers(expr), at - expr.range_ms + 1, at);
+  std::vector<Series> out;
+  out.reserve(views.size());
+  for (const auto& view : views) out.push_back(view.materialize());
+  return out;
 }
 
 // ---------- range-vector functions ----------

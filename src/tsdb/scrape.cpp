@@ -21,6 +21,13 @@ void ScrapeManager::add_target(ScrapeTarget target) {
   client_config.basic_auth = target.auth;
   state->target = std::move(target);
   state->client = std::make_unique<http::Client>(client_config);
+  auto& table = metrics::SymbolTable::global();
+  for (const auto& [name, value] : state->target.labels.pairs()) {
+    state->target_syms.emplace_back(table.intern(name), table.intern(value));
+  }
+  state->up_labels = state->target.labels.with_name("up");
+  state->duration_labels =
+      state->target.labels.with_name("scrape_duration_seconds");
   std::lock_guard lock(targets_mu_);
   targets_.push_back(std::move(state));
 }
@@ -46,13 +53,9 @@ int64_t ScrapeManager::scrape_target(TargetState& state,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
 
-  Labels up_labels = state.target.labels.with_name("up");
-  Labels duration_labels =
-      state.target.labels.with_name("scrape_duration_seconds");
-
   if (!result.ok || result.response.status != 200) {
-    store_->append(up_labels, now, 0);
-    store_->append(duration_labels, now, duration_sec);
+    store_->append(state.up_labels, now, 0);
+    store_->append(state.duration_labels, now, duration_sec);
     return -1;
   }
 
@@ -61,13 +64,15 @@ int64_t ScrapeManager::scrape_target(TargetState& state,
     auto parsed = metrics::parse_exposition(result.response.body);
     // Batch the whole scrape through append_all: samples are grouped by
     // storage shard so each per-shard lock is taken once per sweep rather
-    // than once per sample.
+    // than once per sample. Samples arrive interned from the parser and
+    // target labels were interned at registration, so the merge below is
+    // pure symbol-id work — no label strings are copied per sample.
     std::vector<metrics::Sample> batch;
     batch.reserve(parsed.samples.size());
     for (auto& sample : parsed.samples) {
-      Labels labels = sample.labels;
-      for (const auto& [name, value] : state.target.labels.pairs()) {
-        labels = labels.with(name, value);
+      metrics::InternedLabels labels = std::move(sample.labels);
+      for (const auto& [name_sym, value_sym] : state.target_syms) {
+        labels = labels.with_symbols(name_sym, value_sym);
       }
       common::TimestampMs t =
           config_.honor_timestamps && sample.timestamp_ms != 0
@@ -78,12 +83,12 @@ int64_t ScrapeManager::scrape_target(TargetState& state,
     count = static_cast<int64_t>(store_->append_all(batch));
   } catch (const metrics::ExpositionParseError& e) {
     CEEMS_LOG_WARN("scrape") << state.target.url << ": " << e.what();
-    store_->append(up_labels, now, 0);
-    store_->append(duration_labels, now, duration_sec);
+    store_->append(state.up_labels, now, 0);
+    store_->append(state.duration_labels, now, duration_sec);
     return -1;
   }
-  store_->append(up_labels, now, 1);
-  store_->append(duration_labels, now, duration_sec);
+  store_->append(state.up_labels, now, 1);
+  store_->append(state.duration_labels, now, duration_sec);
   return count;
 }
 

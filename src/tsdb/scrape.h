@@ -73,6 +73,13 @@ class ScrapeManager {
   struct TargetState {
     ScrapeTarget target;
     std::unique_ptr<http::Client> client;
+    // Interned once at registration: the per-sweep hot loop merges target
+    // labels into each sample by symbol id, and the synthetic up /
+    // scrape_duration_seconds label sets are reused with their
+    // fingerprints precomputed.
+    std::vector<metrics::InternedLabels::SymbolPair> target_syms;
+    metrics::InternedLabels up_labels;
+    metrics::InternedLabels duration_labels;
   };
 
   // Scrapes one target; returns samples ingested or -1 on failure.

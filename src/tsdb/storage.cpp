@@ -2,38 +2,83 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <mutex>
 
 namespace ceems::tsdb {
 
-bool TimeSeriesStore::append_locked(Shard& shard, uint64_t fingerprint,
-                                    const Labels& labels, TimestampMs t,
-                                    double v) {
-  auto it = shard.series.find(fingerprint);
-  if (it == shard.series.end()) {
-    it = shard.series.emplace(fingerprint, SeriesData{labels, {}}).first;
-    for (const auto& [name, value] : labels.pairs()) {
-      shard.index[name][value].insert(fingerprint);
-    }
+using metrics::SymbolTable;
+
+const TimeSeriesStore::StoredSeries* TimeSeriesStore::find_series_locked(
+    const Shard& shard, const InternedLabels& labels) {
+  auto chain_it = shard.by_fp.find(labels.fingerprint());
+  if (chain_it == shard.by_fp.end()) return nullptr;
+  for (uint64_t id : chain_it->second) {
+    const StoredSeries& stored = shard.series.at(id);
+    // Fingerprints collide; trust only full label equality (a cheap
+    // symbol-vector compare, no strings involved).
+    if (stored.ilabels == labels) return &stored;
   }
-  SeriesData& data = it->second;
-  if (!data.samples.empty() && t < data.samples.back().t) {
-    return false;  // out-of-order; Prometheus rejects these too
+  return nullptr;
+}
+
+TimeSeriesStore::StoredSeries& TimeSeriesStore::get_or_create_locked(
+    Shard& shard, const InternedLabels& labels) {
+  if (const StoredSeries* found = find_series_locked(shard, labels)) {
+    return const_cast<StoredSeries&>(*found);
   }
-  if (!data.samples.empty() && t == data.samples.back().t) {
-    data.samples.back().v = v;  // duplicate timestamp: last write wins
-    return true;
+  uint64_t id = shard.next_series_id++;
+  auto [it, inserted] = shard.series.emplace(
+      id, StoredSeries{labels, labels.to_labels(), ChunkedSeries{}});
+  shard.by_fp[labels.fingerprint()].push_back(id);
+  for (const auto& [name_sym, value_sym] : labels.pairs()) {
+    shard.index[name_sym][value_sym].insert(id);
   }
-  data.samples.push_back({t, v});
-  ++shard.num_samples;
-  return true;
+  return it->second;
+}
+
+void TimeSeriesStore::erase_series_locked(Shard& shard, uint64_t id) {
+  auto it = shard.series.find(id);
+  if (it == shard.series.end()) return;
+  for (const auto& [name_sym, value_sym] : it->second.ilabels.pairs()) {
+    auto name_it = shard.index.find(name_sym);
+    if (name_it == shard.index.end()) continue;
+    auto value_it = name_it->second.find(value_sym);
+    if (value_it != name_it->second.end()) value_it->second.erase(id);
+  }
+  auto chain_it = shard.by_fp.find(it->second.ilabels.fingerprint());
+  if (chain_it != shard.by_fp.end()) {
+    auto& chain = chain_it->second;
+    chain.erase(std::remove(chain.begin(), chain.end(), id), chain.end());
+    if (chain.empty()) shard.by_fp.erase(chain_it);
+  }
+  shard.series.erase(it);
+}
+
+bool TimeSeriesStore::append_locked(Shard& shard, const InternedLabels& labels,
+                                    TimestampMs t, double v) {
+  StoredSeries& stored = get_or_create_locked(shard, labels);
+  switch (stored.data.append(t, v)) {
+    case AppendResult::kRejected:
+      return false;  // out-of-order; Prometheus rejects these too
+    case AppendResult::kOverwrote:
+      return true;  // duplicate timestamp: last write wins, no new sample
+    case AppendResult::kAppended:
+      ++shard.num_samples;
+      return true;
+  }
+  return false;
 }
 
 bool TimeSeriesStore::append(const Labels& labels, TimestampMs t, double v) {
-  uint64_t fingerprint = labels.fingerprint();
-  Shard& shard = shards_[shard_of(fingerprint)];
+  return append(InternedLabels(labels), t, v);
+}
+
+bool TimeSeriesStore::append(const InternedLabels& labels, TimestampMs t,
+                             double v) {
+  Shard& shard = shards_[shard_of(labels.fingerprint())];
   std::unique_lock lock(shard.mu);
-  bool accepted = append_locked(shard, fingerprint, labels, t, v);
+  bool accepted = append_locked(shard, labels, t, v);
   if (accepted) shard.version.fetch_add(1, std::memory_order_acq_rel);
   return accepted;
 }
@@ -41,12 +86,11 @@ bool TimeSeriesStore::append(const Labels& labels, TimestampMs t, double v) {
 std::size_t TimeSeriesStore::append_all(
     const std::vector<metrics::Sample>& samples) {
   // Bucket by shard first so each shard lock is acquired once per batch.
-  std::array<std::vector<std::pair<uint64_t, const metrics::Sample*>>,
-             kShardCount>
-      buckets;
+  // Sample labels arrive interned from the parser, so this reads the
+  // precomputed fingerprint instead of hashing label strings.
+  std::array<std::vector<const metrics::Sample*>, kShardCount> buckets;
   for (const auto& sample : samples) {
-    uint64_t fingerprint = sample.labels.fingerprint();
-    buckets[shard_of(fingerprint)].emplace_back(fingerprint, &sample);
+    buckets[shard_of(sample.labels.fingerprint())].push_back(&sample);
   }
   std::size_t accepted = 0;
   for (std::size_t s = 0; s < kShardCount; ++s) {
@@ -54,9 +98,9 @@ std::size_t TimeSeriesStore::append_all(
     Shard& shard = shards_[s];
     std::unique_lock lock(shard.mu);
     std::size_t shard_accepted = 0;
-    for (const auto& [fingerprint, sample] : buckets[s]) {
-      if (append_locked(shard, fingerprint, sample->labels,
-                        sample->timestamp_ms, sample->value)) {
+    for (const metrics::Sample* sample : buckets[s]) {
+      if (append_locked(shard, sample->labels, sample->timestamp_ms,
+                        sample->value)) {
         ++shard_accepted;
       }
     }
@@ -72,13 +116,18 @@ std::size_t TimeSeriesStore::append_all(
 std::vector<uint64_t> TimeSeriesStore::match_ids(
     const Shard& shard, const std::vector<LabelMatcher>& matchers) {
   // Start from the most selective equality matcher via the inverted index,
-  // then filter.
+  // then filter. Index keys are symbol ids: a matcher whose name or value
+  // was never interned cannot match any stored series.
+  SymbolTable& table = SymbolTable::global();
   std::optional<std::set<uint64_t>> candidates;
   for (const auto& matcher : matchers) {
     if (matcher.op != LabelMatcher::Op::kEq || matcher.value.empty()) continue;
-    auto name_it = shard.index.find(matcher.name);
+    auto name_sym = table.find(matcher.name);
+    auto value_sym = table.find(matcher.value);
+    if (!name_sym || !value_sym) return {};
+    auto name_it = shard.index.find(*name_sym);
     if (name_it == shard.index.end()) return {};
-    auto value_it = name_it->second.find(matcher.value);
+    auto value_it = name_it->second.find(*value_sym);
     if (value_it == name_it->second.end()) return {};
     if (!candidates) {
       candidates = value_it->second;
@@ -94,9 +143,9 @@ std::vector<uint64_t> TimeSeriesStore::match_ids(
   }
 
   std::vector<uint64_t> out;
-  auto check = [&](uint64_t id, const SeriesData& data) {
+  auto check = [&](uint64_t id, const StoredSeries& stored) {
     for (const auto& matcher : matchers) {
-      if (!matcher.matches(data.labels)) return;
+      if (!matcher.matches(stored.ilabels)) return;
     }
     out.push_back(id);
   };
@@ -106,36 +155,31 @@ std::vector<uint64_t> TimeSeriesStore::match_ids(
       if (it != shard.series.end()) check(id, it->second);
     }
   } else {
-    for (const auto& [id, data] : shard.series) check(id, data);
+    for (const auto& [id, stored] : shard.series) check(id, stored);
   }
   return out;
 }
 
-std::vector<Series> TimeSeriesStore::select(
+std::vector<SeriesView> TimeSeriesStore::select(
     const std::vector<LabelMatcher>& matchers, TimestampMs min_t,
     TimestampMs max_t) const {
-  std::vector<Series> out;
+  std::vector<SeriesView> out;
   for (const Shard& shard : shards_) {
     std::shared_lock lock(shard.mu);
     for (uint64_t id : match_ids(shard, matchers)) {
-      const SeriesData& data = shard.series.at(id);
-      auto begin = std::lower_bound(
-          data.samples.begin(), data.samples.end(), min_t,
-          [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
-      auto end = std::upper_bound(
-          data.samples.begin(), data.samples.end(), max_t,
-          [](TimestampMs t, const SamplePoint& s) { return t < s.t; });
-      if (begin == end) continue;
-      Series series;
-      series.labels = data.labels;
-      series.samples.assign(begin, end);
-      out.push_back(std::move(series));
+      const StoredSeries& stored = shard.series.at(id);
+      // Boundary chunks are decoded under the lock so emptiness is exact;
+      // fully-covered chunks ride along compressed and refcounted.
+      auto slices = stored.data.slices_between(min_t, max_t);
+      if (slices.empty()) continue;
+      out.push_back(SeriesView{stored.labels, std::move(slices)});
     }
   }
   // Deterministic output order.
-  std::sort(out.begin(), out.end(), [](const Series& a, const Series& b) {
-    return a.labels < b.labels;
-  });
+  std::sort(out.begin(), out.end(),
+            [](const SeriesView& a, const SeriesView& b) {
+              return a.labels < b.labels;
+            });
   return out;
 }
 
@@ -150,13 +194,16 @@ std::vector<uint64_t> TimeSeriesStore::version_signature() const {
 
 std::vector<std::string> TimeSeriesStore::label_values(
     const std::string& label_name) const {
+  auto name_sym = SymbolTable::global().find(label_name);
+  if (!name_sym) return {};
   std::set<std::string> merged;
   for (const Shard& shard : shards_) {
     std::shared_lock lock(shard.mu);
-    auto it = shard.index.find(label_name);
+    auto it = shard.index.find(*name_sym);
     if (it == shard.index.end()) continue;
-    for (const auto& [value, ids] : it->second) {
-      if (!ids.empty()) merged.insert(value);
+    for (const auto& [value_sym, ids] : it->second) {
+      if (!ids.empty())
+        merged.emplace(SymbolTable::global().text(value_sym));
     }
   }
   return {merged.begin(), merged.end()};
@@ -167,22 +214,12 @@ std::size_t TimeSeriesStore::purge_before(TimestampMs cutoff) {
   for (Shard& shard : shards_) {
     std::unique_lock lock(shard.mu);
     std::size_t shard_dropped = 0;
-    for (auto it = shard.series.begin(); it != shard.series.end();) {
-      auto& samples = it->second.samples;
-      auto keep_from = std::lower_bound(
-          samples.begin(), samples.end(), cutoff,
-          [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
-      shard_dropped += static_cast<std::size_t>(keep_from - samples.begin());
-      samples.erase(samples.begin(), keep_from);
-      if (samples.empty()) {
-        for (const auto& [name, value] : it->second.labels.pairs()) {
-          shard.index[name][value].erase(it->first);
-        }
-        it = shard.series.erase(it);
-      } else {
-        ++it;
-      }
+    std::vector<uint64_t> emptied;
+    for (auto& [id, stored] : shard.series) {
+      shard_dropped += stored.data.drop_before(cutoff);
+      if (stored.data.empty()) emptied.push_back(id);
     }
+    for (uint64_t id : emptied) erase_series_locked(shard, id);
     if (shard_dropped > 0) {
       shard.num_samples -= shard_dropped;
       shard.version.fetch_add(1, std::memory_order_acq_rel);
@@ -201,11 +238,8 @@ std::size_t TimeSeriesStore::delete_series(
     for (uint64_t id : match_ids(shard, matchers)) {
       auto it = shard.series.find(id);
       if (it == shard.series.end()) continue;
-      shard.num_samples -= it->second.samples.size();
-      for (const auto& [name, value] : it->second.labels.pairs()) {
-        shard.index[name][value].erase(id);
-      }
-      shard.series.erase(it);
+      shard.num_samples -= it->second.data.num_samples();
+      erase_series_locked(shard, id);
       ++deleted;
       mutated = true;
     }
@@ -220,13 +254,15 @@ StorageStats TimeSeriesStore::stats() const {
     std::shared_lock lock(shard.mu);
     stats.num_series += shard.series.size();
     stats.num_samples += shard.num_samples;
-    stats.approx_bytes += shard.num_samples * sizeof(SamplePoint);
-    for (const auto& [id, data] : shard.series) {
-      for (const auto& [name, value] : data.labels.pairs()) {
-        stats.approx_bytes += name.size() + value.size() + 2 * sizeof(void*);
-      }
+    for (const auto& [id, stored] : shard.series) {
+      stats.approx_bytes += stored.data.approx_bytes();
+      stats.approx_bytes +=
+          stored.ilabels.size() * sizeof(InternedLabels::SymbolPair);
     }
   }
+  // Label strings live once in the process-wide symbol table; report them
+  // once rather than per-series.
+  stats.approx_bytes += SymbolTable::global().approx_bytes();
   return stats;
 }
 
@@ -234,10 +270,10 @@ std::optional<TimestampMs> TimeSeriesStore::max_time() const {
   std::optional<TimestampMs> max_t;
   for (const Shard& shard : shards_) {
     std::shared_lock lock(shard.mu);
-    for (const auto& [id, data] : shard.series) {
-      if (data.samples.empty()) continue;
-      if (!max_t || data.samples.back().t > *max_t)
-        max_t = data.samples.back().t;
+    for (const auto& [id, stored] : shard.series) {
+      if (stored.data.empty()) continue;
+      if (!max_t || stored.data.max_time() > *max_t)
+        max_t = stored.data.max_time();
     }
   }
   return max_t;
@@ -245,17 +281,14 @@ std::optional<TimestampMs> TimeSeriesStore::max_time() const {
 
 std::vector<Series> TimeSeriesStore::series_since(TimestampMs since) const {
   std::vector<Series> out;
+  constexpr TimestampMs kMax = std::numeric_limits<TimestampMs>::max();
   for (const Shard& shard : shards_) {
     std::shared_lock lock(shard.mu);
-    for (const auto& [id, data] : shard.series) {
-      auto begin = std::lower_bound(
-          data.samples.begin(), data.samples.end(), since,
-          [](const SamplePoint& s, TimestampMs t) { return s.t < t; });
-      if (begin == data.samples.end()) continue;
-      Series series;
-      series.labels = data.labels;
-      series.samples.assign(begin, data.samples.end());
-      out.push_back(std::move(series));
+    for (const auto& [id, stored] : shard.series) {
+      if (stored.data.empty() || stored.data.max_time() < since) continue;
+      auto samples = stored.data.samples_between(since, kMax);
+      if (samples.empty()) continue;
+      out.push_back(Series{stored.labels, std::move(samples)});
     }
   }
   return out;
@@ -263,7 +296,10 @@ std::vector<Series> TimeSeriesStore::series_since(TimestampMs since) const {
 
 namespace {
 
-constexpr char kSnapshotMagic[] = "CEEMSTSDB1";
+// v2: sealed chunks written compressed. v1 (raw samples) is still read.
+constexpr char kSnapshotMagicV2[] = "CEEMSTSDB2";
+constexpr char kSnapshotMagicV1[] = "CEEMSTSDB1";
+static_assert(sizeof(kSnapshotMagicV2) == sizeof(kSnapshotMagicV1));
 
 void put_u64(std::ostream& out, uint64_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
@@ -291,6 +327,21 @@ bool get_string(std::istream& in, std::string& text) {
   return in.good();
 }
 
+// Reads one label set; false on malformed input.
+bool get_labels(std::istream& in, Labels& out) {
+  uint64_t num_labels = 0;
+  if (!get_u64(in, num_labels) || num_labels > 256) return false;
+  std::vector<Labels::Pair> pairs;
+  pairs.reserve(num_labels);
+  for (uint64_t l = 0; l < num_labels; ++l) {
+    std::string name, value;
+    if (!get_string(in, name) || !get_string(in, value)) return false;
+    pairs.emplace_back(std::move(name), std::move(value));
+  }
+  out = Labels(std::move(pairs));
+  return true;
+}
+
 }  // namespace
 
 bool TimeSeriesStore::snapshot_to(const std::string& path) const {
@@ -305,17 +356,26 @@ bool TimeSeriesStore::snapshot_to(const std::string& path) const {
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.good()) return false;
-  out.write(kSnapshotMagic, sizeof(kSnapshotMagic) - 1);
+  out.write(kSnapshotMagicV2, sizeof(kSnapshotMagicV2) - 1);
   put_u64(out, num_series);
   for (const Shard& shard : shards_) {
-    for (const auto& [id, data] : shard.series) {
-      put_u64(out, data.labels.pairs().size());
-      for (const auto& [name, value] : data.labels.pairs()) {
+    for (const auto& [id, stored] : shard.series) {
+      put_u64(out, stored.labels.pairs().size());
+      for (const auto& [name, value] : stored.labels.pairs()) {
         put_string(out, name);
         put_string(out, value);
       }
-      put_u64(out, data.samples.size());
-      for (const auto& sample : data.samples) {
+      put_u64(out, stored.data.sealed().size());
+      for (const ChunkPtr& chunk : stored.data.sealed()) {
+        put_u64(out, chunk->count());
+        put_u64(out, static_cast<uint64_t>(chunk->min_time()));
+        put_u64(out, static_cast<uint64_t>(chunk->max_time()));
+        put_u64(out, chunk->bytes().size());
+        out.write(reinterpret_cast<const char*>(chunk->bytes().data()),
+                  static_cast<std::streamsize>(chunk->bytes().size()));
+      }
+      put_u64(out, stored.data.head().size());
+      for (const auto& sample : stored.data.head()) {
         put_u64(out, static_cast<uint64_t>(sample.t));
         put_f64(out, sample.v);
       }
@@ -328,33 +388,103 @@ std::optional<std::size_t> TimeSeriesStore::restore_from(
     const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return std::nullopt;
-  char magic[sizeof(kSnapshotMagic) - 1];
+  char magic[sizeof(kSnapshotMagicV2) - 1];
   in.read(magic, sizeof(magic));
-  if (!in.good() ||
-      std::string_view(magic, sizeof(magic)) != kSnapshotMagic) {
-    return std::nullopt;
+  if (!in.good()) return std::nullopt;
+  std::string_view version(magic, sizeof(magic));
+
+  if (version == kSnapshotMagicV1) {
+    // Legacy raw-sample format: replay through the normal append path.
+    uint64_t num_series = 0;
+    if (!get_u64(in, num_series)) return std::nullopt;
+    std::size_t restored = 0;
+    for (uint64_t s = 0; s < num_series; ++s) {
+      Labels labels;
+      if (!get_labels(in, labels)) return std::nullopt;
+      InternedLabels interned(labels);
+      uint64_t num_samples = 0;
+      if (!get_u64(in, num_samples)) return std::nullopt;
+      for (uint64_t i = 0; i < num_samples; ++i) {
+        uint64_t t = 0;
+        double v = 0;
+        if (!get_u64(in, t) || !get_f64(in, v)) return std::nullopt;
+        if (append(interned, static_cast<TimestampMs>(t), v)) ++restored;
+      }
+    }
+    return restored;
   }
+
+  if (version != kSnapshotMagicV2) return std::nullopt;
   uint64_t num_series = 0;
   if (!get_u64(in, num_series)) return std::nullopt;
   std::size_t restored = 0;
   for (uint64_t s = 0; s < num_series; ++s) {
-    uint64_t num_labels = 0;
-    if (!get_u64(in, num_labels) || num_labels > 256) return std::nullopt;
-    std::vector<Labels::Pair> pairs;
-    for (uint64_t l = 0; l < num_labels; ++l) {
-      std::string name, value;
-      if (!get_string(in, name) || !get_string(in, value))
+    Labels labels;
+    if (!get_labels(in, labels)) return std::nullopt;
+    // Intern once per series; every sample below reuses the fingerprint.
+    InternedLabels interned(labels);
+    Shard& shard = shards_[shard_of(interned.fingerprint())];
+
+    uint64_t num_sealed = 0;
+    if (!get_u64(in, num_sealed) || num_sealed > (1u << 24))
+      return std::nullopt;
+    std::vector<ChunkPtr> chunks;
+    chunks.reserve(num_sealed);
+    for (uint64_t c = 0; c < num_sealed; ++c) {
+      uint64_t count = 0, min_t = 0, max_t = 0, nbytes = 0;
+      if (!get_u64(in, count) || !get_u64(in, min_t) || !get_u64(in, max_t) ||
+          !get_u64(in, nbytes)) {
         return std::nullopt;
-      pairs.emplace_back(std::move(name), std::move(value));
+      }
+      // Sanity caps: a chunk never exceeds the seal threshold by much, and
+      // its payload is bounded by ~17 bytes/sample worst case.
+      if (count == 0 || count > (1u << 20) || nbytes > (1u << 26))
+        return std::nullopt;
+      std::vector<uint8_t> bytes(nbytes);
+      in.read(reinterpret_cast<char*>(bytes.data()),
+              static_cast<std::streamsize>(nbytes));
+      if (!in.good()) return std::nullopt;
+      ChunkPtr chunk = GorillaChunk::from_parts(
+          std::move(bytes), static_cast<uint32_t>(count),
+          static_cast<TimestampMs>(min_t), static_cast<TimestampMs>(max_t));
+      if (!chunk) return std::nullopt;  // corrupt: header/body mismatch
+      chunks.push_back(std::move(chunk));
     }
-    Labels labels(std::move(pairs));
-    uint64_t num_samples = 0;
-    if (!get_u64(in, num_samples)) return std::nullopt;
-    for (uint64_t i = 0; i < num_samples; ++i) {
+    uint64_t num_head = 0;
+    if (!get_u64(in, num_head) || num_head > (1u << 24)) return std::nullopt;
+    std::vector<SamplePoint> head(num_head);
+    for (uint64_t i = 0; i < num_head; ++i) {
       uint64_t t = 0;
-      double v = 0;
-      if (!get_u64(in, t) || !get_f64(in, v)) return std::nullopt;
-      if (append(labels, static_cast<TimestampMs>(t), v)) ++restored;
+      if (!get_u64(in, t) || !get_f64(in, head[i].v)) return std::nullopt;
+      head[i].t = static_cast<TimestampMs>(t);
+    }
+
+    std::unique_lock lock(shard.mu);
+    StoredSeries& stored = get_or_create_locked(shard, interned);
+    std::size_t series_restored = 0;
+    for (ChunkPtr& chunk : chunks) {
+      if (stored.data.adopt_sealed(chunk)) {
+        // Empty-store fast path: the compressed chunk is adopted verbatim,
+        // no re-encode.
+        series_restored += chunk->count();
+      } else {
+        // Merging into existing data: replay samples individually.
+        auto decoded = chunk->decode();
+        if (!decoded) return std::nullopt;
+        for (const auto& sp : *decoded) {
+          if (stored.data.append(sp.t, sp.v) == AppendResult::kAppended)
+            ++series_restored;
+        }
+      }
+    }
+    for (const auto& sp : head) {
+      if (stored.data.append(sp.t, sp.v) == AppendResult::kAppended)
+        ++series_restored;
+    }
+    if (series_restored > 0) {
+      shard.num_samples += series_restored;
+      shard.version.fetch_add(1, std::memory_order_acq_rel);
+      restored += series_restored;
     }
   }
   return restored;

@@ -1,8 +1,18 @@
 // Label-indexed in-memory time-series storage — the Prometheus TSDB
 // analogue. Series are identified by their full label set; an inverted
-// index (label name/value → series ids) accelerates matcher evaluation.
-// Samples per series are kept time-ordered; out-of-order appends within a
-// small tolerance are rejected like Prometheus does.
+// index (label name/value symbols → series ids) accelerates matcher
+// evaluation. Samples per series live in Gorilla-compressed chunks
+// (tsdb/chunk.h): a run of immutable sealed chunks plus a small mutable
+// head, cutting steady-state memory to a few bytes per sample while
+// keeping queries bit-identical to the raw representation.
+//
+// Label strings are interned once in the process-wide SymbolTable
+// (metrics/symbols.h); series carry small vectors of 32-bit symbol ids
+// with a precomputed fingerprint, so the scrape→storage hot path hashes
+// and compares ids, not strings. Fingerprints are not trusted to be
+// unique: series ids are distinct from fingerprints, and a fingerprint
+// maps to a chain of ids whose label sets are verified on every lookup,
+// so colliding label sets get distinct series instead of aliasing.
 //
 // Concurrency: the series map is sharded by label-set fingerprint into
 // kShardCount lock-striped shards, each with its own shared_mutex and
@@ -10,9 +20,12 @@
 // scrape threads scales with cores instead of serialising on one mutex.
 // Reads take per-shard shared locks in sequence; a select() that overlaps
 // a concurrent write may see the new sample in one shard but not another —
-// the same head-block semantics Prometheus exposes to queriers. Every
-// mutation bumps the owning shard's version counter, which the PromQL
-// query-result cache uses for invalidation.
+// the same head-block semantics Prometheus exposes to queriers. Sealed
+// chunks are immutable and handed to readers by shared_ptr, so a
+// SeriesView stays valid after the shard lock is released and decoding
+// runs on the reader's thread. Every mutation bumps the owning shard's
+// version counter, which the PromQL query-result cache uses for
+// invalidation.
 //
 // The same Queryable interface is implemented by the long-term store, so
 // the PromQL engine runs unchanged over either — mirroring how Thanos
@@ -34,32 +47,28 @@
 #include "common/clock.h"
 #include "metrics/labels.h"
 #include "metrics/model.h"
+#include "metrics/symbols.h"
+#include "tsdb/chunk.h"
 
 namespace ceems::tsdb {
 
 using common::TimestampMs;
+using metrics::InternedLabels;
 using metrics::LabelMatcher;
 using metrics::Labels;
-
-struct SamplePoint {
-  TimestampMs t = 0;
-  double v = 0;
-};
-
-struct Series {
-  Labels labels;
-  std::vector<SamplePoint> samples;  // time-ordered
-};
 
 // Anything the PromQL engine can query.
 class Queryable {
  public:
   virtual ~Queryable() = default;
   // All series matching every matcher, restricted to samples in
-  // [min_t, max_t] inclusive.
-  virtual std::vector<Series> select(const std::vector<LabelMatcher>& matchers,
-                                     TimestampMs min_t,
-                                     TimestampMs max_t) const = 0;
+  // [min_t, max_t] inclusive. Views are cheap to copy (label handle plus
+  // chunk refcounts); call samples()/materialize() only where the full
+  // sample vector is actually consumed. Every returned view has at least
+  // one sample in range.
+  virtual std::vector<SeriesView> select(
+      const std::vector<LabelMatcher>& matchers, TimestampMs min_t,
+      TimestampMs max_t) const = 0;
   // Monotone change signature for query-result caching: one counter per
   // internal shard, bumped on every mutation of that shard. A cached
   // result is valid only while the signature it was computed under is
@@ -71,6 +80,8 @@ class Queryable {
 struct StorageStats {
   std::size_t num_series = 0;
   std::size_t num_samples = 0;
+  // Real storage footprint: sealed chunk bytes + head capacities +
+  // per-series symbol vectors + the global symbol table's string bytes.
   std::size_t approx_bytes = 0;
 };
 
@@ -82,13 +93,16 @@ class TimeSeriesStore final : public Queryable {
   // Appends one sample; creates the series on first sight. Returns false
   // (and drops the sample) if it is older than the series' newest sample.
   bool append(const Labels& labels, TimestampMs t, double v);
+  // Same, for already-interned labels (the scrape hot path): reuses the
+  // precomputed fingerprint instead of re-hashing label strings.
+  bool append(const InternedLabels& labels, TimestampMs t, double v);
   // Bulk append of scrape output, grouped by shard so each shard lock is
   // taken once per batch. Returns the number of samples accepted.
   std::size_t append_all(const std::vector<metrics::Sample>& samples);
 
-  std::vector<Series> select(const std::vector<LabelMatcher>& matchers,
-                             TimestampMs min_t,
-                             TimestampMs max_t) const override;
+  std::vector<SeriesView> select(const std::vector<LabelMatcher>& matchers,
+                                 TimestampMs min_t,
+                                 TimestampMs max_t) const override;
 
   std::vector<uint64_t> version_signature() const override;
 
@@ -109,17 +123,20 @@ class TimeSeriesStore final : public Queryable {
   // replication), or nullopt when empty.
   std::optional<TimestampMs> max_time() const;
 
-  // Series with samples at/after `since` (replication pull).
+  // Series with samples at/after `since`, materialised (replication pull).
   std::vector<Series> series_since(TimestampMs since) const;
 
   // Durability: writes a compact binary snapshot of every series (the
-  // Prometheus block-on-local-disk analogue of Fig. 1). Holds every shard
-  // lock for the duration, so the snapshot is a consistent cut. Returns
-  // false on IO error.
+  // Prometheus block-on-local-disk analogue of Fig. 1). Sealed chunks are
+  // written compressed as-is. Holds every shard lock for the duration, so
+  // the snapshot is a consistent cut. Returns false on IO error.
   bool snapshot_to(const std::string& path) const;
-  // Loads a snapshot into this (empty or compatible) store; samples merge
-  // through the normal append path. Returns samples restored, or nullopt
-  // when the file is missing/corrupt (a torn header aborts cleanly).
+  // Loads a snapshot into this (empty or compatible) store. Reads both the
+  // current chunked format ("CEEMSTSDB2") and the legacy raw-sample format
+  // ("CEEMSTSDB1"); restoring into an empty store adopts sealed chunks
+  // without re-encoding. Returns samples restored, or nullopt when the
+  // file is missing, truncated, or corrupt (every chunk is decode-verified
+  // against its header before adoption).
   std::optional<std::size_t> restore_from(const std::string& path);
 
   static std::size_t shard_of(uint64_t fingerprint) {
@@ -127,24 +144,44 @@ class TimeSeriesStore final : public Queryable {
   }
 
  private:
-  struct SeriesData {
+  struct StoredSeries {
+    InternedLabels ilabels;
+    // Materialised once at series creation; copied into views so readers
+    // never touch the symbol table after the shard lock drops.
     Labels labels;
-    std::vector<SamplePoint> samples;
+    ChunkedSeries data;
   };
 
   struct Shard {
     mutable std::shared_mutex mu;
-    std::unordered_map<uint64_t, SeriesData> series;  // by fingerprint
-    // Inverted index: label name -> value -> fingerprints.
-    std::map<std::string, std::map<std::string, std::set<uint64_t>>> index;
+    // Series keyed by a shard-local id, NOT by fingerprint: ids are dense
+    // and collision-free by construction.
+    std::unordered_map<uint64_t, StoredSeries> series;
+    // Fingerprint → chain of series ids. Nearly always one entry; lookup
+    // verifies label equality against each chained id.
+    std::unordered_map<uint64_t, std::vector<uint64_t>> by_fp;
+    // Inverted index over interned symbols: name id → value id → series.
+    std::map<uint32_t, std::map<uint32_t, std::set<uint64_t>>> index;
+    uint64_t next_series_id = 1;
     std::size_t num_samples = 0;
     // Bumped on every mutation; read lock-free by version_signature().
     std::atomic<uint64_t> version{0};
   };
 
+  // Finds the series for `labels` via the fingerprint chain, verifying
+  // label equality. Caller holds at least a shared lock.
+  static const StoredSeries* find_series_locked(const Shard& shard,
+                                                const InternedLabels& labels);
+  // Same, creating the series (and its index entries) when absent. Caller
+  // holds the exclusive lock.
+  StoredSeries& get_or_create_locked(Shard& shard,
+                                     const InternedLabels& labels);
   // Appends into `shard`; caller holds the shard's exclusive lock.
-  bool append_locked(Shard& shard, uint64_t fingerprint, const Labels& labels,
-                     TimestampMs t, double v);
+  bool append_locked(Shard& shard, const InternedLabels& labels, TimestampMs t,
+                     double v);
+  // Removes one series and its index/chain entries. Caller holds the
+  // exclusive lock; does not touch num_samples.
+  static void erase_series_locked(Shard& shard, uint64_t id);
 
   // Returns ids of series in `shard` matching all matchers. Caller holds
   // at least a shared lock on the shard.

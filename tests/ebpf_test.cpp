@@ -158,7 +158,7 @@ TEST(Ebpf, NetworkShareRuleBeatsEqualSplitForSkewedTraffic) {
         {{"__name__", metrics::LabelMatcher::Op::kEq, name},
          {"uuid", metrics::LabelMatcher::Op::kEq, uuid}},
         120000, 120000);
-    return result.empty() ? std::nan("") : result[0].samples.back().v;
+    return result.empty() ? std::nan("") : result[0].samples().back().v;
   };
   // Equal split gives both jobs 25 W of network budget (0.1×500/2);
   double equal_1 = series("ceems_job_power_watts", "1") -

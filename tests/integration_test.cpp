@@ -51,7 +51,7 @@ TEST_F(PipelineTest, RecordingRulesProducedJobPower) {
   for (const auto& s : series) {
     EXPECT_TRUE(s.labels.has("uuid"));
     EXPECT_TRUE(s.labels.has("hostname"));
-    for (const auto& sample : s.samples) {
+    for (const auto& sample : s.samples()) {
       EXPECT_GE(sample.v, 0.0);
       EXPECT_LT(sample.v, 4000.0);  // no job draws more than a node
     }

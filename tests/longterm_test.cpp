@@ -25,7 +25,7 @@ TEST(LongTerm, SyncPullsOnlyNewSamples) {
 
   auto series = lt.select({}, 0, 10000);
   ASSERT_EQ(series.size(), 1u);
-  EXPECT_EQ(series[0].samples.size(), 3u);
+  EXPECT_EQ(series[0].samples().size(), 3u);
 }
 
 TEST(LongTerm, HotRetentionSurvivesInLongTerm) {
@@ -38,7 +38,7 @@ TEST(LongTerm, HotRetentionSurvivesInLongTerm) {
   lt.sync_from(hot);
   hot.purge_before(8000);
   EXPECT_EQ(hot.stats().num_samples, 2u);
-  EXPECT_EQ(lt.select({}, 0, 20000)[0].samples.size(), 10u);
+  EXPECT_EQ(lt.select({}, 0, 20000)[0].samples().size(), 10u);
 }
 
 TEST(LongTerm, CompactionDownsamplesOldData) {
@@ -58,13 +58,13 @@ TEST(LongTerm, CompactionDownsamplesOldData) {
   auto series = lt.select({}, 0, 2 * kMillisPerHour);
   ASSERT_EQ(series.size(), 1u);
   std::size_t old_points = 0;
-  for (const auto& sample : series[0].samples) {
+  for (const auto& sample : series[0].samples()) {
     if (sample.t < kMillisPerHour) ++old_points;
   }
   EXPECT_EQ(old_points, 12u);
-  EXPECT_EQ(series[0].samples.size(), 12u + 120u);
+  EXPECT_EQ(series[0].samples().size(), 12u + 120u);
   // Last-per-bucket keeps counter semantics: value at bucket end.
-  EXPECT_DOUBLE_EQ(series[0].samples[0].v, 9);  // t=270000, sample #9
+  EXPECT_DOUBLE_EQ(series[0].samples()[0].v, 9);  // t=270000, sample #9
 }
 
 TEST(LongTerm, CompactionPreservesCounterIncrease) {
@@ -109,8 +109,8 @@ TEST(LongTerm, RetentionDropsAncientData) {
   auto series = lt.select({}, 0, 40 * kMillisPerHour);
   ASSERT_EQ(series.size(), 1u);
   // Sample at t=0 is beyond 24 h retention at t=30 h.
-  EXPECT_EQ(series[0].samples.size(), 1u);
-  EXPECT_EQ(series[0].samples[0].t, 30 * kMillisPerHour);
+  EXPECT_EQ(series[0].samples().size(), 1u);
+  EXPECT_EQ(series[0].samples()[0].t, 30 * kMillisPerHour);
 }
 
 TEST(LongTerm, SelectMergesAcrossEpochBoundary) {
@@ -127,8 +127,8 @@ TEST(LongTerm, SelectMergesAcrossEpochBoundary) {
   auto series = lt.select({}, 0, 3 * kMillisPerHour);
   ASSERT_EQ(series.size(), 1u);
   // Strictly increasing timestamps across the merge.
-  for (std::size_t i = 1; i < series[0].samples.size(); ++i) {
-    EXPECT_GT(series[0].samples[i].t, series[0].samples[i - 1].t);
+  for (std::size_t i = 1; i < series[0].samples().size(); ++i) {
+    EXPECT_GT(series[0].samples()[i].t, series[0].samples()[i - 1].t);
   }
 }
 

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "metrics/labels.h"
 #include "metrics/registry.h"
+#include "metrics/symbols.h"
 #include "metrics/text_format.h"
 
 namespace ceems::metrics {
@@ -164,6 +166,82 @@ TEST(TextFormat, EscapedLabelValueRoundTrip) {
   auto parsed = parse_exposition("m{p=\"a\\\\b\\\"c\\nd\"} 1\n");
   ASSERT_EQ(parsed.samples.size(), 1u);
   EXPECT_EQ(*parsed.samples[0].labels.get("p"), "a\\b\"c\nd");
+}
+
+TEST(TextFormat, EscapeUnescapeAreInverses) {
+  for (const std::string& raw :
+       {std::string("plain"), std::string("back\\slash"),
+        std::string("quo\"te"), std::string("new\nline"),
+        std::string("\\\"\n mixed \\n not-an-escape"), std::string(""),
+        std::string("trailing\\")}) {
+    EXPECT_EQ(unescape_label_value(escape_label_value(raw)), raw) << raw;
+  }
+  EXPECT_EQ(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(unescape_label_value("a\\\\b\\\"c\\nd"), "a\\b\"c\nd");
+}
+
+TEST(TextFormat, EncodeParseRoundTripsEscapedValues) {
+  MetricFamily family{"m", "help", MetricType::kGauge, {}};
+  family.add(Labels{{"p", "a\\b\"c\nd"}}, 1.0);
+  auto parsed = parse_exposition(encode_families({family}));
+  ASSERT_EQ(parsed.samples.size(), 1u);
+  EXPECT_EQ(*parsed.samples[0].labels.get("p"), "a\\b\"c\nd");
+}
+
+// ---------- symbol table / interned labels ----------
+
+TEST(Symbols, InternIsIdempotentAndStable) {
+  SymbolTable& table = SymbolTable::global();
+  uint32_t a = table.intern("symbols_test_alpha");
+  uint32_t b = table.intern("symbols_test_beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.intern("symbols_test_alpha"), a);
+  EXPECT_EQ(table.text(a), "symbols_test_alpha");
+  EXPECT_EQ(table.find("symbols_test_beta"), b);
+  EXPECT_FALSE(table.find("symbols_test_never_interned").has_value());
+}
+
+TEST(Symbols, InternedLabelsMatchLabelsFingerprint) {
+  Labels labels = Labels{{"hostname", "n1"}, {"uuid", "42"}}.with_name("m");
+  InternedLabels interned(labels);
+  EXPECT_EQ(interned.fingerprint(), labels.fingerprint());
+  EXPECT_EQ(interned.size(), labels.size());
+  EXPECT_EQ(interned.name(), "m");
+  EXPECT_EQ(*interned.get("uuid"), "42");
+  EXPECT_FALSE(interned.get("nope").has_value());
+  // Round trip is lossless.
+  EXPECT_EQ(interned.to_labels(), labels);
+}
+
+TEST(Symbols, WithKeepsCanonicalOrderAndFingerprint) {
+  Labels base = Labels{{"b", "2"}};
+  InternedLabels interned(base);
+  InternedLabels extended = interned.with("a", "1").with("b", "3");
+  Labels expected = Labels{{"a", "1"}, {"b", "3"}};
+  EXPECT_EQ(extended.fingerprint(), expected.fingerprint());
+  EXPECT_EQ(extended.to_labels(), expected);
+}
+
+TEST(Symbols, EqualityVerifiesSymbolsNotJustFingerprint) {
+  Labels la = Labels{{"host", "a"}};
+  Labels lb = Labels{{"host", "b"}};
+  InternedLabels a(la, 0x1234);
+  InternedLabels b(lb, 0x1234);  // forced fingerprint collision
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, InternedLabels(la, 0x1234));
+}
+
+TEST(Symbols, MatcherWorksOnInternedLabels) {
+  InternedLabels labels(Labels{{"hostname", "jzcpu12"}}.with_name("m"));
+  LabelMatcher eq{"hostname", LabelMatcher::Op::kEq, "jzcpu12"};
+  LabelMatcher ne{"hostname", LabelMatcher::Op::kNe, "other"};
+  LabelMatcher re{"hostname", LabelMatcher::Op::kRegexMatch, "jzcpu\\d+"};
+  LabelMatcher no{"hostname", LabelMatcher::Op::kRegexMatch, "jzcpu"};
+  EXPECT_TRUE(eq.matches(labels));
+  EXPECT_TRUE(ne.matches(labels));
+  EXPECT_TRUE(re.matches(labels));
+  EXPECT_FALSE(no.matches(labels));  // anchored
 }
 
 // ---------- registry ----------

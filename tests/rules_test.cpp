@@ -39,7 +39,7 @@ TEST_F(RulesTest, RecordWritesNamedSeries) {
   auto result = store_->select(
       {{"__name__", metrics::LabelMatcher::Op::kEq, "a:doubled"}}, 0, 2000);
   ASSERT_EQ(result.size(), 2u);
-  EXPECT_DOUBLE_EQ(result[0].samples[0].v, 20);
+  EXPECT_DOUBLE_EQ(result[0].samples()[0].v, 20);
 }
 
 TEST_F(RulesTest, StaticLabelsAttached) {
@@ -65,7 +65,7 @@ TEST_F(RulesTest, LaterRulesSeeEarlierResults) {
   auto result = store_->select(
       {{"__name__", metrics::LabelMatcher::Op::kEq, "step:two"}}, 0, 2000);
   ASSERT_EQ(result.size(), 1u);
-  EXPECT_DOUBLE_EQ(result[0].samples[0].v, 11);
+  EXPECT_DOUBLE_EQ(result[0].samples()[0].v, 11);
 }
 
 TEST_F(RulesTest, InvalidRuleFailsFastAtLoad) {
@@ -113,8 +113,8 @@ TEST_F(RulesTest, EvaluateDueHonorsGroupInterval) {
       {{"__name__", metrics::LabelMatcher::Op::kEq, "slow:copy"}}, 0, 10000);
   ASSERT_EQ(fast_series.size(), 1u);
   ASSERT_EQ(slow_series.size(), 1u);
-  EXPECT_EQ(fast_series[0].samples.size(), 3u);
-  EXPECT_EQ(slow_series[0].samples.size(), 1u);
+  EXPECT_EQ(fast_series[0].samples().size(), 3u);
+  EXPECT_EQ(slow_series[0].samples().size(), 1u);
 }
 
 TEST(RuleParsing, FromYaml) {
@@ -208,7 +208,7 @@ TEST(RulesLibrary, EquationOneOnIntelGroup) {
   // Job2: 216×0.2 + 54×(10/40) + 15 = 43.2 + 13.5 + 15 = 71.7.
   double job1 = 0, job2 = 0;
   for (const auto& series : result) {
-    double v = series.samples.back().v;
+    double v = series.samples().back().v;
     if (*series.labels.get("uuid") == "1") job1 = v;
     else job2 = v;
   }
@@ -262,7 +262,7 @@ TEST(RulesLibrary, YamlRuleFileMatchesLibrary) {
         {{"__name__", metrics::LabelMatcher::Op::kEq,
           "ceems_job_power_watts"}},
         120000, 120000);
-    return result.empty() ? 0.0 : result[0].samples.back().v;
+    return result.empty() ? 0.0 : result[0].samples().back().v;
   };
 
   StorePtr yaml_store = std::make_shared<TimeSeriesStore>();

@@ -45,13 +45,13 @@ TEST_F(ScrapeTest, HttpTargetIngestedWithTargetLabels) {
                                0, clock_->now_ms());
   ASSERT_EQ(series.size(), 1u);
   EXPECT_EQ(*series[0].labels.get("hostname"), "n1");
-  EXPECT_EQ(series[0].samples[0].t, clock_->now_ms());
+  EXPECT_EQ(series[0].samples()[0].t, clock_->now_ms());
 
   auto up = store_->select({{"__name__", metrics::LabelMatcher::Op::kEq,
                              "up"}},
                            0, clock_->now_ms());
   ASSERT_EQ(up.size(), 1u);
-  EXPECT_DOUBLE_EQ(up[0].samples[0].v, 1);
+  EXPECT_DOUBLE_EQ(up[0].samples()[0].v, 1);
   server.stop();
 }
 
@@ -68,7 +68,7 @@ TEST_F(ScrapeTest, DeadTargetRecordsUpZero) {
                              "up"}},
                            0, clock_->now_ms());
   ASSERT_EQ(up.size(), 1u);
-  EXPECT_DOUBLE_EQ(up[0].samples[0].v, 0);
+  EXPECT_DOUBLE_EQ(up[0].samples()[0].v, 0);
 }
 
 TEST_F(ScrapeTest, MalformedExpositionIsScrapeFailure) {

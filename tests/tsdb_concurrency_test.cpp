@@ -57,10 +57,10 @@ TEST(TsdbConcurrency, ParallelIngestLosesNoSamples) {
            {"uuid", metrics::LabelMatcher::Op::kEq, std::to_string(s)}},
           0, kSamplesPerSeries * 1000);
       ASSERT_EQ(result.size(), 1u);
-      ASSERT_EQ(result[0].samples.size(),
+      ASSERT_EQ(result[0].samples().size(),
                 static_cast<std::size_t>(kSamplesPerSeries));
-      for (std::size_t i = 1; i < result[0].samples.size(); ++i) {
-        EXPECT_LT(result[0].samples[i - 1].t, result[0].samples[i].t);
+      for (std::size_t i = 1; i < result[0].samples().size(); ++i) {
+        EXPECT_LT(result[0].samples()[i - 1].t, result[0].samples()[i].t);
       }
     }
   }
@@ -99,9 +99,9 @@ TEST(TsdbConcurrency, QueriesDuringIngestSeeMonotonicCounters) {
             {{"__name__", metrics::LabelMatcher::Op::kEq, "ctr"}}, 0,
             kSamplesPerSeries * 1000);
         for (const auto& s : series) {
-          for (std::size_t i = 1; i < s.samples.size(); ++i) {
-            ASSERT_LT(s.samples[i - 1].t, s.samples[i].t);
-            ASSERT_LE(s.samples[i - 1].v, s.samples[i].v);
+          for (std::size_t i = 1; i < s.samples().size(); ++i) {
+            ASSERT_LT(s.samples()[i - 1].t, s.samples()[i].t);
+            ASSERT_LE(s.samples()[i - 1].v, s.samples()[i].v);
           }
         }
         auto matrix = engine.eval_range(
