@@ -292,9 +292,22 @@ AppendResult ChunkedSeries::append(TimestampMs t, double v) {
   if (total_ != 0) {
     if (t < last_t_) return AppendResult::kRejected;
     if (t == last_t_) {
-      // The newest sample is always in the head (we only seal when a
-      // strictly newer sample arrives), so overwrite is a head update.
-      head_.back().v = v;
+      if (!head_.empty()) {
+        // Common case: the newest sample is in the head (appends seal
+        // only when a strictly newer sample arrives).
+        head_.back().v = v;
+        return AppendResult::kOverwrote;
+      }
+      // After adopt_sealed() the newest sample lives in the last sealed
+      // chunk instead. Last-write-wins still holds: rewrite that chunk's
+      // final sample and re-seal.
+      if (sealed_.empty()) return AppendResult::kRejected;
+      auto decoded = sealed_.back()->decode();
+      if (!decoded || decoded->empty()) return AppendResult::kRejected;
+      decoded->back().v = v;
+      auto resealed = GorillaChunk::encode(decoded->data(), decoded->size());
+      if (!resealed) return AppendResult::kRejected;
+      sealed_.back() = std::move(resealed);
       return AppendResult::kOverwrote;
     }
   }

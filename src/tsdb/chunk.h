@@ -10,8 +10,10 @@
 // A ChunkedSeries is a run of immutable sealed chunks plus a small mutable
 // head of raw samples. Appends go to the head; once the head reaches
 // kChunkSamples and a strictly newer sample arrives, it is sealed into a
-// compressed chunk (so the newest sample — the one duplicate-timestamp
-// rewrites target — always lives in the head). Readers hand out
+// compressed chunk. The newest sample therefore lives in the head —
+// except right after adopt_sealed() (snapshot restore), when it sits in
+// the last sealed chunk and a duplicate-timestamp rewrite re-seals that
+// chunk instead of patching the head. Readers hand out
 // shared_ptrs to sealed chunks: a SeriesView captured under the shard lock
 // stays valid and immutable after the lock is released, and decoding
 // happens lazily on the reader's thread.

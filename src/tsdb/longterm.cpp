@@ -96,6 +96,8 @@ StorageStats LongTermStore::stats() const {
   out.num_series = std::max(raw.num_series, coarse.num_series);
   out.num_samples = raw.num_samples + coarse.num_samples;
   out.approx_bytes = raw.approx_bytes + coarse.approx_bytes;
+  // The symbol table is process-global: take it once, don't sum it.
+  out.symbol_bytes = raw.symbol_bytes;
   return out;
 }
 

@@ -260,9 +260,10 @@ StorageStats TimeSeriesStore::stats() const {
           stored.ilabels.size() * sizeof(InternedLabels::SymbolPair);
     }
   }
-  // Label strings live once in the process-wide symbol table; report them
-  // once rather than per-series.
-  stats.approx_bytes += SymbolTable::global().approx_bytes();
+  // Label strings live once in the process-wide symbol table, shared by
+  // every store in the process: keep them out of approx_bytes (which
+  // callers sum across stores) and report them in their own field.
+  stats.symbol_bytes = SymbolTable::global().approx_bytes();
   return stats;
 }
 
@@ -393,91 +394,108 @@ std::optional<std::size_t> TimeSeriesStore::restore_from(
   if (!in.good()) return std::nullopt;
   std::string_view version(magic, sizeof(magic));
 
+  // Stage 1: parse and validate the whole file into scratch structures.
+  // Nothing touches the shards until the snapshot is known-good, so a
+  // corrupt or truncated file can never leave a partial restore applied.
+  struct StagedSeries {
+    Labels labels;
+    std::vector<ChunkPtr> chunks;       // sealed (v2 only)
+    std::vector<SamplePoint> samples;   // head (v2) or raw run (v1)
+  };
+  std::vector<StagedSeries> staged;
+
   if (version == kSnapshotMagicV1) {
-    // Legacy raw-sample format: replay through the normal append path.
+    // Legacy raw-sample format.
     uint64_t num_series = 0;
     if (!get_u64(in, num_series)) return std::nullopt;
-    std::size_t restored = 0;
+    staged.reserve(num_series);
     for (uint64_t s = 0; s < num_series; ++s) {
-      Labels labels;
-      if (!get_labels(in, labels)) return std::nullopt;
-      InternedLabels interned(labels);
+      StagedSeries entry;
+      if (!get_labels(in, entry.labels)) return std::nullopt;
       uint64_t num_samples = 0;
       if (!get_u64(in, num_samples)) return std::nullopt;
+      entry.samples.resize(num_samples);
       for (uint64_t i = 0; i < num_samples; ++i) {
         uint64_t t = 0;
-        double v = 0;
-        if (!get_u64(in, t) || !get_f64(in, v)) return std::nullopt;
-        if (append(interned, static_cast<TimestampMs>(t), v)) ++restored;
+        if (!get_u64(in, t) || !get_f64(in, entry.samples[i].v))
+          return std::nullopt;
+        entry.samples[i].t = static_cast<TimestampMs>(t);
       }
+      staged.push_back(std::move(entry));
     }
-    return restored;
+  } else if (version == kSnapshotMagicV2) {
+    uint64_t num_series = 0;
+    if (!get_u64(in, num_series)) return std::nullopt;
+    staged.reserve(num_series);
+    for (uint64_t s = 0; s < num_series; ++s) {
+      StagedSeries entry;
+      if (!get_labels(in, entry.labels)) return std::nullopt;
+      uint64_t num_sealed = 0;
+      if (!get_u64(in, num_sealed) || num_sealed > (1u << 24))
+        return std::nullopt;
+      entry.chunks.reserve(num_sealed);
+      for (uint64_t c = 0; c < num_sealed; ++c) {
+        uint64_t count = 0, min_t = 0, max_t = 0, nbytes = 0;
+        if (!get_u64(in, count) || !get_u64(in, min_t) ||
+            !get_u64(in, max_t) || !get_u64(in, nbytes)) {
+          return std::nullopt;
+        }
+        // Sanity caps: a chunk never exceeds the seal threshold by much,
+        // and its payload is bounded by ~17 bytes/sample worst case.
+        if (count == 0 || count > (1u << 20) || nbytes > (1u << 26))
+          return std::nullopt;
+        std::vector<uint8_t> bytes(nbytes);
+        in.read(reinterpret_cast<char*>(bytes.data()),
+                static_cast<std::streamsize>(nbytes));
+        if (!in.good()) return std::nullopt;
+        ChunkPtr chunk = GorillaChunk::from_parts(
+            std::move(bytes), static_cast<uint32_t>(count),
+            static_cast<TimestampMs>(min_t), static_cast<TimestampMs>(max_t));
+        if (!chunk) return std::nullopt;  // corrupt: header/body mismatch
+        entry.chunks.push_back(std::move(chunk));
+      }
+      uint64_t num_head = 0;
+      if (!get_u64(in, num_head) || num_head > (1u << 24)) return std::nullopt;
+      entry.samples.resize(num_head);
+      for (uint64_t i = 0; i < num_head; ++i) {
+        uint64_t t = 0;
+        if (!get_u64(in, t) || !get_f64(in, entry.samples[i].v))
+          return std::nullopt;
+        entry.samples[i].t = static_cast<TimestampMs>(t);
+      }
+      staged.push_back(std::move(entry));
+    }
+  } else {
+    return std::nullopt;
   }
 
-  if (version != kSnapshotMagicV2) return std::nullopt;
-  uint64_t num_series = 0;
-  if (!get_u64(in, num_series)) return std::nullopt;
+  // Stage 2: commit. Only counted appends (kAppended) bump num_samples;
+  // duplicates merging into existing data overwrite without counting.
   std::size_t restored = 0;
-  for (uint64_t s = 0; s < num_series; ++s) {
-    Labels labels;
-    if (!get_labels(in, labels)) return std::nullopt;
+  for (StagedSeries& entry : staged) {
     // Intern once per series; every sample below reuses the fingerprint.
-    InternedLabels interned(labels);
+    InternedLabels interned(entry.labels);
     Shard& shard = shards_[shard_of(interned.fingerprint())];
-
-    uint64_t num_sealed = 0;
-    if (!get_u64(in, num_sealed) || num_sealed > (1u << 24))
-      return std::nullopt;
-    std::vector<ChunkPtr> chunks;
-    chunks.reserve(num_sealed);
-    for (uint64_t c = 0; c < num_sealed; ++c) {
-      uint64_t count = 0, min_t = 0, max_t = 0, nbytes = 0;
-      if (!get_u64(in, count) || !get_u64(in, min_t) || !get_u64(in, max_t) ||
-          !get_u64(in, nbytes)) {
-        return std::nullopt;
-      }
-      // Sanity caps: a chunk never exceeds the seal threshold by much, and
-      // its payload is bounded by ~17 bytes/sample worst case.
-      if (count == 0 || count > (1u << 20) || nbytes > (1u << 26))
-        return std::nullopt;
-      std::vector<uint8_t> bytes(nbytes);
-      in.read(reinterpret_cast<char*>(bytes.data()),
-              static_cast<std::streamsize>(nbytes));
-      if (!in.good()) return std::nullopt;
-      ChunkPtr chunk = GorillaChunk::from_parts(
-          std::move(bytes), static_cast<uint32_t>(count),
-          static_cast<TimestampMs>(min_t), static_cast<TimestampMs>(max_t));
-      if (!chunk) return std::nullopt;  // corrupt: header/body mismatch
-      chunks.push_back(std::move(chunk));
-    }
-    uint64_t num_head = 0;
-    if (!get_u64(in, num_head) || num_head > (1u << 24)) return std::nullopt;
-    std::vector<SamplePoint> head(num_head);
-    for (uint64_t i = 0; i < num_head; ++i) {
-      uint64_t t = 0;
-      if (!get_u64(in, t) || !get_f64(in, head[i].v)) return std::nullopt;
-      head[i].t = static_cast<TimestampMs>(t);
-    }
-
     std::unique_lock lock(shard.mu);
     StoredSeries& stored = get_or_create_locked(shard, interned);
     std::size_t series_restored = 0;
-    for (ChunkPtr& chunk : chunks) {
+    for (ChunkPtr& chunk : entry.chunks) {
       if (stored.data.adopt_sealed(chunk)) {
         // Empty-store fast path: the compressed chunk is adopted verbatim,
         // no re-encode.
         series_restored += chunk->count();
       } else {
-        // Merging into existing data: replay samples individually.
+        // Merging into existing data: replay samples individually. The
+        // chunk was decode-validated by from_parts, so decode succeeds.
         auto decoded = chunk->decode();
-        if (!decoded) return std::nullopt;
+        if (!decoded) continue;
         for (const auto& sp : *decoded) {
           if (stored.data.append(sp.t, sp.v) == AppendResult::kAppended)
             ++series_restored;
         }
       }
     }
-    for (const auto& sp : head) {
+    for (const auto& sp : entry.samples) {
       if (stored.data.append(sp.t, sp.v) == AppendResult::kAppended)
         ++series_restored;
     }

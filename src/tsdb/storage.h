@@ -80,9 +80,14 @@ class Queryable {
 struct StorageStats {
   std::size_t num_series = 0;
   std::size_t num_samples = 0;
-  // Real storage footprint: sealed chunk bytes + head capacities +
-  // per-series symbol vectors + the global symbol table's string bytes.
+  // Real per-store footprint: sealed chunk bytes + head capacities +
+  // per-series interned symbol vectors.
   std::size_t approx_bytes = 0;
+  // Footprint of the process-wide SymbolTable. Shared by every store in
+  // the process, so it is reported separately: summing approx_bytes
+  // across stores stays correct, and symbol_bytes must be added once at
+  // most per process, not per store.
+  std::size_t symbol_bytes = 0;
 };
 
 class TimeSeriesStore final : public Queryable {
@@ -136,7 +141,9 @@ class TimeSeriesStore final : public Queryable {
   // ("CEEMSTSDB1"); restoring into an empty store adopts sealed chunks
   // without re-encoding. Returns samples restored, or nullopt when the
   // file is missing, truncated, or corrupt (every chunk is decode-verified
-  // against its header before adoption).
+  // against its header). A nullopt return leaves the store unmodified:
+  // the whole snapshot is parsed and validated into scratch structures
+  // before any series is created or appended to.
   std::optional<std::size_t> restore_from(const std::string& path);
 
   static std::size_t shard_of(uint64_t fingerprint) {

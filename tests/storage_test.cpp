@@ -204,6 +204,14 @@ TEST(Storage, StatsTrackCardinality) {
   EXPECT_EQ(stats.num_series, 100u);
   EXPECT_EQ(stats.num_samples, 1000u);
   EXPECT_GT(stats.approx_bytes, 0u);
+  // The process-global symbol table is reported separately, not folded
+  // into approx_bytes: another store in the same process sees the same
+  // shared value, so summing approx_bytes across stores stays correct.
+  EXPECT_GT(stats.symbol_bytes, 0u);
+  TimeSeriesStore other;
+  other.append(Labels{{"uuid", "0"}}.with_name("m"), 0, 1);
+  EXPECT_EQ(other.stats().symbol_bytes, store.stats().symbol_bytes);
+  EXPECT_LT(other.stats().approx_bytes, stats.approx_bytes);
 }
 
 TEST(Storage, SealedChunksCompressRegularSeries) {
@@ -355,6 +363,102 @@ TEST(Storage, SnapshotV2RejectsTruncatedChunk) {
   std::remove(path.c_str());
 }
 
+TEST(Storage, SnapshotV2EmptyHeadRestoresAndMergesSafely) {
+  // A v2 snapshot whose head section is empty: after restore the newest
+  // sample lives in a sealed chunk, not the head. A second restore of the
+  // same file replays the chunk's boundary timestamp against that empty
+  // head, and a post-restore duplicate-timestamp append must overwrite
+  // via chunk re-seal — both used to hit head_.back() on an empty vector.
+  std::string path = ::testing::TempDir() + "tsdb_snapshot_v2_nohead.bin";
+  std::vector<SamplePoint> samples;
+  for (int i = 0; i < 120; ++i) {
+    samples.push_back({int64_t{i} * 30000, i * 0.5});
+  }
+  auto chunk = GorillaChunk::encode(samples.data(), samples.size());
+  ASSERT_NE(chunk, nullptr);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    auto put_u64 = [&](uint64_t v) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    auto put_str = [&](const std::string& s) {
+      put_u64(s.size());
+      out.write(s.data(), static_cast<std::streamsize>(s.size()));
+    };
+    out.write("CEEMSTSDB2", 10);
+    put_u64(1);  // num_series
+    put_u64(2);  // num_labels
+    put_str("__name__");
+    put_str("m");
+    put_str("uuid");
+    put_str("1");
+    put_u64(1);  // num_sealed
+    put_u64(chunk->count());
+    put_u64(static_cast<uint64_t>(chunk->min_time()));
+    put_u64(static_cast<uint64_t>(chunk->max_time()));
+    put_u64(chunk->bytes().size());
+    out.write(reinterpret_cast<const char*>(chunk->bytes().data()),
+              static_cast<std::streamsize>(chunk->bytes().size()));
+    put_u64(0);  // num_head: empty
+  }
+  TimeSeriesStore store;
+  auto first = store.restore_from(path);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 120u);
+  // Second restore merges: every chunk sample is a duplicate, the last
+  // one with t == last_t_ while the head is empty.
+  auto second = store.restore_from(path);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 0u);
+  EXPECT_EQ(store.stats().num_samples, 120u);
+
+  // Duplicate-timestamp append straight after restore: last write wins.
+  Labels labels = Labels{{"uuid", "1"}}.with_name("m");
+  EXPECT_TRUE(store.append(labels, samples.back().t, 99.0));
+  auto result = store.select({}, 0, 10000000);
+  ASSERT_EQ(result.size(), 1u);
+  auto got = result[0].samples();
+  ASSERT_EQ(got.size(), 120u);
+  EXPECT_EQ(got.back().t, samples.back().t);
+  EXPECT_DOUBLE_EQ(got.back().v, 99.0);
+  std::remove(path.c_str());
+}
+
+TEST(Storage, CorruptSnapshotLeavesStoreUnmodified) {
+  // Mid-file corruption (truncated inside a later series) must reject the
+  // snapshot without applying the earlier, well-formed series: restore
+  // stages the whole parse before committing anything to the shards.
+  std::string path = ::testing::TempDir() + "tsdb_snapshot_partial.bin";
+  TimeSeriesStore source;
+  for (int s = 0; s < 8; ++s) {
+    Labels labels = Labels{{"uuid", std::to_string(s)}}.with_name("m");
+    for (int i = 0; i < 5; ++i) source.append(labels, i * 1000, i);
+  }
+  ASSERT_TRUE(source.snapshot_to(path));
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  // Cut into the last series' head samples: everything before it parses.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() - 10));
+  out.close();
+
+  TimeSeriesStore store;
+  EXPECT_FALSE(store.restore_from(path).has_value());
+  EXPECT_EQ(store.stats().num_series, 0u);
+  EXPECT_EQ(store.stats().num_samples, 0u);
+  EXPECT_TRUE(store.select({}, 0, 100000).empty());
+
+  // A pre-populated store is equally untouched by a failed restore.
+  store.append(Labels{{"uuid", "9"}}.with_name("m"), 500, 7);
+  EXPECT_FALSE(store.restore_from(path).has_value());
+  EXPECT_EQ(store.stats().num_series, 1u);
+  EXPECT_EQ(store.stats().num_samples, 1u);
+  std::remove(path.c_str());
+}
+
 // ---------- Gorilla chunk codec ----------
 
 double bits_to_double(uint64_t bits) {
@@ -427,6 +531,30 @@ TEST(ChunkCodec, RoundTripPropertyJitterResetsAndSpecials) {
           << "seed " << seed << " sample " << i;
     }
   }
+}
+
+TEST(ChunkCodec, DuplicateTimestampAfterAdoptSealedResealsChunk) {
+  // adopt_sealed() leaves the head empty with the newest sample inside
+  // the last sealed chunk; a duplicate-timestamp append must re-seal that
+  // chunk (last write wins) instead of touching the empty head.
+  std::vector<SamplePoint> samples;
+  for (int i = 0; i < 120; ++i) {
+    samples.push_back({int64_t{i} * 1000, i * 1.0});
+  }
+  ChunkedSeries series;
+  ASSERT_TRUE(
+      series.adopt_sealed(GorillaChunk::encode(samples.data(), samples.size())));
+  ASSERT_TRUE(series.head().empty());
+  EXPECT_EQ(series.append(119000, 42.5), AppendResult::kOverwrote);
+  EXPECT_EQ(series.num_samples(), 120u);
+  auto all = series.samples_between(0, 200000);
+  ASSERT_EQ(all.size(), 120u);
+  EXPECT_EQ(all.back().t, 119000);
+  EXPECT_DOUBLE_EQ(all.back().v, 42.5);
+  // Ordering rules are unchanged around the rewrite.
+  EXPECT_EQ(series.append(118000, 1.0), AppendResult::kRejected);
+  EXPECT_EQ(series.append(120000, 7.0), AppendResult::kAppended);
+  EXPECT_EQ(series.num_samples(), 121u);
 }
 
 TEST(ChunkCodec, FromPartsValidatesHeaderAgainstPayload) {
