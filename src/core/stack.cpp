@@ -9,10 +9,15 @@ CeemsStack::CeemsStack(slurm::ClusterSim& sim, StackConfig config)
   hot_store_ = std::make_shared<tsdb::TimeSeriesStore>();
   longterm_ = std::make_shared<tsdb::LongTermStore>(config_.longterm);
 
+  faults::FaultHook fault_hook;
+  if (config_.fault_plan) fault_hook = config_.fault_plan->hook();
+
   // --- exporters + scrape targets ---
   tsdb::ScrapeConfig scrape_config;
   scrape_config.interval_ms = config_.scrape_interval_ms;
   scrape_config.parallelism = 8;
+  scrape_config.retries = config_.scrape_retries;
+  scrape_config.fault_hook = fault_hook;
   scraper_ = std::make_unique<tsdb::ScrapeManager>(hot_store_, clock_,
                                                    scrape_config);
 
@@ -21,10 +26,12 @@ CeemsStack::CeemsStack(slurm::ClusterSim& sim, StackConfig config)
     exporter::ExporterConfig exporter_config;
     exporter_config.http.basic_auth = config_.exporter_auth;
     exporter_config.http.worker_threads = 2;
+    exporter_config.http.fault_hook = fault_hook;
     // Self-metrics read real procfs; at cluster scale that is pure noise,
     // keep it for the HTTP-exporter subset only.
     exporter_config.enable_self_metrics = http_budget > 0;
     auto exporter = make_ceems_exporter(node, clock_, exporter_config);
+    if (fault_hook) node->fs()->set_fault_hook(fault_hook);
 
     tsdb::ScrapeTarget target;
     target.labels =
@@ -64,6 +71,12 @@ CeemsStack::CeemsStack(slurm::ClusterSim& sim, StackConfig config)
         emaps,
         std::make_shared<emissions::OwidProvider>(),
     };
+    if (fault_hook) {
+      for (auto& provider : providers) {
+        provider = std::make_shared<emissions::FaultInjectedProvider>(
+            provider, fault_hook);
+      }
+    }
     emissions_exporter_->add_collector(
         std::make_shared<exporter::EmissionsCollector>(providers,
                                                        config_.country_code));
@@ -157,6 +170,7 @@ void CeemsStack::start_servers() {
   lb_config.strategy = config_.lb_strategy;
   lb_config.admin_users = config_.admin_users;
   lb_config.api_server_url = api_server_->base_url();
+  if (config_.fault_plan) lb_config.fault_hook = config_.fault_plan->hook();
   lb_ = std::make_unique<lb::LoadBalancer>(lb_config, backend_urls, clock_);
   lb_->set_api_server(api_server_.get());
   lb_->start();

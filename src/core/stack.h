@@ -27,6 +27,7 @@
 #include "emissions/owid.h"
 #include "emissions/rte.h"
 #include "exporter/emissions_collector.h"
+#include "faults/plan.h"
 #include "lb/load_balancer.h"
 #include "slurm/cluster_sim.h"
 #include "tsdb/http_api.h"
@@ -57,6 +58,14 @@ struct StackConfig {
   bool include_alert_rules = true;
   std::string db_wal_path;  // empty = in-memory DB
   http::BasicAuthConfig exporter_auth;  // applied to every exporter
+  // Chaos: when set, the plan's hook is installed on every fault site the
+  // stack owns — scrape fetches ("scrape.target"), exporter HTTP servers
+  // ("http.server"), node pseudo-filesystems ("simfs.read"), emissions
+  // providers ("emissions.provider") and the LB proxy path ("lb.backend").
+  // Sites the plan leaves unconfigured behave exactly as without a plan.
+  std::shared_ptr<faults::FaultPlan> fault_plan;
+  // Extra scrape attempts per target per sweep (see ScrapeConfig::retries).
+  int scrape_retries = 1;
 };
 
 class CeemsStack {

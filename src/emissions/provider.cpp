@@ -5,9 +5,41 @@ namespace ceems::emissions {
 std::optional<EmissionFactor> ProviderChain::factor(const std::string& zone,
                                                     common::TimestampMs t_ms) {
   for (const auto& provider : providers_) {
-    if (auto result = provider->factor(zone, t_ms)) return result;
+    if (auto result = provider->factor(zone, t_ms)) {
+      if (lkg_ttl_ms_ > 0) {
+        std::lock_guard lock(mu_);
+        last_known_good_[zone] = {*result, t_ms};
+      }
+      return result;
+    }
+  }
+  if (lkg_ttl_ms_ > 0) {
+    std::lock_guard lock(mu_);
+    auto it = last_known_good_.find(zone);
+    if (it != last_known_good_.end() &&
+        t_ms - it->second.fetched_ms <= lkg_ttl_ms_) {
+      ++lkg_served_;
+      return it->second.factor;
+    }
   }
   return std::nullopt;
+}
+
+uint64_t ProviderChain::lkg_served() const {
+  std::lock_guard lock(mu_);
+  return lkg_served_;
+}
+
+std::optional<EmissionFactor> FaultInjectedProvider::factor(
+    const std::string& zone, common::TimestampMs t_ms) {
+  if (hook_) {
+    auto fault = hook_("emissions.provider", inner_->name() + "/" + zone);
+    if (fault) {
+      ++faults_injected_;
+      return std::nullopt;
+    }
+  }
+  return inner_->factor(zone, t_ms);
 }
 
 double emissions_grams(double joules, double gco2_per_kwh) {

@@ -7,12 +7,16 @@
 // limit code paths are the real thing.
 #pragma once
 
+#include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "faults/fault.h"
 
 namespace ceems::emissions {
 
@@ -36,17 +40,54 @@ class Provider {
 using ProviderPtr = std::shared_ptr<Provider>;
 
 // First-available-wins chain, real-time providers first, OWID as fallback —
-// the composition the paper describes.
+// the composition the paper describes. When every provider declines
+// (outage, rate limit), the chain serves the zone's last successfully
+// fetched factor for up to `lkg_ttl_ms` — a power grid's mix drifts
+// slowly, so a bounded-age factor beats a gap in the emissions series.
+// Past the TTL the chain goes dark rather than serve arbitrarily old data.
 class ProviderChain final : public Provider {
  public:
-  explicit ProviderChain(std::vector<ProviderPtr> providers)
-      : providers_(std::move(providers)) {}
+  explicit ProviderChain(std::vector<ProviderPtr> providers,
+                         int64_t lkg_ttl_ms = 0)
+      : providers_(std::move(providers)), lkg_ttl_ms_(lkg_ttl_ms) {}
   std::string name() const override { return "chain"; }
   std::optional<EmissionFactor> factor(const std::string& zone,
                                        common::TimestampMs t_ms) override;
 
+  // Times a factor was served from the last-known-good cache.
+  uint64_t lkg_served() const;
+
  private:
+  struct LastKnownGood {
+    EmissionFactor factor;
+    common::TimestampMs fetched_ms = 0;
+  };
   std::vector<ProviderPtr> providers_;
+  int64_t lkg_ttl_ms_;
+  mutable std::mutex mu_;
+  std::map<std::string, LastKnownGood> last_known_good_;
+  uint64_t lkg_served_ = 0;
+};
+
+// Chaos wrapper: consults a FaultHook (site "emissions.provider", key
+// "<provider>/<zone>") before delegating; any fault models the provider's
+// API being dark (outage, 429, timeout) and yields nullopt — exactly the
+// signal the chain/caching layers recover from.
+class FaultInjectedProvider final : public Provider {
+ public:
+  FaultInjectedProvider(ProviderPtr inner, faults::FaultHook hook)
+      : inner_(std::move(inner)), hook_(std::move(hook)) {}
+
+  std::string name() const override { return inner_->name(); }
+  std::optional<EmissionFactor> factor(const std::string& zone,
+                                       common::TimestampMs t_ms) override;
+
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  ProviderPtr inner_;
+  faults::FaultHook hook_;
+  std::atomic<uint64_t> faults_injected_{0};
 };
 
 // grams CO2e for `joules` at `gco2_per_kwh`.

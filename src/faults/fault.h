@@ -1,0 +1,49 @@
+// Fault-injection primitives shared by every injection site. A site
+// (http client/server, scrape target, emissions provider, simfs read)
+// holds a FaultHook; before an operation it asks the hook what should go
+// wrong, and implements the returned decision with its own machinery —
+// the hook never touches sockets or files itself. Production code leaves
+// the hook empty, which costs one branch per operation.
+//
+// The standard hook implementation is faults::FaultPlan (plan.h): a
+// deterministic, seed-driven decision stream, so any chaos run is
+// reproducible from a single uint64 seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace ceems::faults {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kConnectTimeout,  // connection never establishes within the timeout
+  kIoTimeout,       // connection established, response never arrives
+  kHttpStatus,      // server answers with `http_status` (5xx / 429)
+  kSlowResponse,    // response delayed by `delay_ms` (may exceed timeout)
+  kTruncateBody,    // connection drops mid-body; `keep_fraction` arrives
+  kUnavailable,     // hard refusal: connect refused / provider outage
+  kReadError,       // filesystem read fails (simfs)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  int http_status = 500;      // kHttpStatus
+  int delay_ms = 0;           // kSlowResponse
+  double keep_fraction = 0.5; // kTruncateBody: fraction of body delivered
+
+  bool none() const { return kind == FaultKind::kNone; }
+  explicit operator bool() const { return kind != FaultKind::kNone; }
+};
+
+// site: stable identifier of the injection point ("http.client",
+// "scrape.target", "emissions.provider", "simfs.read", "lb.backend").
+// key: the specific entity at the site (url, instance, provider/zone,
+// path) — each (site, key) pair gets an independent decision stream.
+using FaultHook =
+    std::function<FaultDecision(std::string_view site, std::string_view key)>;
+
+}  // namespace ceems::faults

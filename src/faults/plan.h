@@ -1,0 +1,102 @@
+// FaultPlan — the deterministic chaos engine behind FaultHook.
+//
+// A plan is seeded with one uint64 and configured with per-site fault
+// rates. Every (site, key) pair owns an independent decision stream:
+// decision n for a pair is a pure function of (seed, site, key, n), so a
+// chaos run replays bit-identically from its seed no matter how scrape
+// threads interleave — streams only depend on the per-key call order,
+// which the callers (one scrape per target per sweep, one provider call
+// per factor lookup) keep sequential.
+//
+// Flapping targets: a per-key draw marks some keys as flappers; a flapper
+// goes fully dark for `flap_down` out of every `flap_period` decisions
+// (or, when a clock is attached, for `flap_down_ms` out of every
+// `flap_period_ms` of simulated time), reproducing the
+// up/down/up exporter behaviour operators see on real BMC-backed nodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "faults/fault.h"
+
+namespace ceems::faults {
+
+// Per-site fault probabilities (each decision draws once; the listed
+// faults partition the probability space in declaration order).
+struct SiteFaults {
+  double connect_timeout = 0;
+  double io_timeout = 0;
+  double http_5xx = 0;
+  double http_429 = 0;
+  double slow = 0;
+  double truncate = 0;
+  double unavailable = 0;
+  double read_error = 0;
+  // Fraction of keys that flap (square-wave outage) instead of failing
+  // independently per call.
+  double flap = 0;
+
+  int slow_delay_ms = 10000;
+  int flap_period = 16;  // decisions per flap cycle (no clock attached)
+  int flap_down = 4;     // dark decisions per cycle
+  int64_t flap_period_ms = 10 * common::kMillisPerMinute;  // with a clock
+  int64_t flap_down_ms = 3 * common::kMillisPerMinute;
+
+  double total() const {
+    return connect_timeout + io_timeout + http_5xx + http_429 + slow +
+           truncate + unavailable + read_error;
+  }
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 0);
+
+  // Attaches a clock: flap windows are then driven by (simulated) time
+  // instead of per-key call counts.
+  void set_clock(common::ClockPtr clock);
+
+  // Enables faults at a site. Sites not configured never fault, so an
+  // unconfigured ("no-fault") plan is behaviourally inert.
+  void configure(const std::string& site, SiteFaults faults);
+
+  // One decision for (site, key); advances that pair's stream.
+  FaultDecision decide(std::string_view site, std::string_view key);
+
+  // Adapter for installation on injection sites. The plan must outlive
+  // every site the hook is installed on.
+  FaultHook hook() {
+    return [this](std::string_view site, std::string_view key) {
+      return decide(site, key);
+    };
+  }
+
+  uint64_t seed() const { return seed_; }
+
+  struct Stats {
+    uint64_t decisions = 0;
+    uint64_t faults = 0;
+    std::map<std::string, uint64_t> by_kind;  // fault_kind_name -> count
+  };
+  Stats stats() const;
+
+ private:
+  struct Stream {
+    uint64_t counter = 0;
+    bool flapper = false;
+  };
+
+  const uint64_t seed_;
+  common::ClockPtr clock_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, SiteFaults, std::less<>> sites_;
+  std::map<std::string, Stream> streams_;  // "site\x1fkey" -> stream
+  Stats stats_;
+};
+
+}  // namespace ceems::faults

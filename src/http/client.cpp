@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/strutil.h"
@@ -40,8 +41,20 @@ Client::~Client() {
 Client::Client(Client&& other) noexcept
     : config_(std::move(other.config_)),
       cached_fd_(other.cached_fd_),
-      cached_endpoint_(std::move(other.cached_endpoint_)) {
+      cached_endpoint_(std::move(other.cached_endpoint_)),
+      jitter_rng_(other.jitter_rng_),
+      requests_(other.requests_.load()),
+      retries_(other.retries_.load()),
+      faults_injected_(other.faults_injected_.load()) {
   other.cached_fd_ = -1;
+}
+
+ClientStats Client::stats() const {
+  ClientStats out;
+  out.requests = requests_.load();
+  out.retries = retries_.load();
+  out.faults_injected = faults_injected_.load();
+  return out;
 }
 
 std::optional<Client::ParsedUrl> Client::parse_url(const std::string& url) {
@@ -139,7 +152,81 @@ FetchResult Client::post(const std::string& url, const std::string& body,
 
 FetchResult Client::request(const std::string& method, const std::string& url,
                             const std::string& body, const HeaderMap& headers) {
+  ++requests_;
+  const RetryConfig& retry = config_.retry;
   FetchResult result;
+  int64_t backoff_spent_ms = 0;
+  double backoff_ms = retry.initial_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    result = request_once(method, url, body, headers);
+    result.attempts = attempt + 1;
+    bool retryable =
+        !result.ok ||
+        (retry.retry_on_status &&
+         RetryConfig::retryable_status(result.response.status));
+    if (!retryable || attempt >= retry.max_retries) return result;
+
+    // Exponential backoff with jitter under a cumulative budget. With no
+    // clock the retry is immediate — the deterministic pipeline mode.
+    int64_t delay_ms = 0;
+    if (retry.initial_backoff_ms > 0) {
+      double jittered =
+          backoff_ms *
+          (1.0 + retry.jitter * (2.0 * jitter_rng_.next_double() - 1.0));
+      delay_ms = std::max<int64_t>(0, static_cast<int64_t>(jittered));
+      if (backoff_spent_ms + delay_ms > retry.retry_budget_ms) return result;
+      backoff_spent_ms += delay_ms;
+      backoff_ms *= retry.backoff_multiplier;
+    }
+    ++retries_;
+    if (config_.clock && delay_ms > 0) {
+      if (!config_.clock->sleep_for(delay_ms)) return result;  // interrupted
+    }
+  }
+}
+
+FetchResult Client::request_once(const std::string& method,
+                                 const std::string& url,
+                                 const std::string& body,
+                                 const HeaderMap& headers) {
+  FetchResult result;
+
+  // Chaos injection: the hook decides, this function implements. Faults
+  // that prevent the exchange return before any socket work.
+  faults::FaultDecision fault;
+  if (config_.fault_hook) {
+    fault = config_.fault_hook("http.client", url);
+    if (fault) ++faults_injected_;
+    switch (fault.kind) {
+      case faults::FaultKind::kConnectTimeout:
+        result.error = "connect timeout (injected)";
+        return result;
+      case faults::FaultKind::kIoTimeout:
+        result.error = "response header timeout (injected)";
+        return result;
+      case faults::FaultKind::kUnavailable:
+        result.error = "connect failed: connection refused (injected)";
+        return result;
+      case faults::FaultKind::kHttpStatus:
+        result.ok = true;
+        result.response.status = fault.http_status;
+        result.response.body = "injected fault";
+        return result;
+      case faults::FaultKind::kSlowResponse:
+        // The response would arrive after delay_ms; past the IO timeout it
+        // is indistinguishable from a hang.
+        if (fault.delay_ms >= config_.io_timeout_ms) {
+          result.error = "response body timeout (injected slow response)";
+          return result;
+        }
+        break;  // arrives late but in time: proceed normally
+      case faults::FaultKind::kTruncateBody:
+        break;  // exchange happens, body is cut below
+      default:
+        break;
+    }
+  }
+
   auto parsed = parse_url(url);
   if (!parsed) {
     result.error = "bad url: " + url;
@@ -214,18 +301,54 @@ FetchResult Client::request(const std::string& method, const std::string& url,
         std::string(common::trim(line.substr(colon + 1)));
   }
 
-  std::size_t body_len = 0;
+  std::size_t body_start = header_end + 4;
+  auto connection = result.response.headers.find("Connection");
+  bool keep = connection == result.response.headers.end() ||
+              common::to_lower(connection->second) != "close";
+
   auto cl = result.response.headers.find("Content-Length");
-  if (cl != result.response.headers.end()) {
-    auto parsed_len = common::parse_int64(cl->second);
-    if (!parsed_len || *parsed_len < 0) {
-      ::close(fd);
-      result.error = "bad content-length";
+  if (cl == result.response.headers.end()) {
+    if (keep) {
+      // Keep-alive with no Content-Length: HTTP/1.1 requires a length (or
+      // chunked coding, which we don't speak) for a body to exist, so this
+      // is a bodiless response — NOT the same as a truncated one.
+      result.response.body.clear();
+      result.ok = true;
+      cached_fd_ = fd;
       return result;
     }
-    body_len = static_cast<std::size_t>(*parsed_len);
+    // Connection: close with no Content-Length: the body is everything
+    // until EOF (HTTP/1.0-style streaming).
+    for (;;) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, config_.io_timeout_ms) <= 0) {
+        ::close(fd);
+        result.error = "response body timeout";
+        return result;
+      }
+      char chunk[16384];
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        ::close(fd);
+        result.error = "connection error reading body";
+        return result;
+      }
+      if (n == 0) break;  // clean EOF terminates the body
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    result.response.body = buffer.substr(body_start);
+    result.ok = true;
+    return result;
   }
-  std::size_t body_start = header_end + 4;
+
+  auto parsed_len = common::parse_int64(cl->second);
+  if (!parsed_len || *parsed_len < 0) {
+    ::close(fd);
+    result.error = "bad content-length";
+    return result;
+  }
+  std::size_t body_len = static_cast<std::size_t>(*parsed_len);
   while (buffer.size() < body_start + body_len) {
     pollfd pfd{fd, POLLIN, 0};
     if (::poll(&pfd, 1, config_.io_timeout_ms) <= 0) {
@@ -236,18 +359,33 @@ FetchResult Client::request(const std::string& method, const std::string& url,
     char chunk[16384];
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
+      // The server promised body_len bytes and the connection died first:
+      // a truncated body, distinct from a legitimate empty/short body
+      // (Content-Length: 0 lands here only if the headers promised more).
       ::close(fd);
-      result.error = "connection closed reading body";
+      std::size_t got = buffer.size() - std::min(buffer.size(), body_start);
+      result.error = "truncated body: got " + std::to_string(got) + " of " +
+                     std::to_string(body_len) + " bytes";
       return result;
     }
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
+
+  if (fault.kind == faults::FaultKind::kTruncateBody) {
+    // Simulates the peer closing mid-body: the truncated prefix arrived,
+    // the Content-Length check (above, for real truncation) fails it.
+    ::close(fd);
+    std::size_t keep_bytes =
+        static_cast<std::size_t>(static_cast<double>(body_len) *
+                                 std::clamp(fault.keep_fraction, 0.0, 1.0));
+    result.error = "truncated body: got " + std::to_string(keep_bytes) +
+                   " of " + std::to_string(body_len) + " bytes (injected)";
+    return result;
+  }
+
   result.response.body = buffer.substr(body_start, body_len);
   result.ok = true;
 
-  auto connection = result.response.headers.find("Connection");
-  bool keep = connection == result.response.headers.end() ||
-              common::to_lower(connection->second) != "close";
   if (keep && buffer.size() == body_start + body_len) {
     cached_fd_ = fd;  // reuse for the next request to the same endpoint
   } else {

@@ -198,6 +198,14 @@ std::optional<Request> Server::read_request(int fd, std::string& buffer,
 }
 
 Response Server::dispatch(const Request& request) {
+  if (config_.fault_hook) {
+    // Chaos injection: a faulting server answers before any routing, the
+    // way an overloaded or restarting backend would.
+    auto fault = config_.fault_hook("http.server", request.path());
+    if (fault.kind == faults::FaultKind::kHttpStatus) {
+      return Response::text(fault.http_status, "injected fault");
+    }
+  }
   if (config_.basic_auth.enabled()) {
     auto auth = request.header("Authorization");
     auto creds = auth ? decode_basic_auth(*auth) : std::nullopt;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/threadpool.h"
+#include "faults/fault.h"
 #include "http/message.h"
 
 namespace ceems::http {
@@ -37,6 +38,10 @@ struct ServerConfig {
   std::size_t max_body_bytes = 8 * 1024 * 1024;
   BasicAuthConfig basic_auth;
   ConnectionFilter connection_filter;
+  // Chaos injection: consulted per request before routing; an
+  // kHttpStatus decision short-circuits into that status. Empty in
+  // production.
+  faults::FaultHook fault_hook;
 };
 
 class Server {

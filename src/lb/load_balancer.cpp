@@ -6,6 +6,15 @@
 
 namespace ceems::lb {
 
+const char* circuit_state_name(CircuitState state) {
+  switch (state) {
+    case CircuitState::kClosed: return "closed";
+    case CircuitState::kOpen: return "open";
+    case CircuitState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
 LoadBalancer::LoadBalancer(LbConfig config,
                            std::vector<std::string> backend_urls,
                            common::ClockPtr clock)
@@ -22,6 +31,9 @@ LoadBalancer::LoadBalancer(LbConfig config,
   });
   server_.handle("/health", [](const http::Request&) {
     return http::Response::json(200, "{\"status\":\"ok\"}");
+  });
+  server_.handle("/metrics", [this](const http::Request&) {
+    return http::Response::text(200, render_metrics());
   });
 }
 
@@ -54,31 +66,85 @@ bool LoadBalancer::check_ownership(const std::string& user,
   return result.ok && result.response.status == 200;
 }
 
+bool LoadBalancer::selectable(const Backend& backend,
+                              common::TimestampMs now) const {
+  if (!circuit_enabled()) return true;
+  std::lock_guard lock(backend.mu);
+  switch (backend.state) {
+    case CircuitState::kClosed:
+      return true;
+    case CircuitState::kOpen:
+      return now >= backend.open_until_ms;
+    case CircuitState::kHalfOpen:
+      return !backend.probe_inflight;
+  }
+  return true;
+}
+
+bool LoadBalancer::try_acquire(Backend& backend, common::TimestampMs now) {
+  if (!circuit_enabled()) return true;
+  std::lock_guard lock(backend.mu);
+  switch (backend.state) {
+    case CircuitState::kClosed:
+      return true;
+    case CircuitState::kOpen:
+      if (now < backend.open_until_ms) return false;
+      backend.state = CircuitState::kHalfOpen;
+      backend.probe_inflight = true;
+      return true;
+    case CircuitState::kHalfOpen:
+      if (backend.probe_inflight) return false;
+      backend.probe_inflight = true;
+      return true;
+  }
+  return true;
+}
+
+void LoadBalancer::on_result(Backend& backend, bool ok,
+                             common::TimestampMs now) {
+  if (!circuit_enabled()) return;
+  std::lock_guard lock(backend.mu);
+  backend.probe_inflight = false;
+  if (ok) {
+    backend.state = CircuitState::kClosed;
+    backend.consecutive_failures = 0;
+    return;
+  }
+  if (backend.state == CircuitState::kHalfOpen) {
+    // Failed probe: straight back to open for another cooldown.
+    backend.state = CircuitState::kOpen;
+    backend.open_until_ms = now + config_.failover_cooldown_ms;
+    ++backend.opens_total;
+    return;
+  }
+  if (++backend.consecutive_failures >= config_.circuit_failure_threshold) {
+    backend.state = CircuitState::kOpen;
+    backend.open_until_ms = now + config_.failover_cooldown_ms;
+    backend.consecutive_failures = 0;
+    ++backend.opens_total;
+  }
+}
+
 LoadBalancer::Backend* LoadBalancer::pick_backend(common::TimestampMs now) {
   if (backends_.empty()) return nullptr;
-  auto available = [&](const Backend& backend) {
-    return backend.down_until_ms.load(std::memory_order_acquire) <= now;
-  };
   if (config_.strategy == Strategy::kRoundRobin) {
-    // Skip backends inside their failure cooldown, up to one rotation;
-    // if everything is down, fall through and probe anyway.
+    // Skip backends whose circuit won't admit a request, up to one
+    // rotation; when nothing is selectable the caller answers 503.
     for (std::size_t i = 0; i < backends_.size(); ++i) {
       std::size_t index = round_robin_next_.fetch_add(1) % backends_.size();
-      if (available(*backends_[index])) return backends_[index].get();
+      if (selectable(*backends_[index], now)) return backends_[index].get();
     }
-    return backends_[round_robin_next_.fetch_add(1) % backends_.size()].get();
+    return nullptr;
   }
-  // Least connection, preferring backends outside their cooldown.
+  // Least connection among selectable backends.
   Backend* best = nullptr;
   int best_inflight = std::numeric_limits<int>::max();
-  for (int pass = 0; pass < 2 && !best; ++pass) {
-    for (const auto& backend : backends_) {
-      if (pass == 0 && !available(*backend)) continue;
-      int inflight = backend->inflight.load();
-      if (inflight < best_inflight) {
-        best_inflight = inflight;
-        best = backend.get();
-      }
+  for (const auto& backend : backends_) {
+    if (!selectable(*backend, now)) continue;
+    int inflight = backend->inflight.load();
+    if (inflight < best_inflight) {
+      best_inflight = inflight;
+      best = backend.get();
     }
   }
   return best;
@@ -137,32 +203,46 @@ http::Response LoadBalancer::handle_proxy(const http::Request& request) {
   headers.erase("Content-Length");
   headers.erase("Connection");
 
-  // Failover: a backend that fails at the transport level is skipped and
-  // the request retried on the next one, up to one full rotation. Failed
-  // backends enter a cooldown so later requests don't re-probe them on
-  // every rotation.
+  // Failover: a transport failure moves on to the next backend, up to one
+  // full rotation. The circuit breaker decides which backends may even be
+  // tried; when no circuit admits a request the answer is an immediate
+  // 503, which is distinct from 502 (= every admitted backend was probed
+  // and failed).
   std::string last_error = "no backends configured";
+  bool attempted = false;
   for (std::size_t attempt = 0; attempt < backends_.size(); ++attempt) {
     common::TimestampMs now = clock_->now_ms();
     Backend* backend = pick_backend(now);
     if (!backend) break;
+    if (!try_acquire(*backend, now)) continue;
+    attempted = true;
     ++backend->inflight;
     ++backend->requests;
-    http::Client client;
-    auto result = client.request(request.method,
-                                 backend->base_url + request.target,
-                                 request.body, headers);
+    http::FetchResult result;
+    faults::FaultDecision fault;
+    if (config_.fault_hook) {
+      fault = config_.fault_hook("lb.backend", backend->base_url);
+    }
+    if (fault) {
+      result.ok = false;
+      result.error = std::string("injected fault: ") +
+                     faults::fault_kind_name(fault.kind);
+    } else {
+      http::Client client;
+      result = client.request(request.method,
+                              backend->base_url + request.target,
+                              request.body, headers);
+    }
     --backend->inflight;
-    if (result.ok) {
-      backend->down_until_ms.store(0, std::memory_order_release);
-      return result.response;
-    }
+    on_result(*backend, result.ok, clock_->now_ms());
+    if (result.ok) return result.response;
     ++backend->failures;
-    if (config_.failover_cooldown_ms > 0) {
-      backend->down_until_ms.store(now + config_.failover_cooldown_ms,
-                                   std::memory_order_release);
-    }
     last_error = result.error;
+  }
+  if (!attempted && !backends_.empty()) {
+    return http::Response::json(
+        503,
+        "{\"status\":\"error\",\"error\":\"all backends circuit-open\"}");
   }
   return http::Response::json(
       502, "{\"status\":\"error\",\"error\":\"backends unreachable: " +
@@ -177,8 +257,39 @@ std::vector<BackendStats> LoadBalancer::backend_stats() const {
     stats.requests = backend->requests.load();
     stats.failures = backend->failures.load();
     stats.inflight = backend->inflight.load();
+    {
+      std::lock_guard lock(backend->mu);
+      stats.circuit = backend->state;
+      stats.circuit_opens = backend->opens_total;
+    }
     out.push_back(std::move(stats));
   }
+  return out;
+}
+
+std::string LoadBalancer::render_metrics() const {
+  std::string out;
+  auto append = [&](const std::string& name, const std::string& backend,
+                    uint64_t value) {
+    out += name;
+    if (!backend.empty()) out += "{backend=\"" + backend + "\"}";
+    out += " " + std::to_string(value) + "\n";
+  };
+  out += "# TYPE ceems_lb_backend_circuit_state gauge\n";
+  out += "# TYPE ceems_lb_backend_circuit_opens_total counter\n";
+  out += "# TYPE ceems_lb_backend_requests_total counter\n";
+  out += "# TYPE ceems_lb_backend_failures_total counter\n";
+  for (const auto& stats : backend_stats()) {
+    // 0 = closed, 1 = open, 2 = half-open.
+    append("ceems_lb_backend_circuit_state", stats.base_url,
+           static_cast<uint64_t>(stats.circuit));
+    append("ceems_lb_backend_circuit_opens_total", stats.base_url,
+           stats.circuit_opens);
+    append("ceems_lb_backend_requests_total", stats.base_url, stats.requests);
+    append("ceems_lb_backend_failures_total", stats.base_url, stats.failures);
+  }
+  out += "# TYPE ceems_lb_denied_total counter\n";
+  append("ceems_lb_denied_total", "", denied_.load());
   return out;
 }
 

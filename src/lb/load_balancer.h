@@ -8,14 +8,24 @@
 //      verify endpoint (both paths of §II-C),
 //   4. on success, forwards to a backend picked by the configured strategy
 //      (round-robin or least-connection) and relays the response.
+//
+// Backend health is tracked with a per-backend circuit breaker
+// (closed → open → half-open, DESIGN.md "Failure model"): transport
+// failures trip the circuit after `circuit_failure_threshold` consecutive
+// failures, an open circuit is skipped for `failover_cooldown_ms`, then a
+// single half-open probe decides between closing and re-opening. When every
+// circuit is open the LB answers 503 immediately — it never routes to a
+// backend it knows is down, and never hangs.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "apiserver/api_server.h"
+#include "faults/fault.h"
 #include "http/client.h"
 #include "http/server.h"
 #include "lb/query_introspect.h"
@@ -24,15 +34,25 @@ namespace ceems::lb {
 
 enum class Strategy { kRoundRobin, kLeastConnection };
 
+enum class CircuitState { kClosed, kOpen, kHalfOpen };
+const char* circuit_state_name(CircuitState state);
+
 struct LbConfig {
   http::ServerConfig http;
   Strategy strategy = Strategy::kRoundRobin;
   std::set<std::string> admin_users;
   // API-server verify endpoint, used when no direct DB handle is set.
   std::string api_server_url;
-  // A backend that fails at the transport level is skipped for this long
-  // before being probed again (circuit breaker). 0 disables the breaker.
+  // Circuit breaker: after `circuit_failure_threshold` consecutive
+  // transport failures a backend's circuit opens for
+  // `failover_cooldown_ms`, then one half-open probe is allowed. Setting
+  // either to 0 disables the breaker (every rotation probes every
+  // backend).
   int64_t failover_cooldown_ms = 2000;
+  int circuit_failure_threshold = 3;
+  // Chaos injection on the proxy path (site "lb.backend", key = backend
+  // base url); any fault is a transport failure. Empty in production.
+  faults::FaultHook fault_hook;
 };
 
 struct BackendStats {
@@ -40,6 +60,8 @@ struct BackendStats {
   uint64_t requests = 0;
   uint64_t failures = 0;
   int inflight = 0;
+  CircuitState circuit = CircuitState::kClosed;
+  uint64_t circuit_opens = 0;
 };
 
 class LoadBalancer {
@@ -62,6 +84,10 @@ class LoadBalancer {
   std::vector<BackendStats> backend_stats() const;
   uint64_t denied_total() const { return denied_.load(); }
 
+  // Prometheus exposition of the LB's own health: per-backend circuit
+  // state/opens/requests/failures plus denied_total. Served at /metrics.
+  std::string render_metrics() const;
+
   // Exposed for unit tests without sockets.
   http::Response handle_proxy(const http::Request& request);
 
@@ -71,9 +97,27 @@ class LoadBalancer {
     std::atomic<int> inflight{0};
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> failures{0};
-    // Circuit breaker: skipped by pick_backend() until this timestamp.
-    std::atomic<int64_t> down_until_ms{0};
+    // Circuit breaker state, guarded by mu.
+    mutable std::mutex mu;
+    CircuitState state = CircuitState::kClosed;
+    int consecutive_failures = 0;
+    common::TimestampMs open_until_ms = 0;
+    uint64_t opens_total = 0;
+    // At most one probe request flows through a half-open circuit.
+    bool probe_inflight = false;
   };
+
+  bool circuit_enabled() const {
+    return config_.failover_cooldown_ms > 0 &&
+           config_.circuit_failure_threshold > 0;
+  }
+  // True when the breaker would let a request through right now (const
+  // peek used by pick_backend; the actual admission is try_acquire).
+  bool selectable(const Backend& backend, common::TimestampMs now) const;
+  // Admits one request: closed passes, an expired open circuit moves to
+  // half-open and admits the probe, half-open admits only the first probe.
+  bool try_acquire(Backend& backend, common::TimestampMs now);
+  void on_result(Backend& backend, bool ok, common::TimestampMs now);
 
   bool check_ownership(const std::string& user,
                        const std::set<std::string>& uuids);

@@ -1,8 +1,22 @@
 #include "metrics/model.h"
 
 #include <cctype>
+#include <cstring>
 
 namespace ceems::metrics {
+
+double stale_marker() {
+  double value;
+  static_assert(sizeof(value) == sizeof(kStaleNaNBits));
+  std::memcpy(&value, &kStaleNaNBits, sizeof(value));
+  return value;
+}
+
+bool is_stale_marker(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits == kStaleNaNBits;
+}
 
 std::string_view metric_type_name(MetricType type) {
   switch (type) {

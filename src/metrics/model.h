@@ -51,4 +51,14 @@ struct MetricFamily {
 bool is_valid_metric_name(std::string_view name);
 bool is_valid_label_name(std::string_view name);
 
+// Prometheus staleness marker: a quiet NaN with a reserved payload,
+// appended to a series when its target fails to scrape or the series
+// disappears from the exposition. The PromQL evaluator treats a marker as
+// "series ended here" instead of serving the previous sample for the full
+// lookback window. The payload survives Gorilla XOR coding bit-exactly
+// (chunk.h), so markers round-trip through storage and snapshots.
+inline constexpr uint64_t kStaleNaNBits = 0x7FF0000000000002ULL;
+double stale_marker();
+bool is_stale_marker(double value);
+
 }  // namespace ceems::metrics

@@ -29,13 +29,17 @@ void PseudoFs::write_dynamic(const std::string& path,
 }
 
 std::optional<std::string> PseudoFs::read(const std::string& path) const {
+  std::string norm = normalize(path);
   std::function<std::string()> generator;
+  faults::FaultHook hook;
   {
     std::shared_lock lock(mu_);
-    auto it = files_.find(normalize(path));
+    auto it = files_.find(norm);
     if (it == files_.end()) return std::nullopt;
     generator = it->second;
+    hook = fault_hook_;
   }
+  if (hook && hook("simfs.read", norm)) return std::nullopt;
   // Run the generator outside the lock: dynamic files may consult the node
   // simulator, which can itself be writing other files.
   return generator();
@@ -93,6 +97,11 @@ void PseudoFs::remove(const std::string& path) {
 std::size_t PseudoFs::file_count() const {
   std::shared_lock lock(mu_);
   return files_.size();
+}
+
+void PseudoFs::set_fault_hook(faults::FaultHook hook) {
+  std::unique_lock lock(mu_);
+  fault_hook_ = std::move(hook);
 }
 
 std::map<std::string, int64_t> parse_flat_keyed(const std::string& content) {

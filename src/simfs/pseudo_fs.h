@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault.h"
+
 namespace ceems::simfs {
 
 // Read-side filesystem abstraction. Collectors only ever read, so they
@@ -57,6 +59,12 @@ class PseudoFs final : public Fs {
 
   std::size_t file_count() const;
 
+  // Chaos injection on reads (site "simfs.read", key = normalized path):
+  // any fault decision makes read() return nullopt, the same signal a
+  // vanished kernel pseudo-file produces, so collectors exercise their
+  // missing-file paths. Install before handing the fs to collectors.
+  void set_fault_hook(faults::FaultHook hook);
+
  private:
   static std::string normalize(const std::string& path);
 
@@ -64,6 +72,7 @@ class PseudoFs final : public Fs {
   // Sorted map of normalized absolute path -> content generator. A path is
   // a directory iff some other path has it as a proper prefix component.
   std::map<std::string, std::function<std::string()>> files_;
+  faults::FaultHook fault_hook_;
 };
 
 using PseudoFsPtr = std::shared_ptr<PseudoFs>;

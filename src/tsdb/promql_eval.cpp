@@ -32,8 +32,13 @@ InstantVector eval_vector_selector(const Queryable& source, const Expr& expr,
   out.reserve(views.size());
   for (const auto& view : views) {
     // last() decodes at most one chunk; an instant selector never pays for
-    // materialising the whole lookback window.
-    if (auto last = view.last()) out.push_back({view.labels, last->v});
+    // materialising the whole lookback window. A staleness marker as the
+    // newest sample means the series ended: it drops out of the vector
+    // now, not when the lookback window drains.
+    if (auto last = view.last()) {
+      if (metrics::is_stale_marker(last->v)) continue;
+      out.push_back({view.labels, last->v});
+    }
   }
   return out;
 }
@@ -42,11 +47,22 @@ std::vector<Series> eval_matrix_selector(const Queryable& source,
                                          const Expr& expr, TimestampMs t) {
   TimestampMs at = t - expr.offset_ms;
   // Range selectors are left-open: (t-range, t]. Range functions walk the
-  // full window, so views materialise here — the API boundary.
+  // full window, so views materialise here — the API boundary. Staleness
+  // markers are boundaries, not observations: they are filtered out so
+  // rate()/avg_over_time() never fold a marker NaN into a window.
   auto views = source.select(full_matchers(expr), at - expr.range_ms + 1, at);
   std::vector<Series> out;
   out.reserve(views.size());
-  for (const auto& view : views) out.push_back(view.materialize());
+  for (const auto& view : views) {
+    Series series = view.materialize();
+    series.samples.erase(
+        std::remove_if(series.samples.begin(), series.samples.end(),
+                       [](const SamplePoint& sample) {
+                         return metrics::is_stale_marker(sample.v);
+                       }),
+        series.samples.end());
+    if (!series.samples.empty()) out.push_back(std::move(series));
+  }
   return out;
 }
 

@@ -8,8 +8,12 @@
 //     raw counter deltas, which the energy-accounting tests rely on;
 //   * regex matchers use std::regex ECMAScript syntax (anchored like
 //     PromQL);
-//   * staleness markers are not implemented; the lookback window (default
-//     5 min) alone decides sample visibility.
+//   * staleness markers (metrics::stale_marker(), written by the scrape
+//     manager on failed scrapes and disappearing series) end a series
+//     immediately: an instant selector whose newest in-window sample is a
+//     marker drops the series, and range windows filter markers out
+//     before rate()/*_over_time() fold them. Without a marker, the
+//     lookback window (default 5 min) alone decides sample visibility.
 #pragma once
 
 #include <map>

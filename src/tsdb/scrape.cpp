@@ -19,6 +19,12 @@ void ScrapeManager::add_target(ScrapeTarget target) {
   client_config.io_timeout_ms = config_.timeout_ms;
   client_config.connect_timeout_ms = config_.timeout_ms;
   client_config.basic_auth = target.auth;
+  // HTTP transport retries live in the client (no clock: deterministic
+  // sweeps retry without sleeping); local-transport retries are handled in
+  // scrape_target.
+  client_config.retry.max_retries = config_.retries;
+  client_config.retry.initial_backoff_ms = 0;
+  client_config.fault_hook = config_.fault_hook;
   state->target = std::move(target);
   state->client = std::make_unique<http::Client>(client_config);
   auto& table = metrics::SymbolTable::global();
@@ -28,6 +34,10 @@ void ScrapeManager::add_target(ScrapeTarget target) {
   state->up_labels = state->target.labels.with_name("up");
   state->duration_labels =
       state->target.labels.with_name("scrape_duration_seconds");
+  state->retries_labels =
+      state->target.labels.with_name("ceems_http_retries_total");
+  auto instance = state->target.labels.get("instance");
+  state->fault_key = instance ? std::string(*instance) : state->target.url;
   std::lock_guard lock(targets_mu_);
   targets_.push_back(std::move(state));
 }
@@ -37,29 +47,88 @@ std::size_t ScrapeManager::target_count() const {
   return targets_.size();
 }
 
-int64_t ScrapeManager::scrape_target(TargetState& state,
-                                     common::TimestampMs now) {
+ScrapeManager::TargetSweep ScrapeManager::scrape_target(
+    TargetState& state, common::TimestampMs now) {
+  TargetSweep sweep;
   auto started = std::chrono::steady_clock::now();
+
   http::FetchResult result;
   if (state.target.local_fetch) {
-    result.response.body = state.target.local_fetch();
-    result.response.status = 200;
-    result.ok = !result.response.body.empty();
-    if (!result.ok) result.error = "local fetch returned no data";
+    // The exposition body is produced exactly once per sweep, so exporter
+    // state advances identically whether or not faults/retries occur —
+    // the chaos suite's differential guard depends on this. Faults and
+    // retries then replay against the cached body.
+    std::string body = state.target.local_fetch();
+    int attempts = 1 + std::max(0, config_.retries);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      if (attempt > 0) {
+        ++sweep.retries;
+        ++state.local_retries;
+      }
+      result = {};
+      faults::FaultDecision fault;
+      if (config_.fault_hook) {
+        fault = config_.fault_hook("scrape.target", state.fault_key);
+      }
+      if (fault.kind == faults::FaultKind::kTruncateBody) {
+        // A truncated exposition could parse cleanly up to the cut; the
+        // transport layer (Content-Length check in http::Client) rejects
+        // it rather than silently ingesting a partial sample set.
+        result.error = "truncated body (injected)";
+      } else if (fault.kind == faults::FaultKind::kSlowResponse &&
+                 fault.delay_ms < config_.timeout_ms) {
+        result.response.body = body;  // late but within the timeout
+        result.response.status = 200;
+        result.ok = !body.empty();
+        if (!result.ok) result.error = "local fetch returned no data";
+      } else if (fault) {
+        result.error = std::string("injected fault: ") +
+                       faults::fault_kind_name(fault.kind);
+      } else {
+        result.response.body = body;
+        result.response.status = 200;
+        result.ok = !result.response.body.empty();
+        if (!result.ok) result.error = "local fetch returned no data";
+      }
+      if (result.ok) break;
+    }
   } else {
+    uint64_t retries_before = state.client->stats().retries;
     result = state.client->get(state.target.url);
+    sweep.retries += state.client->stats().retries - retries_before;
   }
   double duration_sec =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
 
-  if (!result.ok || result.response.status != 200) {
-    store_->append(state.up_labels, now, 0);
+  // Every outcome — success, failure, retry — lands in the store as data:
+  // up, scrape_duration_seconds and the transport retry counter.
+  auto append_synthetics = [&](double up) {
+    store_->append(state.up_labels, now, up);
     store_->append(state.duration_labels, now, duration_sec);
-    return -1;
+    store_->append(state.retries_labels, now,
+                   static_cast<double>(state.local_retries +
+                                       state.client->stats().retries));
+  };
+
+  auto mark_failed = [&] {
+    append_synthetics(0);
+    ++state.consecutive_failures;
+    if (config_.emit_stale_markers && !state.live_series.empty()) {
+      for (const auto& [fp, labels] : state.live_series) {
+        store_->append(labels, now, metrics::stale_marker());
+      }
+      sweep.stale_markers += state.live_series.size();
+      state.live_series.clear();
+    }
+    sweep.ingested = -1;
+  };
+
+  if (!result.ok || result.response.status != 200) {
+    mark_failed();
+    return sweep;
   }
 
-  int64_t count = 0;
   try {
     auto parsed = metrics::parse_exposition(result.response.body);
     // Batch the whole scrape through append_all: samples are grouped by
@@ -69,6 +138,8 @@ int64_t ScrapeManager::scrape_target(TargetState& state,
     // pure symbol-id work — no label strings are copied per sample.
     std::vector<metrics::Sample> batch;
     batch.reserve(parsed.samples.size());
+    std::unordered_map<uint64_t, metrics::InternedLabels> seen;
+    seen.reserve(parsed.samples.size());
     for (auto& sample : parsed.samples) {
       metrics::InternedLabels labels = std::move(sample.labels);
       for (const auto& [name_sym, value_sym] : state.target_syms) {
@@ -78,18 +149,30 @@ int64_t ScrapeManager::scrape_target(TargetState& state,
           config_.honor_timestamps && sample.timestamp_ms != 0
               ? sample.timestamp_ms
               : now;
+      seen.emplace(labels.fingerprint(), labels);
       batch.push_back({std::move(labels), t, sample.value});
     }
-    count = static_cast<int64_t>(store_->append_all(batch));
+    sweep.ingested = static_cast<int64_t>(store_->append_all(batch));
+    // Series exposed last scrape but gone now ended between sweeps: mark
+    // them stale so they vanish from queries at this sweep, not after the
+    // lookback window drains (Prometheus' disappearing-series semantics).
+    if (config_.emit_stale_markers) {
+      for (const auto& [fp, labels] : state.live_series) {
+        if (seen.find(fp) == seen.end()) {
+          store_->append(labels, now, metrics::stale_marker());
+          ++sweep.stale_markers;
+        }
+      }
+    }
+    state.live_series = std::move(seen);
+    state.consecutive_failures = 0;
   } catch (const metrics::ExpositionParseError& e) {
     CEEMS_LOG_WARN("scrape") << state.target.url << ": " << e.what();
-    store_->append(state.up_labels, now, 0);
-    store_->append(state.duration_labels, now, duration_sec);
-    return -1;
+    mark_failed();
+    return sweep;
   }
-  store_->append(state.up_labels, now, 1);
-  store_->append(state.duration_labels, now, duration_sec);
-  return count;
+  append_synthetics(1);
+  return sweep;
 }
 
 ScrapeStats ScrapeManager::scrape_all_once() {
@@ -109,13 +192,15 @@ ScrapeStats ScrapeManager::scrape_all_once() {
       "scrape");
   for (TargetState* state : snapshot) {
     pool.submit([&, state] {
-      int64_t ingested = scrape_target(*state, now);
+      TargetSweep result = scrape_target(*state, now);
       std::lock_guard lock(sweep_mu);
       ++sweep.scrapes_total;
-      if (ingested < 0) {
+      sweep.retries += result.retries;
+      sweep.stale_markers += result.stale_markers;
+      if (result.ingested < 0) {
         ++sweep.scrapes_failed;
       } else {
-        sweep.samples_ingested += static_cast<uint64_t>(ingested);
+        sweep.samples_ingested += static_cast<uint64_t>(result.ingested);
       }
     });
   }
@@ -125,6 +210,8 @@ ScrapeStats ScrapeManager::scrape_all_once() {
   scrapes_total_ += sweep.scrapes_total;
   scrapes_failed_ += sweep.scrapes_failed;
   samples_ingested_ += sweep.samples_ingested;
+  retries_ += sweep.retries;
+  stale_markers_ += sweep.stale_markers;
   return sweep;
 }
 
@@ -151,6 +238,8 @@ ScrapeStats ScrapeManager::stats() const {
   out.scrapes_total = scrapes_total_.load();
   out.scrapes_failed = scrapes_failed_.load();
   out.samples_ingested = samples_ingested_.load();
+  out.retries = retries_.load();
+  out.stale_markers = stale_markers_.load();
   return out;
 }
 

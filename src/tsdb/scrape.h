@@ -1,8 +1,18 @@
 // Scrape manager: periodically GETs /metrics from every target (the CEEMS
 // exporters on compute nodes), parses the exposition text and ingests the
-// samples — Prometheus' pull model. Each target gets the synthetic `up`
-// and `scrape_duration_seconds` series, so dead exporters are visible as
-// data rather than as silence.
+// samples — Prometheus' pull model. Each target gets the synthetic `up`,
+// `scrape_duration_seconds` and `ceems_http_retries_total` series, so dead
+// exporters and flaky transports are visible as data rather than as
+// silence.
+//
+// Failure handling: a failed fetch is retried up to config.retries times
+// within the sweep (HTTP targets additionally get the client's exponential
+// backoff); when every attempt fails, `up` goes to 0 and a staleness
+// marker (metrics::stale_marker()) is appended to every series the target
+// exposed on its last good scrape, so queries stop seeing its stale
+// samples immediately instead of for the full lookback window. Series
+// that disappear from a healthy target's exposition between scrapes get
+// the same marker — Prometheus' staleness semantics.
 //
 // Two driving modes:
 //   * scrape_all_once(): synchronous parallel sweep — used by deterministic
@@ -16,10 +26,12 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/threadpool.h"
+#include "faults/fault.h"
 #include "http/client.h"
 #include "tsdb/storage.h"
 
@@ -43,12 +55,25 @@ struct ScrapeConfig {
   int timeout_ms = 5000;
   // Honor timestamps in the exposition text; otherwise stamp at scrape time.
   bool honor_timestamps = false;
+  // Extra fetch attempts per target per sweep after a failure. HTTP
+  // targets retry inside http::Client (exponential backoff under a retry
+  // budget); local-transport targets re-evaluate the fault path against
+  // the already-fetched body, so exporter-side state advances exactly once
+  // per sweep regardless of retries.
+  int retries = 1;
+  // Append staleness markers for vanished/failed series (see file header).
+  bool emit_stale_markers = true;
+  // Chaos injection on the fetch path (site "scrape.target", key =
+  // instance label or url). Empty in production.
+  faults::FaultHook fault_hook;
 };
 
 struct ScrapeStats {
   uint64_t scrapes_total = 0;
   uint64_t scrapes_failed = 0;
   uint64_t samples_ingested = 0;
+  uint64_t retries = 0;
+  uint64_t stale_markers = 0;
 };
 
 class ScrapeManager {
@@ -73,17 +98,34 @@ class ScrapeManager {
   struct TargetState {
     ScrapeTarget target;
     std::unique_ptr<http::Client> client;
+    // Fault-stream key: the instance label when present, else the url.
+    std::string fault_key;
     // Interned once at registration: the per-sweep hot loop merges target
     // labels into each sample by symbol id, and the synthetic up /
-    // scrape_duration_seconds label sets are reused with their
-    // fingerprints precomputed.
+    // scrape_duration_seconds / ceems_http_retries_total label sets are
+    // reused with their fingerprints precomputed.
     std::vector<metrics::InternedLabels::SymbolPair> target_syms;
     metrics::InternedLabels up_labels;
     metrics::InternedLabels duration_labels;
+    metrics::InternedLabels retries_labels;
+    // Series the target exposed on its last successful scrape, keyed by
+    // fingerprint — the diff basis for staleness markers. Touched only by
+    // the (single) sweep thread scraping this target.
+    std::unordered_map<uint64_t, metrics::InternedLabels> live_series;
+    // Scrape-level retry attempts (local transport); HTTP transport
+    // retries are counted inside http::Client and added on export.
+    uint64_t local_retries = 0;
+    uint64_t consecutive_failures = 0;
   };
 
-  // Scrapes one target; returns samples ingested or -1 on failure.
-  int64_t scrape_target(TargetState& state, common::TimestampMs now);
+  struct TargetSweep {
+    int64_t ingested = -1;  // samples ingested, or -1 on failure
+    uint64_t retries = 0;
+    uint64_t stale_markers = 0;
+  };
+
+  // Scrapes one target, applying retries and staleness markers.
+  TargetSweep scrape_target(TargetState& state, common::TimestampMs now);
 
   StorePtr store_;
   common::ClockPtr clock_;
@@ -95,6 +137,8 @@ class ScrapeManager {
   std::atomic<uint64_t> scrapes_total_{0};
   std::atomic<uint64_t> scrapes_failed_{0};
   std::atomic<uint64_t> samples_ingested_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> stale_markers_{0};
 
   std::atomic<bool> running_{false};
   std::thread loop_thread_;

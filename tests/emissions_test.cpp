@@ -144,5 +144,79 @@ TEST(Chain, RealtimeFirstStaticFallback) {
   EXPECT_FALSE(chain.factor("XX", 0).has_value());
 }
 
+TEST(Chain, RateLimited429FallsThroughToNextProvider) {
+  auto clock = common::make_sim_clock(0);
+  // Rate-limited EMaps first, OWID fallback: once the quota is burnt the
+  // chain must keep answering from the next provider, not go dark.
+  auto emaps = std::make_shared<ElectricityMapsProvider>(
+      clock, EMapsConfig{.max_requests_per_hour = 2});
+  ProviderChain chain({emaps, std::make_shared<OwidProvider>()});
+
+  for (int i = 0; i < 6; ++i) {
+    auto factor = chain.factor("DE", clock->now_ms());
+    ASSERT_TRUE(factor.has_value()) << i;
+    EXPECT_EQ(factor->provider, i < 2 ? "emaps" : "owid") << i;
+    clock->advance(30000);
+  }
+  EXPECT_EQ(emaps->requests_rejected(), 4u);
+}
+
+TEST(Chain, FaultInjectionTriggersFallback) {
+  faults::FaultHook hook = [](std::string_view site, std::string_view key) {
+    EXPECT_EQ(site, "emissions.provider");
+    faults::FaultDecision fault;
+    if (key == "rte/FR") fault.kind = faults::FaultKind::kHttpStatus;
+    return fault;
+  };
+  auto rte = std::make_shared<FaultInjectedProvider>(
+      std::make_shared<RteProvider>(), hook);
+  ProviderChain chain({rte, std::make_shared<OwidProvider>()});
+  auto fr = chain.factor("FR", 0);
+  ASSERT_TRUE(fr.has_value());
+  EXPECT_EQ(fr->provider, "owid");  // rte was faulted away
+  EXPECT_EQ(rte->faults_injected(), 1u);
+}
+
+TEST(Chain, LastKnownGoodServedUntilTtlExpires) {
+  auto clock = common::make_sim_clock(0);
+  bool down = false;
+  faults::FaultHook hook = [&](std::string_view, std::string_view) {
+    faults::FaultDecision fault;
+    if (down) fault.kind = faults::FaultKind::kUnavailable;
+    return fault;
+  };
+  ProviderChain chain(
+      {std::make_shared<FaultInjectedProvider>(
+          std::make_shared<OwidProvider>(), hook)},
+      /*lkg_ttl_ms=*/10 * kMillisPerMinute);
+
+  auto live = chain.factor("FR", clock->now_ms());
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(chain.lkg_served(), 0u);
+
+  // Total outage: the cached factor carries the chain inside the TTL...
+  down = true;
+  clock->advance(5 * kMillisPerMinute);
+  auto cached = chain.factor("FR", clock->now_ms());
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_DOUBLE_EQ(cached->gco2_per_kwh, live->gco2_per_kwh);
+  EXPECT_EQ(chain.lkg_served(), 1u);
+
+  // ...and at exactly the TTL boundary it still serves...
+  clock->advance(5 * kMillisPerMinute);
+  EXPECT_TRUE(chain.factor("FR", clock->now_ms()).has_value());
+
+  // ...but past it the chain goes dark rather than serve stale data.
+  clock->advance(1);
+  EXPECT_FALSE(chain.factor("FR", clock->now_ms()).has_value());
+  EXPECT_EQ(chain.lkg_served(), 2u);
+
+  // Recovery repopulates the cache.
+  down = false;
+  EXPECT_TRUE(chain.factor("FR", clock->now_ms()).has_value());
+  down = true;
+  EXPECT_TRUE(chain.factor("FR", clock->now_ms()).has_value());
+}
+
 }  // namespace
 }  // namespace ceems::emissions

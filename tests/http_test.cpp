@@ -289,5 +289,166 @@ TEST(HttpServer, EphemeralPortAssigned) {
   server.stop();
 }
 
+// ---------- body framing: empty vs truncated ----------
+
+// One-connection raw responder: accepts a single client, reads the request
+// and writes `wire` verbatim, then closes — for responses a well-behaved
+// Server cannot produce (truncated bodies, missing framing headers).
+class RawResponder {
+ public:
+  explicit RawResponder(std::string wire) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this, wire = std::move(wire)] {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        char buffer[4096];
+        ::recv(fd, buffer, sizeof(buffer), 0);
+        ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+        ::close(fd);
+      }
+    });
+  }
+  ~RawResponder() {
+    thread_.join();
+    ::close(listen_fd_);
+  }
+  std::string url(const std::string& path) const {
+    return "http://127.0.0.1:" + std::to_string(port_) + path;
+  }
+
+ private:
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST(HttpClient, ContentLengthZeroIsEmptyBodyNotError) {
+  RawResponder responder(
+      "HTTP/1.1 200 OK\r\nContent-Length: 0\r\nConnection: close\r\n\r\n");
+  ClientConfig config;
+  config.io_timeout_ms = 1000;
+  Client client(config);
+  auto result = client.get(responder.url("/empty"));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_TRUE(result.response.body.empty());
+}
+
+TEST(HttpClient, ShortBodyIsTruncationError) {
+  // Promises 100 bytes, delivers 7, closes: must surface as a transport
+  // error, not an ok response with a short body.
+  RawResponder responder(
+      "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\npartial");
+  ClientConfig config;
+  config.io_timeout_ms = 1000;
+  Client client(config);
+  auto result = client.get(responder.url("/truncated"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("truncated body"), std::string::npos)
+      << result.error;
+}
+
+TEST(HttpClient, NoContentLengthWithCloseReadsToEof) {
+  RawResponder responder(
+      "HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nuntil-eof");
+  ClientConfig config;
+  config.io_timeout_ms = 1000;
+  Client client(config);
+  auto result = client.get(responder.url("/eof"));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.response.body, "until-eof");
+}
+
+// ---------- retries + fault injection ----------
+
+TEST(HttpClient, RetriesRecoverFlakyServer) {
+  Server server{ServerConfig{}};
+  std::atomic<int> hits{0};
+  server.handle("/flaky", [&](const Request&) {
+    return ++hits <= 2 ? Response::text(503, "not yet")
+                       : Response::text(200, "recovered");
+  });
+  server.start();
+  ClientConfig config;
+  config.retry.max_retries = 3;
+  config.retry.initial_backoff_ms = 0;  // no clock: immediate retries
+  Client client(config);
+  auto result = client.get(server.base_url() + "/flaky");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.response.status, 200);
+  EXPECT_EQ(result.response.body, "recovered");
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(client.stats().retries, 2u);
+  server.stop();
+}
+
+TEST(HttpClient, NonRetryableStatusReturnsImmediately) {
+  Server server{ServerConfig{}};
+  std::atomic<int> hits{0};
+  server.handle("/gone", [&](const Request&) {
+    ++hits;
+    return Response::text(404, "nope");
+  });
+  server.start();
+  ClientConfig config;
+  config.retry.max_retries = 3;
+  config.retry.initial_backoff_ms = 0;
+  Client client(config);
+  auto result = client.get(server.base_url() + "/gone");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.response.status, 404);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(hits.load(), 1);
+  server.stop();
+}
+
+TEST(HttpClient, FaultHookInjectsAndRetriesConsume) {
+  int decisions = 0;
+  ClientConfig config;
+  config.retry.max_retries = 2;
+  config.retry.initial_backoff_ms = 0;
+  config.fault_hook = [&](std::string_view site, std::string_view) {
+    EXPECT_EQ(site, "http.client");
+    faults::FaultDecision fault;
+    if (decisions++ < 2) fault.kind = faults::FaultKind::kConnectTimeout;
+    return fault;
+  };
+  Server server{ServerConfig{}};
+  server.handle("/x", [](const Request&) { return Response::text(200, "y"); });
+  server.start();
+  Client client(config);
+  auto result = client.get(server.base_url() + "/x");
+  ASSERT_TRUE(result.ok) << result.error;  // third attempt passes the hook
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(client.stats().faults_injected, 2u);
+  server.stop();
+}
+
+TEST(HttpClient, InjectedStatusFaultSynthesizesResponse) {
+  ClientConfig config;
+  config.fault_hook = [](std::string_view, std::string_view) {
+    faults::FaultDecision fault;
+    fault.kind = faults::FaultKind::kHttpStatus;
+    fault.http_status = 429;
+    return fault;
+  };
+  config.retry.retry_on_status = false;
+  Client client(config);
+  // No server needed: the fault short-circuits before the socket.
+  auto result = client.get("http://127.0.0.1:1/x");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.response.status, 429);
+}
+
 }  // namespace
 }  // namespace ceems::http

@@ -249,6 +249,138 @@ TEST(LbStandalone, DeadBackendIs502) {
   lb.stop();
 }
 
+// ---------- circuit breaker (handle_proxy, no sockets) ----------
+
+http::Request admin_query() {
+  http::Request request;
+  request.method = "GET";
+  request.target = "/api/v1/query?query=vector(1)";
+  request.headers["X-Grafana-User"] = "admin";
+  return request;
+}
+
+TEST(LbCircuit, OpensAfterThresholdRecoversAtCooldownBoundary) {
+  auto clock = common::make_sim_clock(0);
+  http::Server healthy{http::ServerConfig{}};
+  healthy.handle_prefix("/api/", [](const http::Request&) {
+    return http::Response::json(200, "{\"who\":\"healthy\"}");
+  });
+  healthy.start();
+
+  bool down = true;
+  LbConfig config;
+  config.admin_users = {"admin"};
+  config.circuit_failure_threshold = 3;
+  config.failover_cooldown_ms = 2000;
+  config.fault_hook = [&](std::string_view, std::string_view) {
+    faults::FaultDecision fault;
+    if (down) fault.kind = faults::FaultKind::kConnectTimeout;
+    return fault;
+  };
+  LoadBalancer lb(config, {healthy.base_url()}, clock);
+
+  // Three consecutive transport failures trip the circuit.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(lb.handle_proxy(admin_query()).status, 502);
+  }
+  auto stats = lb.backend_stats();
+  EXPECT_EQ(stats[0].circuit, CircuitState::kOpen);
+  EXPECT_EQ(stats[0].circuit_opens, 1u);
+
+  // While open, requests are rejected with 503 without touching the
+  // backend — including at cooldown_ms - 1.
+  uint64_t requests_before = stats[0].requests;
+  EXPECT_EQ(lb.handle_proxy(admin_query()).status, 503);
+  clock->advance(1999);
+  EXPECT_EQ(lb.handle_proxy(admin_query()).status, 503);
+  EXPECT_EQ(lb.backend_stats()[0].requests, requests_before);
+
+  // At exactly the boundary the half-open probe goes through; the backend
+  // recovered, so the circuit closes again.
+  clock->advance(1);
+  down = false;
+  EXPECT_EQ(lb.handle_proxy(admin_query()).status, 200);
+  EXPECT_EQ(lb.backend_stats()[0].circuit, CircuitState::kClosed);
+
+  healthy.stop();
+}
+
+TEST(LbCircuit, FailedHalfOpenProbeReopens) {
+  auto clock = common::make_sim_clock(0);
+  LbConfig config;
+  config.admin_users = {"admin"};
+  config.circuit_failure_threshold = 1;
+  config.failover_cooldown_ms = 1000;
+  config.fault_hook = [](std::string_view, std::string_view) {
+    faults::FaultDecision fault;
+    fault.kind = faults::FaultKind::kIoTimeout;
+    return fault;
+  };
+  LoadBalancer lb(config, {"http://127.0.0.1:1"}, clock);
+
+  EXPECT_EQ(lb.handle_proxy(admin_query()).status, 502);  // trips
+  EXPECT_EQ(lb.handle_proxy(admin_query()).status, 503);  // open
+  clock->advance(1000);
+  EXPECT_EQ(lb.handle_proxy(admin_query()).status, 502);  // failed probe
+  auto stats = lb.backend_stats();
+  EXPECT_EQ(stats[0].circuit, CircuitState::kOpen);
+  EXPECT_EQ(stats[0].circuit_opens, 2u);
+  EXPECT_EQ(lb.handle_proxy(admin_query()).status, 503);  // open again
+}
+
+TEST(LbCircuit, AllBackendsDownIs503NotHang) {
+  auto clock = common::make_sim_clock(0);
+  LbConfig config;
+  config.admin_users = {"admin"};
+  config.circuit_failure_threshold = 1;
+  config.failover_cooldown_ms = 60000;
+  config.fault_hook = [](std::string_view, std::string_view) {
+    faults::FaultDecision fault;
+    fault.kind = faults::FaultKind::kConnectTimeout;
+    return fault;
+  };
+  LoadBalancer lb(config, {"http://127.0.0.1:1", "http://127.0.0.1:2"},
+                  clock);
+
+  // First request probes (and trips) both circuits: 502 = probed and
+  // failed.
+  EXPECT_EQ(lb.handle_proxy(admin_query()).status, 502);
+  auto stats = lb.backend_stats();
+  uint64_t total_requests = stats[0].requests + stats[1].requests;
+  EXPECT_EQ(total_requests, 2u);
+  // With every circuit open, requests answer 503 immediately and no
+  // backend is contacted.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(lb.handle_proxy(admin_query()).status, 503);
+  }
+  stats = lb.backend_stats();
+  EXPECT_EQ(stats[0].requests + stats[1].requests, total_requests);
+  EXPECT_EQ(stats[0].circuit, CircuitState::kOpen);
+  EXPECT_EQ(stats[1].circuit, CircuitState::kOpen);
+}
+
+TEST(LbCircuit, MetricsExportCircuitState) {
+  auto clock = common::make_sim_clock(0);
+  LbConfig config;
+  config.admin_users = {"admin"};
+  config.circuit_failure_threshold = 1;
+  config.fault_hook = [](std::string_view, std::string_view) {
+    faults::FaultDecision fault;
+    fault.kind = faults::FaultKind::kConnectTimeout;
+    return fault;
+  };
+  LoadBalancer lb(config, {"http://127.0.0.1:1"}, clock);
+  lb.handle_proxy(admin_query());
+  std::string metrics = lb.render_metrics();
+  EXPECT_NE(metrics.find("ceems_lb_backend_circuit_state{backend=\"http://"
+                         "127.0.0.1:1\"} 1"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("ceems_lb_backend_circuit_opens_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("ceems_lb_denied_total"), std::string::npos);
+}
+
 TEST(LbStandalone, LeastConnectionPrefersIdleBackend) {
   auto clock = common::make_sim_clock(0);
   // Backend A is slow; backend B fast. Under concurrency, least-connection

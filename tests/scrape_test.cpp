@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "core/node_exporter_factory.h"
+#include "metrics/model.h"
 #include "exporter/exporter.h"
 #include "http/server.h"
 #include "node/node_sim.h"
@@ -99,7 +102,8 @@ TEST_F(ScrapeTest, LocalTransportMatchesHttpPath) {
   auto series = store_->select({{"hostname", metrics::LabelMatcher::Op::kEq,
                                  "local1"}},
                                0, clock_->now_ms());
-  EXPECT_EQ(series.size(), 3u);  // g + up + scrape_duration_seconds
+  // g + up + scrape_duration_seconds + ceems_http_retries_total
+  EXPECT_EQ(series.size(), 4u);
 }
 
 TEST_F(ScrapeTest, LocalTransportEmptyIsFailure) {
@@ -125,7 +129,8 @@ TEST_F(ScrapeTest, ManyTargetsScrapedInParallel) {
   ScrapeStats stats = manager.scrape_all_once();
   EXPECT_EQ(stats.scrapes_total, 50u);
   EXPECT_EQ(stats.samples_ingested, 50u);
-  EXPECT_EQ(store_->stats().num_series, 150u);
+  // Per target: m + up + scrape_duration_seconds + ceems_http_retries_total.
+  EXPECT_EQ(store_->stats().num_series, 200u);
 }
 
 TEST_F(ScrapeTest, BasicAuthAgainstExporter) {
@@ -157,6 +162,115 @@ TEST_F(ScrapeTest, BasicAuthAgainstExporter) {
     EXPECT_GT(stats.samples_ingested, 10u);
   }
   exp->stop();
+}
+
+TEST_F(ScrapeTest, RetryRecoversFlakyTargetAndCountsRetries) {
+  ScrapeConfig config;
+  config.retries = 1;
+  // Fail the first fetch attempt of every sweep; the in-sweep retry lands.
+  int attempt = 0;
+  config.fault_hook = [&](std::string_view, std::string_view) {
+    faults::FaultDecision fault;
+    if (attempt++ % 2 == 0) fault.kind = faults::FaultKind::kIoTimeout;
+    return fault;
+  };
+  ScrapeManager manager(store_, clock_, config);
+  ScrapeTarget target;
+  target.local_fetch = [] { return std::string("g 7\n"); };
+  target.labels = metrics::Labels{{"instance", "flaky"}};
+  manager.add_target(std::move(target));
+
+  ScrapeStats stats = manager.scrape_all_once();
+  EXPECT_EQ(stats.scrapes_failed, 0u);
+  EXPECT_EQ(stats.retries, 1u);
+
+  auto up = store_->select(
+      {{"__name__", metrics::LabelMatcher::Op::kEq, "up"}}, 0,
+      clock_->now_ms());
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_DOUBLE_EQ(up[0].samples()[0].v, 1);
+  auto retries = store_->select(
+      {{"__name__", metrics::LabelMatcher::Op::kEq,
+        "ceems_http_retries_total"}},
+      0, clock_->now_ms());
+  ASSERT_EQ(retries.size(), 1u);
+  EXPECT_DOUBLE_EQ(retries[0].samples()[0].v, 1);
+}
+
+TEST_F(ScrapeTest, FailedScrapeEmitsUpZeroAndStaleMarkers) {
+  ScrapeConfig config;
+  config.retries = 0;
+  bool down = false;
+  config.fault_hook = [&](std::string_view, std::string_view) {
+    faults::FaultDecision fault;
+    if (down) fault.kind = faults::FaultKind::kConnectTimeout;
+    return fault;
+  };
+  ScrapeManager manager(store_, clock_, config);
+  ScrapeTarget target;
+  target.local_fetch = [] { return std::string("g 7\nh 8\n"); };
+  target.labels = metrics::Labels{{"instance", "i1"}};
+  manager.add_target(std::move(target));
+
+  manager.scrape_all_once();
+  clock_->advance(30000);
+  down = true;
+  ScrapeStats stats = manager.scrape_all_once();
+  EXPECT_EQ(stats.scrapes_failed, 1u);
+  EXPECT_EQ(stats.stale_markers, 2u);  // g and h
+
+  auto up = store_->select(
+      {{"__name__", metrics::LabelMatcher::Op::kEq, "up"}}, 0,
+      clock_->now_ms());
+  ASSERT_EQ(up.size(), 1u);
+  ASSERT_EQ(up[0].samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(up[0].samples()[1].v, 0);
+
+  for (const char* name : {"g", "h"}) {
+    auto series = store_->select(
+        {{"__name__", metrics::LabelMatcher::Op::kEq, name}}, 0,
+        clock_->now_ms());
+    ASSERT_EQ(series.size(), 1u) << name;
+    ASSERT_EQ(series[0].samples().size(), 2u) << name;
+    EXPECT_TRUE(metrics::is_stale_marker(series[0].samples()[1].v)) << name;
+  }
+
+  // A third failed sweep appends nothing further: the series are already
+  // marked and live_series is empty.
+  clock_->advance(30000);
+  EXPECT_EQ(manager.scrape_all_once().stale_markers, 0u);
+}
+
+TEST_F(ScrapeTest, DisappearingSeriesGetsStaleMarker) {
+  ScrapeManager manager(store_, clock_);
+  int sweep = 0;
+  ScrapeTarget target;
+  target.local_fetch = [&] {
+    return sweep == 0 ? std::string("g 1\nh 2\n") : std::string("g 1\n");
+  };
+  target.labels = metrics::Labels{{"instance", "i1"}};
+  manager.add_target(std::move(target));
+
+  manager.scrape_all_once();
+  sweep = 1;
+  clock_->advance(30000);
+  ScrapeStats stats = manager.scrape_all_once();
+  EXPECT_EQ(stats.scrapes_failed, 0u);
+  EXPECT_EQ(stats.stale_markers, 1u);
+
+  auto h = store_->select(
+      {{"__name__", metrics::LabelMatcher::Op::kEq, "h"}}, 0,
+      clock_->now_ms());
+  ASSERT_EQ(h.size(), 1u);
+  ASSERT_EQ(h[0].samples().size(), 2u);
+  EXPECT_TRUE(metrics::is_stale_marker(h[0].samples()[1].v));
+  auto g = store_->select(
+      {{"__name__", metrics::LabelMatcher::Op::kEq, "g"}}, 0,
+      clock_->now_ms());
+  ASSERT_EQ(g.size(), 1u);
+  for (const auto& sample : g[0].samples()) {
+    EXPECT_FALSE(metrics::is_stale_marker(sample.v));
+  }
 }
 
 TEST_F(ScrapeTest, BackgroundLoopScrapesOnSimClock) {
