@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <regex>
 
+#include "metrics/regex_cache.h"
+
 namespace ceems::metrics {
 
 Labels::Labels(std::initializer_list<Pair> pairs) : pairs_(pairs) {
@@ -117,9 +119,10 @@ bool LabelMatcher::matches(const Labels& labels) const {
       return value_view != value;
     case Op::kRegexMatch:
     case Op::kRegexNoMatch: {
-      // PromQL regexes are fully anchored.
-      std::regex re("^(?:" + value + ")$", std::regex::ECMAScript);
-      bool match = std::regex_search(std::string(value_view), re);
+      // PromQL regexes are fully anchored; the compile is cached per
+      // pattern so per-series matching doesn't pay it again.
+      auto re = compiled_anchored_regex(value);
+      bool match = std::regex_search(std::string(value_view), *re);
       return op == Op::kRegexMatch ? match : !match;
     }
   }

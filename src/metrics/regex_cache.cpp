@@ -1,0 +1,75 @@
+#include "metrics/regex_cache.h"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace ceems::metrics {
+
+namespace {
+
+// Bounded enough for every live dashboard/rule pattern, small enough that a
+// hostile stream of unique patterns stays O(capacity) memory.
+constexpr std::size_t kCapacity = 128;
+
+struct Cache {
+  std::mutex mu;
+  // Most-recently-used at the front.
+  std::list<std::string> lru;
+  struct Entry {
+    std::shared_ptr<const std::regex> regex;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Entry> entries;
+  RegexCacheStats stats;
+};
+
+Cache& cache() {
+  static Cache* instance = new Cache();  // intentionally leaked
+  return *instance;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::regex> compiled_anchored_regex(
+    const std::string& pattern) {
+  Cache& c = cache();
+  {
+    std::lock_guard lock(c.mu);
+    auto it = c.entries.find(pattern);
+    if (it != c.entries.end()) {
+      ++c.stats.hits;
+      c.lru.splice(c.lru.begin(), c.lru, it->second.lru_it);
+      return it->second.regex;
+    }
+  }
+  // Compile outside the lock: regex construction is the expensive part and
+  // may throw std::regex_error, which must reach the caller uncached.
+  auto compiled = std::make_shared<const std::regex>(
+      "^(?:" + pattern + ")$", std::regex::ECMAScript);
+  std::lock_guard lock(c.mu);
+  auto it = c.entries.find(pattern);
+  if (it != c.entries.end()) {
+    // Raced with another thread compiling the same pattern; keep theirs.
+    ++c.stats.hits;
+    c.lru.splice(c.lru.begin(), c.lru, it->second.lru_it);
+    return it->second.regex;
+  }
+  ++c.stats.misses;
+  if (c.entries.size() >= kCapacity) {
+    ++c.stats.evictions;
+    c.entries.erase(c.lru.back());
+    c.lru.pop_back();
+  }
+  c.lru.push_front(pattern);
+  c.entries.emplace(pattern, Cache::Entry{compiled, c.lru.begin()});
+  return compiled;
+}
+
+RegexCacheStats regex_cache_stats() {
+  Cache& c = cache();
+  std::lock_guard lock(c.mu);
+  return c.stats;
+}
+
+}  // namespace ceems::metrics

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <regex>
 
+#include "metrics/regex_cache.h"
+
 namespace ceems::metrics {
 
 SymbolTable& SymbolTable::global() {
@@ -156,9 +158,9 @@ bool LabelMatcher::matches(const InternedLabels& labels) const {
     case Op::kRegexMatch:
     case Op::kRegexNoMatch: {
       // PromQL regexes are fully anchored (same behaviour as the Labels
-      // overload in labels.cpp).
-      std::regex re("^(?:" + value + ")$", std::regex::ECMAScript);
-      bool match = std::regex_search(std::string(value_view), re);
+      // overload in labels.cpp); the compile is cached per pattern.
+      auto re = compiled_anchored_regex(value);
+      bool match = std::regex_search(std::string(value_view), *re);
       return op == Op::kRegexMatch ? match : !match;
     }
   }

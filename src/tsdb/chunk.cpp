@@ -1,8 +1,21 @@
 #include "tsdb/chunk.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace ceems::tsdb {
+
+namespace {
+
+// Counts every GorillaChunk::decode() call process-wide. Relaxed: readers
+// only ever diff the counter around a quiesced section.
+std::atomic<uint64_t> g_chunk_decodes{0};
+
+}  // namespace
+
+uint64_t chunk_decode_count() {
+  return g_chunk_decodes.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -206,6 +219,7 @@ std::shared_ptr<const GorillaChunk> GorillaChunk::encode(
 }
 
 std::optional<std::vector<SamplePoint>> GorillaChunk::decode() const {
+  g_chunk_decodes.fetch_add(1, std::memory_order_relaxed);
   if (count_ == 0) return std::nullopt;
   BitReader r(bytes_);
   XorState xs;
@@ -261,6 +275,38 @@ std::vector<SamplePoint> SeriesView::samples() const {
       // Sealed chunks were validated at encode/restore time; decode cannot
       // fail here, but stay defensive rather than crash on a logic bug.
       if (decoded) out.insert(out.end(), decoded->begin(), decoded->end());
+    } else {
+      out.insert(out.end(), slice.points.begin(), slice.points.end());
+    }
+  }
+  return out;
+}
+
+const std::vector<SamplePoint>& DecodedChunkCache::decode(
+    const ChunkPtr& chunk) {
+  auto it = decoded_.find(chunk.get());
+  if (it != decoded_.end()) return it->second;
+  auto samples = chunk->decode();
+  // Sealed chunks are validated at encode/restore time; a failed decode
+  // here is a logic bug — degrade to an empty run rather than crash.
+  return decoded_
+      .emplace(chunk.get(),
+               samples ? std::move(*samples) : std::vector<SamplePoint>{})
+      .first->second;
+}
+
+void DecodedChunkCache::adopt(const ChunkPtr& chunk,
+                              std::vector<SamplePoint> samples) {
+  decoded_.emplace(chunk.get(), std::move(samples));
+}
+
+std::vector<SamplePoint> SeriesView::samples(DecodedChunkCache& cache) const {
+  std::vector<SamplePoint> out;
+  out.reserve(sample_count());
+  for (const auto& slice : slices) {
+    if (slice.chunk) {
+      const auto& decoded = cache.decode(slice.chunk);
+      out.insert(out.end(), decoded.begin(), decoded.end());
     } else {
       out.insert(out.end(), slice.points.begin(), slice.points.end());
     }

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
@@ -78,6 +79,34 @@ class GorillaChunk {
 
 using ChunkPtr = std::shared_ptr<const GorillaChunk>;
 
+// Process-wide count of GorillaChunk::decode() calls. The streaming range
+// evaluator promises each chunk overlapping a query decodes at most once;
+// this counter is how tests and benchmarks observe that invariant.
+uint64_t chunk_decode_count();
+
+// Per-query cache of decoded chunks, keyed by chunk identity. One range
+// query touches the same sealed chunk from many step windows (and possibly
+// from several selectors); routing every decode through this cache bounds
+// the work at one decode per chunk per query. Not thread-safe: fill it
+// serially (or adopt() pre-decoded chunks produced in parallel) before any
+// concurrent readers run.
+class DecodedChunkCache {
+ public:
+  // Returns the decoded samples for `chunk`, decoding on first access. The
+  // reference stays valid for the cache's lifetime (clear() invalidates).
+  const std::vector<SamplePoint>& decode(const ChunkPtr& chunk);
+  // Stores an externally-decoded chunk (parallel prefill).
+  void adopt(const ChunkPtr& chunk, std::vector<SamplePoint> samples);
+  bool contains(const GorillaChunk* chunk) const {
+    return decoded_.count(chunk) != 0;
+  }
+  std::size_t size() const { return decoded_.size(); }
+  void clear() { decoded_.clear(); }
+
+ private:
+  std::unordered_map<const GorillaChunk*, std::vector<SamplePoint>> decoded_;
+};
+
 // One time-ordered segment of a series view: either a whole sealed chunk
 // (kept compressed, decoded lazily) or an owned run of raw points (head
 // samples, or the in-range part of a chunk that straddles the range
@@ -87,6 +116,14 @@ struct ChunkSlice {
   std::vector<SamplePoint> points;  // otherwise: pre-filtered raw points
 
   std::size_t count() const { return chunk ? chunk->count() : points.size(); }
+  // Time bounds without decoding (0 when the slice is empty; slices built
+  // by slices_between are never empty).
+  TimestampMs min_time() const {
+    return chunk ? chunk->min_time() : (points.empty() ? 0 : points.front().t);
+  }
+  TimestampMs max_time() const {
+    return chunk ? chunk->max_time() : (points.empty() ? 0 : points.back().t);
+  }
 };
 
 // A chunk-backed view of one series over a time range, as returned by
@@ -101,6 +138,9 @@ struct SeriesView {
   std::size_t sample_count() const;
   // Decodes and concatenates every slice (time-ordered).
   std::vector<SamplePoint> samples() const;
+  // Same, but chunk-backed slices decode through `cache` — at most one
+  // decode per chunk across every view sharing the cache.
+  std::vector<SamplePoint> samples(DecodedChunkCache& cache) const;
   // Last sample in range; decodes at most one chunk.
   std::optional<SamplePoint> last() const;
   Series materialize() const { return {labels, samples()}; }

@@ -52,13 +52,18 @@ std::vector<SeriesView> LongTermStore::select(
   // Merge per label set: downsampled history followed by the raw tail.
   // Keyed by the full label set, not its fingerprint — two distinct label
   // sets whose fingerprints collide must stay distinct series. Series
-  // present on only one side keep their chunk-backed views; only series
-  // straddling the downsample horizon are materialised to splice.
+  // present on only one side keep their chunk-backed views. Straddling
+  // series are spliced slice-wise: compact() moves raw data into the
+  // coarse store before purging it, so every raw slice is strictly newer
+  // than the coarse end and rides along still-compressed — no
+  // materialisation, no decode. The decode-and-filter branch below only
+  // fires if that invariant is ever broken.
   std::map<Labels, SeriesView> merged;
   for (auto& view : coarse) {
     Labels key = view.labels;
     merged.emplace(std::move(key), std::move(view));
   }
+  std::size_t spliced_count = 0;
   for (auto& view : fine) {
     auto it = merged.find(view.labels);
     if (it == merged.end()) {
@@ -66,19 +71,47 @@ std::vector<SeriesView> LongTermStore::select(
       merged.emplace(std::move(key), std::move(view));
       continue;
     }
-    std::vector<SamplePoint> spliced = it->second.samples();
-    for (const auto& sample : view.samples()) {
-      if (spliced.empty() || sample.t > spliced.back().t) {
-        spliced.push_back(sample);
+    ++spliced_count;
+    SeriesView& dst = it->second;
+    TimestampMs newest = dst.slices.back().max_time();
+    dst.slices.reserve(dst.slices.size() + view.slices.size());
+    for (auto& slice : view.slices) {
+      if (slice.min_time() > newest) {
+        newest = slice.max_time();
+        dst.slices.push_back(std::move(slice));
+        continue;
+      }
+      // Overlap: decode (if needed) and keep only strictly newer points.
+      std::vector<SamplePoint> points;
+      if (slice.chunk) {
+        auto decoded = slice.chunk->decode();
+        if (decoded) points = std::move(*decoded);
+      } else {
+        points = std::move(slice.points);
+      }
+      std::vector<SamplePoint> kept;
+      for (const auto& sample : points) {
+        if (sample.t > newest) kept.push_back(sample);
+      }
+      select_stats_.spliced_points_copied += kept.size();
+      if (!kept.empty()) {
+        newest = kept.back().t;
+        dst.slices.push_back(ChunkSlice{nullptr, std::move(kept)});
       }
     }
-    it->second = SeriesView::owned(std::move(view.labels), std::move(spliced));
   }
+  select_stats_.spliced_views += spliced_count;
+  select_stats_.chunk_backed_views += merged.size() - spliced_count;
   std::vector<SeriesView> out;
   out.reserve(merged.size());
   // Map iteration is ordered by labels, so output stays deterministic.
   for (auto& [key, view] : merged) out.push_back(std::move(view));
   return out;
+}
+
+LongTermSelectStats LongTermStore::select_stats() const {
+  std::lock_guard lock(mu_);
+  return select_stats_;
 }
 
 std::vector<uint64_t> LongTermStore::version_signature() const {

@@ -24,6 +24,18 @@ struct LongTermConfig {
   int64_t retention_ms = 0;
 };
 
+// Counters for how select() served its views: straddling series are
+// spliced slice-wise (raw chunks stay compressed), everything else passes
+// through untouched. spliced_points_copied counts samples that had to be
+// decoded and filtered because a raw slice overlapped the downsampled
+// history — zero under the compaction invariant, so a nonzero value flags
+// a horizon bug.
+struct LongTermSelectStats {
+  uint64_t chunk_backed_views = 0;
+  uint64_t spliced_views = 0;
+  uint64_t spliced_points_copied = 0;
+};
+
 class LongTermStore final : public Queryable {
  public:
   explicit LongTermStore(LongTermConfig config = {});
@@ -46,6 +58,7 @@ class LongTermStore final : public Queryable {
   StorageStats stats() const;
   StorageStats raw_stats() const { return raw_.stats(); }
   StorageStats downsampled_stats() const { return downsampled_.stats(); }
+  LongTermSelectStats select_stats() const;
 
  private:
   LongTermConfig config_;
@@ -54,6 +67,7 @@ class LongTermStore final : public Queryable {
   TimeSeriesStore downsampled_;
   TimestampMs sync_cursor_ = -1;
   TimestampMs downsample_cursor_ = 0;  // raw data before this is gone
+  mutable LongTermSelectStats select_stats_;  // guarded by mu_
 };
 
 }  // namespace ceems::tsdb

@@ -6,6 +6,9 @@
 #include <map>
 #include <regex>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "metrics/regex_cache.h"
 
 namespace ceems::tsdb::promql {
 
@@ -68,85 +71,85 @@ std::vector<Series> eval_matrix_selector(const Queryable& source,
 
 // ---------- range-vector functions ----------
 
-double counter_increase(const std::vector<SamplePoint>& samples) {
+double counter_increase(const SamplePoint* samples, std::size_t count) {
   // Sum of positive deltas; a drop is a counter reset (new epoch adds from
   // zero), matching Prometheus' reset handling.
   double total = 0;
-  for (std::size_t i = 1; i < samples.size(); ++i) {
+  for (std::size_t i = 1; i < count; ++i) {
     double delta = samples[i].v - samples[i - 1].v;
     total += delta >= 0 ? delta : samples[i].v;
   }
   return total;
 }
 
-// func: name of the *_over_time / rate family function.
-bool eval_range_function(const std::string& func,
-                         const std::vector<SamplePoint>& samples,
-                         double& result) {
-  if (samples.empty()) return false;
+// func: name of the *_over_time / rate family function. Takes a pointer
+// range so the streaming evaluator can fold a window of a prepared series
+// in place, without copying it out first.
+bool eval_range_function(const std::string& func, const SamplePoint* samples,
+                         std::size_t count, double& result) {
+  if (count == 0) return false;
   if (func == "last_over_time") {
-    result = samples.back().v;
+    result = samples[count - 1].v;
     return true;
   }
   if (func == "count_over_time") {
-    result = static_cast<double>(samples.size());
+    result = static_cast<double>(count);
     return true;
   }
   if (func == "sum_over_time" || func == "avg_over_time") {
     double sum = 0;
-    for (const auto& sample : samples) sum += sample.v;
-    result = func[0] == 's' ? sum
-                            : sum / static_cast<double>(samples.size());
+    for (std::size_t i = 0; i < count; ++i) sum += samples[i].v;
+    result = func[0] == 's' ? sum : sum / static_cast<double>(count);
     return true;
   }
   if (func == "min_over_time" || func == "max_over_time") {
     double best = samples[0].v;
-    for (const auto& sample : samples) {
-      best = func[1] == 'i' ? std::min(best, sample.v)
-                            : std::max(best, sample.v);
+    for (std::size_t i = 0; i < count; ++i) {
+      best = func[1] == 'i' ? std::min(best, samples[i].v)
+                            : std::max(best, samples[i].v);
     }
     result = best;
     return true;
   }
   if (func == "stddev_over_time") {
     double mean = 0;
-    for (const auto& sample : samples) mean += sample.v;
-    mean /= static_cast<double>(samples.size());
+    for (std::size_t i = 0; i < count; ++i) mean += samples[i].v;
+    mean /= static_cast<double>(count);
     double var = 0;
-    for (const auto& sample : samples) {
-      var += (sample.v - mean) * (sample.v - mean);
+    for (std::size_t i = 0; i < count; ++i) {
+      var += (samples[i].v - mean) * (samples[i].v - mean);
     }
-    result = std::sqrt(var / static_cast<double>(samples.size()));
+    result = std::sqrt(var / static_cast<double>(count));
     return true;
   }
   // Functions below need at least two samples.
-  if (samples.size() < 2) return false;
+  if (count < 2) return false;
   double span_sec =
-      static_cast<double>(samples.back().t - samples.front().t) / 1000.0;
+      static_cast<double>(samples[count - 1].t - samples[0].t) / 1000.0;
   if (func == "rate") {
     if (span_sec <= 0) return false;
-    result = counter_increase(samples) / span_sec;
+    result = counter_increase(samples, count) / span_sec;
     return true;
   }
   if (func == "increase") {
-    result = counter_increase(samples);
+    result = counter_increase(samples, count);
     return true;
   }
   if (func == "delta") {
-    result = samples.back().v - samples.front().v;
+    result = samples[count - 1].v - samples[0].v;
     return true;
   }
   if (func == "deriv") {
     if (span_sec <= 0) return false;
     // Least-squares slope/intercept over the window, like Prometheus.
-    double n = static_cast<double>(samples.size());
+    double n = static_cast<double>(count);
     double sum_t = 0, sum_v = 0, sum_tv = 0, sum_tt = 0;
-    double t0 = static_cast<double>(samples.front().t) / 1000.0;
-    for (const auto& sample : samples) {
-      double t = static_cast<double>(sample.t) / 1000.0 - t0;
+    double t0 = static_cast<double>(samples[0].t) / 1000.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      double t = static_cast<double>(samples[i].t) / 1000.0 - t0;
       sum_t += t;
-      sum_v += sample.v;
-      sum_tv += t * sample.v;
+      sum_v += samples[i].v;
+      sum_tv += t * samples[i].v;
       sum_tt += t * t;
     }
     double denom = n * sum_tt - sum_t * sum_t;
@@ -155,8 +158,8 @@ bool eval_range_function(const std::string& func,
     return true;
   }
   if (func == "irate" || func == "idelta") {
-    const SamplePoint& a = samples[samples.size() - 2];
-    const SamplePoint& b = samples.back();
+    const SamplePoint& a = samples[count - 2];
+    const SamplePoint& b = samples[count - 1];
     double dt_sec = static_cast<double>(b.t - a.t) / 1000.0;
     if (func == "idelta") {
       result = b.v - a.v;
@@ -170,7 +173,7 @@ bool eval_range_function(const std::string& func,
   }
   if (func == "resets") {
     int resets = 0;
-    for (std::size_t i = 1; i < samples.size(); ++i) {
+    for (std::size_t i = 1; i < count; ++i) {
       if (samples[i].v < samples[i - 1].v) ++resets;
     }
     result = resets;
@@ -178,7 +181,7 @@ bool eval_range_function(const std::string& func,
   }
   if (func == "changes") {
     int changes = 0;
-    for (std::size_t i = 1; i < samples.size(); ++i) {
+    for (std::size_t i = 1; i < count; ++i) {
       if (samples[i].v != samples[i - 1].v) ++changes;
     }
     result = changes;
@@ -421,10 +424,20 @@ InstantVector eval_aggregate(const Expr& expr, const InstantVector& input,
 
 // ---------- evaluator core ----------
 
+// Per-instant recursive evaluator. The selector entry points are virtual:
+// RangeEvaluator overrides them to read from pre-selected, pre-decoded
+// per-series arrays instead of hitting the Queryable per step, leaving
+// every other semantic (binops, aggregations, functions) shared — which is
+// what makes the two paths bit-identical by construction.
 class Evaluator {
  public:
   Evaluator(const Queryable& source, TimestampMs t, int64_t lookback_ms)
       : source_(source), t_(t), lookback_ms_(lookback_ms) {}
+  virtual ~Evaluator() = default;
+
+  // Moves the evaluation instant; streaming cursors require calls with
+  // non-decreasing t on any one evaluator instance.
+  void set_time(TimestampMs t) { t_ = t; }
 
   Value eval(const ExprPtr& expr) {
     switch (expr->kind) {
@@ -443,13 +456,13 @@ class Evaluator {
       case Expr::Kind::kVectorSelector: {
         Value value;
         value.kind = Value::Kind::kVector;
-        value.vector = eval_vector_selector(source_, *expr, t_, lookback_ms_);
+        value.vector = vector_selector(*expr);
         return value;
       }
       case Expr::Kind::kMatrixSelector: {
         Value value;
         value.kind = Value::Kind::kMatrix;
-        value.matrix = eval_matrix_selector(source_, *expr, t_);
+        value.matrix = matrix_selector(*expr);
         return value;
       }
       case Expr::Kind::kUnary: {
@@ -476,6 +489,28 @@ class Evaluator {
     }
     throw EvalError("unreachable expression kind");
   }
+
+ protected:
+  // Selector hooks, overridden by the streaming RangeEvaluator.
+  virtual InstantVector vector_selector(const Expr& expr) {
+    return eval_vector_selector(source_, expr, t_, lookback_ms_);
+  }
+  virtual std::vector<Series> matrix_selector(const Expr& expr) {
+    return eval_matrix_selector(source_, expr, t_);
+  }
+  // Incremental fast path for a range function applied directly to a
+  // matrix selector. Returns false to fall through to the generic
+  // materialise-and-fold path.
+  virtual bool range_call(const std::string& func, const Expr& call,
+                          InstantVector& out) {
+    (void)func;
+    (void)call;
+    (void)out;
+    return false;
+  }
+
+  TimestampMs time() const { return t_; }
+  int64_t lookback_ms() const { return lookback_ms_; }
 
  private:
   Value eval_binary(const ExprPtr& expr) {
@@ -528,13 +563,22 @@ class Evaluator {
     if (is_range_function(func)) {
       if (expr->args.size() != 1)
         throw EvalError(func + " expects one range-vector argument");
+      if (expr->args[0]->kind == Expr::Kind::kMatrixSelector) {
+        InstantVector streamed;
+        if (range_call(func, *expr, streamed)) {
+          out.kind = Value::Kind::kVector;
+          out.vector = std::move(streamed);
+          return out;
+        }
+      }
       Value arg = eval(expr->args[0]);
       if (arg.kind != Value::Kind::kMatrix)
         throw EvalError(func + " expects a range vector (selector[duration])");
       out.kind = Value::Kind::kVector;
       for (const auto& series : arg.matrix) {
         double result = 0;
-        if (eval_range_function(func, series.samples, result)) {
+        if (eval_range_function(func, series.samples.data(),
+                                series.samples.size(), result)) {
           out.vector.push_back({series.labels.without_name(), result});
         }
       }
@@ -642,12 +686,13 @@ class Evaluator {
       std::string replacement = eval_string(expr, 2);
       std::string src = eval_string(expr, 3);
       std::string pattern = eval_string(expr, 4);
-      std::regex re("^(?:" + pattern + ")$");
+      // Cached compile: label_replace re-evaluates at every range step.
+      auto re = metrics::compiled_anchored_regex(pattern);
       out.kind = Value::Kind::kVector;
       for (auto sample : arg.vector) {
         std::string source_value(sample.labels.get(src).value_or(""));
         std::smatch match;
-        if (std::regex_match(source_value, match, re)) {
+        if (std::regex_match(source_value, match, *re)) {
           std::string value = match.format(replacement);
           sample.labels = sample.labels.with(dst, value);
         }
@@ -752,6 +797,403 @@ class Evaluator {
   int64_t lookback_ms_;
 };
 
+// ---------- streaming range evaluation ----------
+//
+// A range query evaluates the same expression at every step; the per-step
+// path re-runs each selector's select() and re-decodes the same sealed
+// chunks at every one of them — O(steps × window) decode work. The
+// streaming path instead prepares each selector ONCE for the whole query:
+// one full-span select(), every distinct chunk decoded at most once (via a
+// per-query DecodedChunkCache shared across selectors), flattened into one
+// time-ordered array per series. Evaluation then slides monotonic cursors
+// over those arrays and computes window functions incrementally. Every
+// arithmetic fold either extends a left-fold (bit-identical to folding
+// from scratch) or refolds from the window start, so results match the
+// per-step oracle bit for bit.
+
+void collect_selectors(const ExprPtr& expr, std::vector<const Expr*>& out) {
+  if (!expr) return;
+  if (expr->kind == Expr::Kind::kVectorSelector ||
+      expr->kind == Expr::Kind::kMatrixSelector) {
+    out.push_back(expr.get());
+  }
+  collect_selectors(expr->lhs, out);
+  collect_selectors(expr->rhs, out);
+  collect_selectors(expr->agg_expr, out);
+  collect_selectors(expr->agg_param, out);
+  for (const auto& arg : expr->args) collect_selectors(arg, out);
+}
+
+struct PreparedSeries {
+  Labels labels;
+  // Full-span, time-ordered. Matrix selectors store the series with
+  // staleness markers already filtered out (mirroring
+  // eval_matrix_selector); vector selectors keep markers, because a marker
+  // as the newest in-window sample is what drops the series at a step.
+  std::vector<SamplePoint> samples;
+};
+
+struct PreparedSelector {
+  const Expr* node = nullptr;
+  // In select() order, i.e. sorted by labels — the order the per-step
+  // selector emits series in.
+  std::vector<PreparedSeries> series;
+};
+
+class RangeEvalContext {
+ public:
+  RangeEvalContext(const Queryable& source, const ExprPtr& root,
+                   TimestampMs start, TimestampMs end, int64_t lookback_ms,
+                   common::ThreadPool* pool) {
+    std::vector<const Expr*> nodes;
+    collect_selectors(root, nodes);
+
+    // Phase 1: one full-span select per selector node. The span is the
+    // union of every step's window, so each step's view of the data is a
+    // sub-range of what we hold.
+    std::vector<std::vector<SeriesView>> views(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const Expr* node = nodes[i];
+      TimestampMs hi = end - node->offset_ms;
+      TimestampMs lo = node->kind == Expr::Kind::kMatrixSelector
+                           ? start - node->offset_ms - node->range_ms + 1
+                           : start - node->offset_ms - lookback_ms;
+      views[i] = source.select(full_matchers(*node), lo, hi);
+    }
+
+    // Phase 2: decode each distinct chunk exactly once. With a pool the
+    // decodes fan out across it (chunk order is fixed first, so the result
+    // is deterministic either way).
+    std::vector<ChunkPtr> unique;
+    std::unordered_set<const GorillaChunk*> seen;
+    for (const auto& selector_views : views) {
+      for (const auto& view : selector_views) {
+        for (const auto& slice : view.slices) {
+          if (slice.chunk && seen.insert(slice.chunk.get()).second) {
+            unique.push_back(slice.chunk);
+          }
+        }
+      }
+    }
+    if (pool && pool->size() >= 2 && unique.size() > 1) {
+      std::vector<std::vector<SamplePoint>> decoded(unique.size());
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(unique.size());
+      for (std::size_t i = 0; i < unique.size(); ++i) {
+        tasks.push_back([&unique, &decoded, i] {
+          if (auto samples = unique[i]->decode())
+            decoded[i] = std::move(*samples);
+        });
+      }
+      pool->run_all(std::move(tasks));
+      for (std::size_t i = 0; i < unique.size(); ++i) {
+        cache_.adopt(unique[i], std::move(decoded[i]));
+      }
+    }
+
+    // Phase 3: flatten each series into one contiguous array (serial;
+    // chunks not pre-decoded above decode here, still once each).
+    selectors_.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      PreparedSelector selector;
+      selector.node = nodes[i];
+      bool is_matrix = nodes[i]->kind == Expr::Kind::kMatrixSelector;
+      selector.series.reserve(views[i].size());
+      for (const auto& view : views[i]) {
+        PreparedSeries prepared{view.labels, view.samples(cache_)};
+        if (is_matrix) {
+          prepared.samples.erase(
+              std::remove_if(prepared.samples.begin(), prepared.samples.end(),
+                             [](const SamplePoint& sample) {
+                               return metrics::is_stale_marker(sample.v);
+                             }),
+              prepared.samples.end());
+        }
+        selector.series.push_back(std::move(prepared));
+      }
+      index_.emplace(nodes[i], selectors_.size());
+      selectors_.push_back(std::move(selector));
+    }
+    cache_.clear();  // arrays hold the data now; drop the duplicate copy
+  }
+
+  const PreparedSelector& selector(const Expr* node) const {
+    return selectors_[index_.at(node)];
+  }
+
+ private:
+  std::vector<PreparedSelector> selectors_;
+  std::unordered_map<const Expr*, std::size_t> index_;
+  DecodedChunkCache cache_;
+};
+
+// Evaluates steps against a shared RangeEvalContext. Each instance keeps
+// its own cursor state, so parallel step-chunks each run their own
+// evaluator over the same immutable prepared arrays. Cursors only ever
+// advance; every window is a pure function of (lo, hi) indices, so a
+// cursor joining mid-range computes the same windows the serial sweep
+// does.
+class RangeEvaluator final : public Evaluator {
+ public:
+  RangeEvaluator(const Queryable& source, const RangeEvalContext& ctx,
+                 TimestampMs t, int64_t lookback_ms)
+      : Evaluator(source, t, lookback_ms), ctx_(ctx) {}
+
+ protected:
+  InstantVector vector_selector(const Expr& expr) override {
+    const PreparedSelector& selector = ctx_.selector(&expr);
+    auto& cursor = instant_cursors_[&expr];
+    cursor.resize(selector.series.size(), 0);
+    TimestampMs at = time() - expr.offset_ms;
+    InstantVector out;
+    out.reserve(selector.series.size());
+    for (std::size_t i = 0; i < selector.series.size(); ++i) {
+      const auto& samples = selector.series[i].samples;
+      std::size_t& idx = cursor[i];  // count of samples with t <= at
+      while (idx < samples.size() && samples[idx].t <= at) ++idx;
+      if (idx == 0) continue;
+      const SamplePoint& newest = samples[idx - 1];
+      if (newest.t < at - lookback_ms()) continue;  // outside lookback
+      if (metrics::is_stale_marker(newest.v)) continue;  // series ended
+      out.push_back({selector.series[i].labels, newest.v});
+    }
+    return out;
+  }
+
+  std::vector<Series> matrix_selector(const Expr& expr) override {
+    // Generic consumers of a range vector (predict_linear, or a range
+    // function we have no incremental form for) get a materialised copy of
+    // the current window — sliced from the prepared array, never from a
+    // fresh decode.
+    const PreparedSelector& selector = ctx_.selector(&expr);
+    auto& cursor = window_cursors_[&expr];
+    cursor.resize(selector.series.size());
+    TimestampMs at = time() - expr.offset_ms;
+    std::vector<Series> out;
+    out.reserve(selector.series.size());
+    for (std::size_t i = 0; i < selector.series.size(); ++i) {
+      const auto& samples = selector.series[i].samples;
+      WindowCursor& window = cursor[i];
+      window.advance(samples, at, expr.range_ms);
+      if (window.lo == window.hi) continue;
+      out.push_back({selector.series[i].labels,
+                     {samples.begin() + static_cast<std::ptrdiff_t>(window.lo),
+                      samples.begin() + static_cast<std::ptrdiff_t>(window.hi)}});
+    }
+    return out;
+  }
+
+  bool range_call(const std::string& func, const Expr& call,
+                  InstantVector& out) override {
+    const Expr& matrix = *call.args[0];
+    const PreparedSelector& selector = ctx_.selector(&matrix);
+    auto& states = call_states_[&call];
+    states.resize(selector.series.size());
+    TimestampMs at = time() - matrix.offset_ms;
+    out.reserve(selector.series.size());
+    for (std::size_t i = 0; i < selector.series.size(); ++i) {
+      const auto& samples = selector.series[i].samples;
+      SeriesWindowState& st = states[i];
+      st.window.advance(samples, at, matrix.range_ms);
+      double result = 0;
+      if (eval_windowed(func, samples, st, result)) {
+        out.push_back({selector.series[i].labels.without_name(), result});
+      }
+    }
+    return true;
+  }
+
+ private:
+  // Half-open window [lo, hi) of samples with at-range < t <= at. Both
+  // bounds only move forward (steps are evaluated in increasing t).
+  struct WindowCursor {
+    std::size_t lo = 0, hi = 0;
+    void advance(const std::vector<SamplePoint>& samples, TimestampMs at,
+                 int64_t range_ms) {
+      while (hi < samples.size() && samples[hi].t <= at) ++hi;
+      while (lo < hi && samples[lo].t <= at - range_ms) ++lo;
+    }
+  };
+
+  // Incremental aggregation state for one series under one range-function
+  // call. `acc` holds a left-fold over [anchor, folded): extending the
+  // fold at the end reproduces the from-scratch fold bit for bit; when the
+  // window start moves past the anchor, the fold restarts (float folds are
+  // not invertible without changing bit patterns). The deque holds indices
+  // of non-NaN window samples, best-at-front, for min/max.
+  struct SeriesWindowState {
+    WindowCursor window;
+    std::size_t anchor = static_cast<std::size_t>(-1);
+    std::size_t folded = 0;
+    double acc = 0;
+    std::vector<std::size_t> deque;  // monotonic; front at deque_begin
+    std::size_t deque_begin = 0;
+    std::size_t pushed = 0;  // samples [0, pushed) offered to the deque
+  };
+
+  bool eval_windowed(const std::string& func,
+                     const std::vector<SamplePoint>& samples,
+                     SeriesWindowState& st, double& result) {
+    const std::size_t lo = st.window.lo, hi = st.window.hi;
+    const std::size_t n = hi - lo;
+    if (n == 0) return false;
+    if (func == "count_over_time") {
+      result = static_cast<double>(n);
+      return true;
+    }
+    if (func == "last_over_time") {
+      result = samples[hi - 1].v;
+      return true;
+    }
+    if (func == "sum_over_time" || func == "avg_over_time") {
+      if (st.anchor != lo) {
+        st.anchor = lo;
+        st.folded = lo;
+        st.acc = 0;
+      }
+      for (; st.folded < hi; ++st.folded) st.acc += samples[st.folded].v;
+      result = func[0] == 's' ? st.acc : st.acc / static_cast<double>(n);
+      return true;
+    }
+    if (func == "min_over_time" || func == "max_over_time") {
+      bool is_min = func[1] == 'i';
+      // The fold `best = min(best, v)` ignores NaN except when the first
+      // window sample is NaN (then NaN sticks); the deque reproduces both
+      // rules, including earliest-index tie-breaking via strict pops.
+      if (st.pushed < lo) st.pushed = lo;
+      for (; st.pushed < hi; ++st.pushed) {
+        double v = samples[st.pushed].v;
+        if (std::isnan(v)) continue;
+        while (st.deque.size() > st.deque_begin) {
+          double back = samples[st.deque.back()].v;
+          if (is_min ? v < back : back < v) {
+            st.deque.pop_back();
+          } else {
+            break;
+          }
+        }
+        st.deque.push_back(st.pushed);
+      }
+      while (st.deque_begin < st.deque.size() &&
+             st.deque[st.deque_begin] < lo) {
+        ++st.deque_begin;
+      }
+      // Compact occasionally so the vector-backed deque stays O(window).
+      if (st.deque_begin > 64 && st.deque_begin * 2 > st.deque.size()) {
+        st.deque.erase(st.deque.begin(),
+                       st.deque.begin() +
+                           static_cast<std::ptrdiff_t>(st.deque_begin));
+        st.deque_begin = 0;
+      }
+      if (std::isnan(samples[lo].v)) {
+        result = samples[lo].v;  // fold would have stuck on this NaN
+      } else {
+        result = samples[st.deque[st.deque_begin]].v;
+      }
+      return true;
+    }
+    if (func == "rate" || func == "increase") {
+      if (n < 2) return false;
+      if (st.anchor != lo) {
+        st.anchor = lo;
+        st.folded = lo + 1;  // next pair index: pairs are (k-1, k)
+        st.acc = 0;
+      }
+      for (; st.folded < hi; ++st.folded) {
+        double delta = samples[st.folded].v - samples[st.folded - 1].v;
+        st.acc += delta >= 0 ? delta : samples[st.folded].v;
+      }
+      if (func == "increase") {
+        result = st.acc;
+        return true;
+      }
+      double span_sec =
+          static_cast<double>(samples[hi - 1].t - samples[lo].t) / 1000.0;
+      if (span_sec <= 0) return false;
+      result = st.acc / span_sec;
+      return true;
+    }
+    if (func == "delta") {
+      if (n < 2) return false;
+      result = samples[hi - 1].v - samples[lo].v;
+      return true;
+    }
+    // irate/idelta are O(1) on the window tail; stddev/deriv/resets/
+    // changes refold the window in place — already decoded, no copies.
+    return eval_range_function(func, samples.data() + lo, n, result);
+  }
+
+  const RangeEvalContext& ctx_;
+  std::unordered_map<const Expr*, std::vector<std::size_t>> instant_cursors_;
+  std::unordered_map<const Expr*, std::vector<WindowCursor>> window_cursors_;
+  std::unordered_map<const Expr*, std::vector<SeriesWindowState>> call_states_;
+};
+
+// Folds one step's Value into the fingerprint-keyed accumulator shared by
+// the serial and streaming range paths.
+void accumulate_step(std::map<uint64_t, Series>& by_labels, Value&& value,
+                     TimestampMs t) {
+  if (value.kind == Value::Kind::kScalar) {
+    Series& series = by_labels[Labels{}.fingerprint()];
+    series.samples.push_back({t, value.scalar});
+    return;
+  }
+  if (value.kind != Value::Kind::kVector)
+    throw EvalError("range query must evaluate to vector or scalar");
+  for (const auto& sample : value.vector) {
+    Series& series = by_labels[sample.labels.fingerprint()];
+    series.labels = sample.labels;
+    series.samples.push_back({t, sample.value});
+  }
+}
+
+// Runs eval_steps over [start, end], chunking the step grid across the
+// pool when it pays off; chunk results merge in step order, so the output
+// is bit-identical to the serial sweep.
+std::map<uint64_t, Series> run_steps_chunked(
+    common::ThreadPool* pool, int64_t min_parallel_steps, TimestampMs start,
+    TimestampMs end, int64_t step_ms,
+    const std::function<std::map<uint64_t, Series>(TimestampMs, TimestampMs)>&
+        eval_steps) {
+  const int64_t num_steps = end < start ? 0 : (end - start) / step_ms + 1;
+  if (!pool || pool->size() < 2 || num_steps < min_parallel_steps) {
+    return eval_steps(start, end);
+  }
+  const int64_t num_chunks =
+      std::min<int64_t>(num_steps, static_cast<int64_t>(pool->size()) * 4);
+  const int64_t steps_per_chunk = (num_steps + num_chunks - 1) / num_chunks;
+  std::vector<std::map<uint64_t, Series>> partials(
+      static_cast<std::size_t>(num_chunks));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    int64_t first_step = c * steps_per_chunk;
+    if (first_step >= num_steps) break;
+    int64_t last_step =
+        std::min(num_steps - 1, first_step + steps_per_chunk - 1);
+    TimestampMs chunk_start = start + first_step * step_ms;
+    TimestampMs chunk_end = start + last_step * step_ms;
+    tasks.push_back([&eval_steps, &partials, c, chunk_start, chunk_end] {
+      partials[static_cast<std::size_t>(c)] =
+          eval_steps(chunk_start, chunk_end);
+    });
+  }
+  pool->run_all(std::move(tasks));
+  std::map<uint64_t, Series> by_labels;
+  for (auto& partial : partials) {
+    for (auto& [key, series] : partial) {
+      Series& dst = by_labels[key];
+      if (dst.samples.empty()) {
+        dst = std::move(series);
+      } else {
+        dst.samples.insert(dst.samples.end(), series.samples.begin(),
+                           series.samples.end());
+      }
+    }
+  }
+  return by_labels;
+}
+
 }  // namespace
 
 Value Engine::eval(const Queryable& source, const ExprPtr& expr,
@@ -769,19 +1211,7 @@ std::map<uint64_t, Series> Engine::eval_range_steps(
     TimestampMs end, int64_t step_ms) const {
   std::map<uint64_t, Series> by_labels;
   for (TimestampMs t = start; t <= end; t += step_ms) {
-    Value value = eval(source, expr, t);
-    if (value.kind == Value::Kind::kScalar) {
-      Series& series = by_labels[Labels{}.fingerprint()];
-      series.samples.push_back({t, value.scalar});
-      continue;
-    }
-    if (value.kind != Value::Kind::kVector)
-      throw EvalError("range query must evaluate to vector or scalar");
-    for (const auto& sample : value.vector) {
-      Series& series = by_labels[sample.labels.fingerprint()];
-      series.labels = sample.labels;
-      series.samples.push_back({t, sample.value});
-    }
+    accumulate_step(by_labels, eval(source, expr, t), t);
   }
   return by_labels;
 }
@@ -790,51 +1220,36 @@ std::vector<Series> Engine::eval_range(const Queryable& source,
                                        const ExprPtr& expr, TimestampMs start,
                                        TimestampMs end, int64_t step_ms) const {
   if (step_ms <= 0) throw EvalError("step must be positive");
-  const int64_t num_steps = end < start ? 0 : (end - start) / step_ms + 1;
+  common::ThreadPool* pool = options_.pool.get();
 
   std::map<uint64_t, Series> by_labels;
-  common::ThreadPool* pool = options_.pool.get();
-  if (!pool || pool->size() < 2 || num_steps < options_.min_parallel_steps) {
-    by_labels = eval_range_steps(source, expr, start, end, step_ms);
-  } else {
-    // Chunk the step grid across the pool; each chunk evaluates its steps
-    // serially, then chunks are merged in order, so sample order (and the
-    // whole result) is bit-identical to the serial path. Each evaluation
-    // step is independent — Prometheus' range-query model — which is what
-    // makes this safe.
-    const int64_t num_chunks =
-        std::min<int64_t>(num_steps,
-                          static_cast<int64_t>(pool->size()) * 4);
-    const int64_t steps_per_chunk = (num_steps + num_chunks - 1) / num_chunks;
-    std::vector<std::map<uint64_t, Series>> partials(
-        static_cast<std::size_t>(num_chunks));
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(static_cast<std::size_t>(num_chunks));
-    for (int64_t c = 0; c < num_chunks; ++c) {
-      int64_t first_step = c * steps_per_chunk;
-      if (first_step >= num_steps) break;
-      int64_t last_step = std::min(num_steps - 1,
-                                   first_step + steps_per_chunk - 1);
-      TimestampMs chunk_start = start + first_step * step_ms;
-      TimestampMs chunk_end = start + last_step * step_ms;
-      tasks.push_back([this, &source, &expr, &partials, c, chunk_start,
-                       chunk_end, step_ms] {
-        partials[static_cast<std::size_t>(c)] =
-            eval_range_steps(source, expr, chunk_start, chunk_end, step_ms);
-      });
-    }
-    pool->run_all(std::move(tasks));
-    for (auto& partial : partials) {
-      for (auto& [key, series] : partial) {
-        Series& dst = by_labels[key];
-        if (dst.samples.empty()) {
-          dst = std::move(series);
-        } else {
-          dst.samples.insert(dst.samples.end(), series.samples.begin(),
-                             series.samples.end());
-        }
+  if (options_.streaming_range) {
+    // Streaming path: prepare every selector once (one select, one decode
+    // per chunk), then sweep step cursors — serial or chunked across the
+    // pool; either way each chunk's evaluator slides over the same shared
+    // immutable arrays.
+    RangeEvalContext ctx(source, expr, start, end, options_.lookback_ms,
+                         pool);
+    auto eval_steps = [&](TimestampMs from,
+                          TimestampMs to) -> std::map<uint64_t, Series> {
+      std::map<uint64_t, Series> partial;
+      RangeEvaluator evaluator(source, ctx, from, options_.lookback_ms);
+      for (TimestampMs t = from; t <= to; t += step_ms) {
+        evaluator.set_time(t);
+        accumulate_step(partial, evaluator.eval(expr), t);
       }
-    }
+      return partial;
+    };
+    by_labels = run_steps_chunked(pool, options_.min_parallel_steps, start,
+                                  end, step_ms, eval_steps);
+  } else {
+    // Per-step oracle path: full selector evaluation at every step.
+    auto eval_steps = [&](TimestampMs from,
+                          TimestampMs to) -> std::map<uint64_t, Series> {
+      return eval_range_steps(source, expr, from, to, step_ms);
+    };
+    by_labels = run_steps_chunked(pool, options_.min_parallel_steps, start,
+                                  end, step_ms, eval_steps);
   }
 
   std::vector<Series> out;

@@ -62,6 +62,13 @@ struct EngineOptions {
   // queries, keyed on (query, start, end, step) and invalidated through
   // the source's per-shard version signature. 0 disables caching.
   std::size_t query_cache_capacity = 128;
+  // Streaming range evaluation: select() each selector's full
+  // [start - max(range, lookback), end] span once, decode every chunk at
+  // most once per query, and slide per-series window cursors across the
+  // steps with incremental window aggregation. Bit-identical to the
+  // per-step path (which remains as the differential oracle when this is
+  // false) — see DESIGN.md "Streaming range queries".
+  bool streaming_range = true;
 };
 
 class Engine {

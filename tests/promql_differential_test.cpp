@@ -1,0 +1,316 @@
+// Differential suite for the streaming range evaluator: every PromQL
+// function evaluated over randomised series — staleness markers, counter
+// resets, NaN values, irregular scrape intervals, series that appear and
+// disappear mid-range — through both the streaming path and the per-step
+// oracle, asserting bit-identical Values across serial/pooled execution
+// and hot-store/long-term sources. Plus the decode-count regression: a
+// streaming range query decodes each overlapping chunk at most once.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "metrics/model.h"
+#include "tsdb/longterm.h"
+#include "tsdb/promql_eval.h"
+#include "tsdb/storage.h"
+
+namespace ceems::tsdb {
+namespace {
+
+using metrics::Labels;
+using promql::Engine;
+using promql::EngineOptions;
+
+uint64_t bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// ---------- randomised fixture data ----------
+
+constexpr int64_t kStep = 15000;  // 15 s nominal scrape interval
+constexpr TimestampMs kDataEnd = 120 * 60 * 1000;  // 2 h of data
+
+// Random gauges and counters with enough samples per series to span
+// multiple sealed chunks (120 samples/chunk; ~480 samples per series
+// here). Gauges take NaN excursions and staleness markers; counters reset.
+// Some series start late or end early, so selectors see series appear and
+// disappear across the range.
+std::shared_ptr<TimeSeriesStore> make_random_store(uint64_t seed) {
+  common::Rng rng(seed);
+  auto store = std::make_shared<TimeSeriesStore>();
+  for (int h = 0; h < 3; ++h) {
+    for (int s = 0; s < 4; ++s) {
+      Labels gauge_labels = Labels{{"hostname", "n" + std::to_string(h)},
+                                   {"uuid", std::to_string(s)}}
+                                .with_name("power_watts");
+      Labels counter_labels = Labels{{"hostname", "n" + std::to_string(h)},
+                                     {"uuid", std::to_string(s)}}
+                                  .with_name("energy_joules_total");
+      TimestampMs start = rng.chance(0.25)
+                              ? rng.uniform_int(0, kDataEnd / 3)
+                              : 0;
+      TimestampMs stop = rng.chance(0.25)
+                             ? rng.uniform_int(2 * kDataEnd / 3, kDataEnd)
+                             : kDataEnd;
+      double gauge = rng.uniform(50, 300);
+      double counter = 0;
+      for (TimestampMs t = start; t <= stop;) {
+        gauge += rng.normal(0, 5);
+        double gauge_value = gauge;
+        if (rng.chance(0.01)) gauge_value = std::nan("");
+        if (rng.chance(0.01)) gauge_value = metrics::stale_marker();
+        store->append(gauge_labels, t, gauge_value);
+
+        counter += rng.uniform(0, 40);
+        if (rng.chance(0.01)) counter = rng.uniform(0, 10);  // reset
+        double counter_value =
+            rng.chance(0.005) ? metrics::stale_marker() : counter;
+        store->append(counter_labels, t, counter_value);
+
+        // Irregular interval: jitter plus occasional scrape gaps.
+        t += kStep + rng.uniform_int(-2000, 2000);
+        if (rng.chance(0.03)) t += kStep * rng.uniform_int(2, 8);
+      }
+    }
+  }
+  return store;
+}
+
+// Long-term store built from the hot store, compacted so roughly the
+// first half is downsampled — plenty of series straddle the horizon.
+std::shared_ptr<LongTermStore> make_longterm(const TimeSeriesStore& hot) {
+  LongTermConfig config;
+  config.downsample_after_ms = kDataEnd / 2;
+  config.resolution_ms = 5 * 60 * 1000;
+  auto lt = std::make_shared<LongTermStore>(config);
+  lt->sync_from(hot);
+  lt->compact(kDataEnd);
+  return lt;
+}
+
+// The query corpus: every range function, selectors (with offset, regex
+// matchers, stale-sensitive instant lookups), aggregations, binary ops,
+// and the call zoo the evaluator supports.
+std::vector<std::string> query_corpus() {
+  std::vector<std::string> queries = {
+      "power_watts",
+      "power_watts{hostname=\"n1\"}",
+      "power_watts{hostname=~\"n[01]\"}",
+      "power_watts offset 10m",
+      "sum(power_watts)",
+      "sum by (hostname) (power_watts)",
+      "avg by (hostname) (power_watts)",
+      "topk(3, power_watts)",
+      "quantile(0.9, power_watts)",
+      "power_watts > 150",
+      "power_watts * 2 + 1",
+      "power_watts / on(hostname, uuid) energy_joules_total",
+      "sum by (hostname) (rate(energy_joules_total[2m]))",
+      "label_replace(power_watts, \"node\", \"$1\", \"hostname\", "
+      "\"n(.*)\")",
+      "predict_linear(power_watts[5m], 600)",
+      "absent(power_watts{hostname=\"nope\"})",
+      "clamp(power_watts, 100, 200)",
+      "scalar(sum(power_watts)) * 2",
+      "-power_watts",
+  };
+  const char* range_funcs[] = {
+      "rate",          "irate",           "increase",
+      "delta",         "idelta",          "deriv",
+      "resets",        "changes",         "avg_over_time",
+      "sum_over_time", "min_over_time",   "max_over_time",
+      "count_over_time", "last_over_time", "stddev_over_time"};
+  for (const char* func : range_funcs) {
+    queries.push_back(std::string(func) + "(power_watts[2m])");
+    queries.push_back(std::string(func) + "(energy_joules_total[4m])");
+    queries.push_back("sum by (hostname) (" + std::string(func) +
+                      "(power_watts[90s]))");
+    queries.push_back(std::string(func) +
+                      "(power_watts[3m] offset 5m)");
+  }
+  return queries;
+}
+
+void expect_bit_identical(const std::vector<Series>& oracle,
+                          const std::vector<Series>& streaming,
+                          const std::string& query) {
+  SCOPED_TRACE("query: " + query);
+  ASSERT_EQ(oracle.size(), streaming.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    SCOPED_TRACE("series " + std::to_string(i) + ": " +
+                 oracle[i].labels.to_string());
+    ASSERT_EQ(oracle[i].labels, streaming[i].labels);
+    ASSERT_EQ(oracle[i].samples.size(), streaming[i].samples.size());
+    for (std::size_t k = 0; k < oracle[i].samples.size(); ++k) {
+      ASSERT_EQ(oracle[i].samples[k].t, streaming[i].samples[k].t)
+          << "sample " << k;
+      ASSERT_EQ(bits(oracle[i].samples[k].v), bits(streaming[i].samples[k].v))
+          << "sample " << k << ": oracle " << oracle[i].samples[k].v
+          << " vs streaming " << streaming[i].samples[k].v;
+    }
+  }
+}
+
+Engine make_engine(bool streaming, std::shared_ptr<common::ThreadPool> pool) {
+  EngineOptions options;
+  options.streaming_range = streaming;
+  options.pool = std::move(pool);
+  options.min_parallel_steps = 4;  // force the chunked path in pooled runs
+  options.query_cache_capacity = 0;
+  return Engine(options);
+}
+
+void run_corpus(const Queryable& source) {
+  auto pool = std::make_shared<common::ThreadPool>(4, "diff-eval");
+  Engine oracle_serial = make_engine(false, nullptr);
+  Engine stream_serial = make_engine(true, nullptr);
+  Engine stream_pooled = make_engine(true, pool);
+  Engine oracle_pooled = make_engine(false, pool);
+
+  constexpr TimestampMs kStart = 60 * 1000;
+  constexpr int64_t kQueryStep = 47 * 1000;  // off-grid on purpose
+  for (const std::string& query : query_corpus()) {
+    auto expr = promql::parse(query);
+    auto oracle = oracle_serial.eval_range(source, expr, kStart, kDataEnd,
+                                           kQueryStep);
+    auto streaming = stream_serial.eval_range(source, expr, kStart, kDataEnd,
+                                              kQueryStep);
+    expect_bit_identical(oracle, streaming, query + " [serial]");
+    auto streaming_mt = stream_pooled.eval_range(source, expr, kStart,
+                                                 kDataEnd, kQueryStep);
+    expect_bit_identical(oracle, streaming_mt, query + " [pooled stream]");
+    auto oracle_mt = oracle_pooled.eval_range(source, expr, kStart, kDataEnd,
+                                              kQueryStep);
+    expect_bit_identical(oracle, oracle_mt, query + " [pooled oracle]");
+  }
+}
+
+TEST(PromqlDifferential, HotStoreAllFunctions) {
+  for (uint64_t seed : {11u, 42u, 1337u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto store = make_random_store(seed);
+    run_corpus(*store);
+  }
+}
+
+TEST(PromqlDifferential, LongTermStoreAllFunctions) {
+  for (uint64_t seed : {7u, 99u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto store = make_random_store(seed);
+    auto lt = make_longterm(*store);
+    run_corpus(*lt);
+  }
+}
+
+// A stale marker as the newest sample must drop the series from instant
+// selectors on both paths — checked explicitly at the step grid around the
+// marker, not just via the random sweep.
+TEST(PromqlDifferential, StalenessEndsSeries) {
+  auto store = std::make_shared<TimeSeriesStore>();
+  Labels labels = Labels{{"hostname", "n0"}}.with_name("m");
+  for (int i = 0; i < 200; ++i) {
+    double v = i == 150 ? metrics::stale_marker() : i * 1.0;
+    store->append(labels, int64_t{i} * kStep, v);
+  }
+  Engine oracle = make_engine(false, nullptr);
+  Engine streaming = make_engine(true, nullptr);
+  auto expr = promql::parse("m");
+  auto a = oracle.eval_range(*store, expr, 0, 200 * kStep, kStep);
+  auto b = streaming.eval_range(*store, expr, 0, 200 * kStep, kStep);
+  expect_bit_identical(a, b, "staleness instant");
+  // The marker step itself must be absent.
+  ASSERT_EQ(a.size(), 1u);
+  for (const auto& sample : a[0].samples) {
+    EXPECT_NE(sample.t, int64_t{150} * kStep);
+  }
+
+  auto rate_expr = promql::parse("rate(m[2m])");
+  auto ra = oracle.eval_range(*store, rate_expr, 0, 200 * kStep, kStep);
+  auto rb = streaming.eval_range(*store, rate_expr, 0, 200 * kStep, kStep);
+  expect_bit_identical(ra, rb, "staleness rate");
+}
+
+// ---------- decode-count regression ----------
+
+// Each sealed chunk overlapping a streaming range query decodes at most
+// once; the per-step oracle re-decodes per step and must sit far above
+// that. This is the O(steps x window) -> O(samples) claim, measured.
+TEST(PromqlDecodeCount, AtMostOncePerRangeQuery) {
+  auto store = std::make_shared<TimeSeriesStore>();
+  constexpr int kSeries = 8;
+  constexpr int kSamples = 600;  // 5 sealed chunks per series
+  for (int s = 0; s < kSeries; ++s) {
+    Labels labels = Labels{{"uuid", std::to_string(s)}}.with_name("m");
+    for (int i = 0; i < kSamples; ++i) {
+      store->append(labels, int64_t{i} * kStep, i * 1.0);
+    }
+  }
+  std::size_t sealed_chunks = 0;
+  for (const auto& view :
+       store->select({}, 0, int64_t{kSamples} * kStep)) {
+    for (const auto& slice : view.slices) {
+      if (slice.chunk) ++sealed_chunks;
+    }
+  }
+  ASSERT_GE(sealed_chunks, kSeries * 4u);
+
+  auto expr = promql::parse("sum(rate(m[5m]))");
+  constexpr TimestampMs kEnd = int64_t{kSamples} * kStep;
+
+  Engine streaming = make_engine(true, nullptr);
+  uint64_t before = chunk_decode_count();
+  auto result = streaming.eval_range(*store, expr, 0, kEnd, kStep);
+  uint64_t streaming_decodes = chunk_decode_count() - before;
+  ASSERT_FALSE(result.empty());
+  // One select() pass may decode the two boundary chunks per series inside
+  // the store, then the query decodes each distinct chunk at most once.
+  EXPECT_LE(streaming_decodes, sealed_chunks + 2 * kSeries);
+
+  Engine oracle = make_engine(false, nullptr);
+  before = chunk_decode_count();
+  auto oracle_result = oracle.eval_range(*store, expr, 0, kEnd, kStep);
+  uint64_t oracle_decodes = chunk_decode_count() - before;
+  expect_bit_identical(oracle_result, result, "decode-count query");
+
+  // The headline: >= 5x fewer decodes than the per-step evaluator.
+  EXPECT_GE(oracle_decodes, 5 * std::max<uint64_t>(streaming_decodes, 1));
+}
+
+// Pooled streaming must hold the same decode bound: the parallel prefill
+// decodes each distinct chunk once, and step-chunk evaluators share the
+// prepared arrays without touching chunks again.
+TEST(PromqlDecodeCount, PooledStreamingSameBound) {
+  auto store = std::make_shared<TimeSeriesStore>();
+  for (int s = 0; s < 4; ++s) {
+    Labels labels = Labels{{"uuid", std::to_string(s)}}.with_name("m");
+    for (int i = 0; i < 600; ++i) {
+      store->append(labels, int64_t{i} * kStep, i * 1.0);
+    }
+  }
+  std::size_t sealed_chunks = 0;
+  for (const auto& view : store->select({}, 0, int64_t{600} * kStep)) {
+    for (const auto& slice : view.slices) {
+      if (slice.chunk) ++sealed_chunks;
+    }
+  }
+  auto pool = std::make_shared<common::ThreadPool>(4, "decode-test");
+  Engine streaming = make_engine(true, pool);
+  auto expr = promql::parse("avg_over_time(m[10m])");
+  uint64_t before = chunk_decode_count();
+  auto result =
+      streaming.eval_range(*store, expr, 0, int64_t{600} * kStep, kStep);
+  uint64_t decodes = chunk_decode_count() - before;
+  ASSERT_FALSE(result.empty());
+  EXPECT_LE(decodes, sealed_chunks + 2 * 4);
+}
+
+}  // namespace
+}  // namespace ceems::tsdb
