@@ -24,6 +24,7 @@
 
 #include "common/rng.h"
 #include "common/threadpool.h"
+#include "tsdb/longterm.h"
 #include "tsdb/promql_eval.h"
 
 using namespace ceems;
@@ -202,6 +203,83 @@ void range_sweep_args(benchmark::internal::Benchmark* bench) {
 }
 BENCHMARK(BM_streaming_range_query)->Apply(range_sweep_args);
 BENCHMARK(BM_perstep_range_query)->Apply(range_sweep_args);
+
+// ---------- long-range aligned-window sweep (resolution ladder) ----------
+
+// The points-scanned claim behind the resolution-aware planner, measured:
+// a ladder-backed LongTermStore answers aligned whole-window aggregations
+// from pre-aggregated bucket columns, so the rows it touches per query
+// shrink by the cadence-to-resolution ratio (15 s raw → 5 m buckets = 20x,
+// → 1 h buckets = 240x) instead of scanning every raw sample in the span.
+// points_scanned_per_query carries the number into BENCH_tsdb.json per
+// resolution level; tools/bench_guard.py diffs it against the committed
+// baseline so a planner regression (silent raw fallback) fails CI.
+constexpr int64_t kLongRangeCadenceMs = 15000;  // 15 s scrape
+constexpr int kLongRangeSeries = 20;
+constexpr int64_t kLongRangeSpanMs = 24 * 3600 * int64_t{1000};  // 24 h
+
+std::shared_ptr<tsdb::LongTermStore> make_ladder_store() {
+  tsdb::LongTermConfig config;
+  // Keep raw forever so the planner-off baseline really scans raw samples.
+  config.downsample_after_ms = 365 * 24 * 3600 * int64_t{1000};
+  config.levels = {{5 * 60 * 1000, 0}, {60 * 60 * 1000, 0}};
+  auto lt = std::make_shared<tsdb::LongTermStore>(config);
+  TimeSeriesStore hot;
+  for (int s = 0; s < kLongRangeSeries; ++s) {
+    metrics::Labels labels =
+        metrics::Labels{{"hostname", "n" + std::to_string(s % 4)},
+                        {"uuid", std::to_string(s)}}
+            .with_name("m");
+    for (int64_t t = kLongRangeCadenceMs; t <= kLongRangeSpanMs;
+         t += kLongRangeCadenceMs) {
+      hot.append(labels, t, 100.0 + static_cast<double>((t / 15000) % 40));
+    }
+  }
+  lt->sync_from(hot);
+  lt->compact(kLongRangeSpanMs);
+  return lt;
+}
+
+uint64_t ladder_points_scanned(const tsdb::LongTermStore& lt) {
+  tsdb::LongTermSelectStats stats = lt.select_stats();
+  uint64_t total = stats.raw_points_scanned;
+  for (uint64_t points : stats.level_points_scanned) total += points;
+  return total;
+}
+
+// Arg 0: resolution-aware planner on/off. Arg 1: window minutes — the step
+// equals the window (report cadence), so 90 m windows land on the 5 m
+// level (90 % 60 != 0) and 6 h windows on the 1 h level.
+void BM_longrange_aligned_window(benchmark::State& state) {
+  bool aware = state.range(0) != 0;
+  int64_t window_min = state.range(1);
+  auto lt = make_ladder_store();
+  tsdb::promql::EngineOptions options;
+  options.query_cache_capacity = 0;
+  options.resolution_aware = aware;
+  tsdb::promql::Engine engine(options);
+  auto expr = tsdb::promql::parse("sum by (hostname) (avg_over_time(m[" +
+                                  std::to_string(window_min) + "m]))");
+  const int64_t window_ms = window_min * 60000;
+  const int64_t start = kLongRangeSpanMs / 2;
+  uint64_t points_before = ladder_points_scanned(*lt);
+  for (auto _ : state) {
+    auto matrix =
+        engine.eval_range(*lt, expr, start, kLongRangeSpanMs, window_ms);
+    benchmark::DoNotOptimize(matrix);
+  }
+  state.counters["points_scanned_per_query"] =
+      static_cast<double>(ladder_points_scanned(*lt) - points_before) /
+      static_cast<double>(state.iterations());
+  state.counters["window_min"] = static_cast<double>(window_min);
+  state.counters["resolution_aware"] = aware ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_longrange_aligned_window)
+    ->Args({0, 90})
+    ->Args({1, 90})
+    ->Args({0, 360})
+    ->Args({1, 360});
 
 void BM_purge(benchmark::State& state) {
   for (auto _ : state) {

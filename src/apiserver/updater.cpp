@@ -63,11 +63,19 @@ void Updater::poll_managers(common::TimestampMs now, UpdateStats& stats) {
 }
 
 void Updater::update_aggregates(common::TimestampMs now, UpdateStats& stats) {
+  // Aggregation instant: `now`, or the newest grid point at or before it
+  // when windows are aligned. Alignment trades up to align_window_ms of
+  // result freshness for ladder-served queries.
+  common::TimestampMs at = now;
+  if (config_.align_window_ms > 0) {
+    at = tsdb::floor_div(now, config_.align_window_ms) *
+         config_.align_window_ms;
+  }
   if (last_agg_ms_ < 0) {
-    last_agg_ms_ = now;
+    last_agg_ms_ = at;
     return;  // first cycle: establish the window start
   }
-  int64_t window_ms = now - last_agg_ms_;
+  int64_t window_ms = at - last_agg_ms_;
   if (window_ms <= 0) return;
   double window_sec = static_cast<double>(window_ms) / 1000.0;
   std::string window = common::format_duration_ms(window_ms);
@@ -81,7 +89,7 @@ void Updater::update_aggregates(common::TimestampMs now, UpdateStats& stats) {
       -> std::map<uint32_t, double> {
     std::map<uint32_t, double> out;
     try {
-      Value value = engine_.eval(*tsdb_, query, now);
+      Value value = engine_.eval(*tsdb_, query, at);
       if (value.kind != Value::Kind::kVector) return out;
       for (const auto& sample : value.vector) {
         auto uuid = sample.labels.get("uuid");
@@ -122,7 +130,7 @@ void Updater::update_aggregates(common::TimestampMs now, UpdateStats& stats) {
         *tsdb_,
         "avg(avg_over_time(" + config_.emission_metric + "{provider=\"" +
             config_.emission_provider + "\"}[" + window + "]))",
-        now);
+        at);
     if (value.kind == Value::Kind::kVector && !value.vector.empty()) {
       factor = value.vector[0].value;
     }
@@ -186,7 +194,7 @@ void Updater::update_aggregates(common::TimestampMs now, UpdateStats& stats) {
     db_.upsert(kUnitsTable, unit_to_row(unit));
     ++stats.units_aggregated;
   }
-  last_agg_ms_ = now;
+  last_agg_ms_ = at;
 }
 
 void Updater::cleanup_small_units(UpdateStats& stats) {

@@ -31,6 +31,14 @@ struct UpdaterConfig {
   // Units shorter than this get their TSDB series deleted at end of job
   // (0 = never delete).
   int64_t small_unit_cutoff_ms = 0;
+  // When > 0, aggregate queries snap to this grid: the evaluation instant
+  // rounds down to a multiple, so window length and instant are both
+  // grid-aligned and the increase()/avg_over_time() batch queries tile
+  // the long-term store's aggregate buckets — the resolution-aware
+  // planner then answers them from the ladder instead of scanning raw
+  // samples. Set it to the ladder's finest resolution; 0 keeps the
+  // legacy evaluate-at-now behaviour.
+  int64_t align_window_ms = 0;
 };
 
 struct UpdateStats {

@@ -73,6 +73,19 @@ StackConfig load_stack_config(const Json& root) {
         duration_of(*longterm, "resolution", config.longterm.resolution_ms);
     config.longterm.retention_ms =
         duration_of(*longterm, "retention", config.longterm.retention_ms);
+    // Explicit resolution ladder; when present it overrides the legacy
+    // single-level resolution/retention pair.
+    if (auto levels = longterm->get("levels"); levels && levels->is_array()) {
+      for (const auto& level_node : levels->as_array()) {
+        if (!level_node.is_object()) continue;
+        tsdb::AggLevelConfig level;
+        level.resolution_ms =
+            duration_of(level_node, "resolution", level.resolution_ms);
+        level.retention_ms =
+            duration_of(level_node, "retention", level.retention_ms);
+        config.longterm.levels.push_back(level);
+      }
+    }
   }
   if (auto lb = section->get("lb"); lb && lb->is_object()) {
     std::string strategy = lb->get_string("strategy", "round-robin");
@@ -126,6 +139,11 @@ ceems:
     downsample_after: 2h
     resolution: 5m
     retention: 0s          # 0 = keep forever
+    # Optional multi-resolution ladder (overrides resolution/retention):
+    # levels:
+    #   - resolution: 5m
+    #     retention: 30d
+    #   - resolution: 1h
   lb:
     strategy: round-robin  # or least-connection
     backends: 2

@@ -260,6 +260,194 @@ std::shared_ptr<const GorillaChunk> GorillaChunk::from_parts(
   return chunk;
 }
 
+// ---------- aggregate chunks ----------
+
+std::shared_ptr<const AggChunk> AggChunk::encode(const AggBucket* buckets,
+                                                 std::size_t count) {
+  if (count == 0 || count > UINT32_MAX) return nullptr;
+  BitWriter w;
+  // Six value columns, each XOR coded against its own predecessor. The
+  // first write in each stream XORs against 0, which round-trips through
+  // the generic window coding — no special first-value case needed.
+  XorState sum_s, min_s, max_s, first_s, last_s, inc_s;
+  // Bucket-end timestamps: first raw, then delta-of-delta. first_t/last_t
+  // offsets from the bucket end and the sample count are themselves
+  // delta coded — all three are constant under a regular cadence.
+  w.write_bits(static_cast<uint64_t>(buckets[0].t), 64);
+  int64_t prev_t = buckets[0].t;
+  int64_t prev_delta = 0;
+  int64_t prev_first_off = 0, prev_last_off = 0, prev_count = 0;
+  int64_t prev_marker_off = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const AggBucket& b = buckets[i];
+    if (i > 0) {
+      int64_t delta = b.t - prev_t;
+      write_dod(w, delta - prev_delta);
+      prev_delta = delta;
+      prev_t = b.t;
+    }
+    int64_t first_off = b.t - b.first_t;
+    int64_t last_off = b.t - b.last_t;
+    write_dod(w, first_off - prev_first_off);
+    write_dod(w, last_off - prev_last_off);
+    write_dod(w, static_cast<int64_t>(b.count) - prev_count);
+    prev_first_off = first_off;
+    prev_last_off = last_off;
+    prev_count = static_cast<int64_t>(b.count);
+    // Trailing staleness marker: one flag bit, offset delta-coded when set.
+    if (b.marker_t != 0) {
+      w.write_bit(1);
+      int64_t marker_off = b.t - b.marker_t;
+      write_dod(w, marker_off - prev_marker_off);
+      prev_marker_off = marker_off;
+    } else {
+      w.write_bit(0);
+    }
+    write_value(w, sum_s, b.sum);
+    write_value(w, min_s, b.min);
+    write_value(w, max_s, b.max);
+    write_value(w, first_s, b.first_v);
+    write_value(w, last_s, b.last_v);
+    write_value(w, inc_s, b.inc);
+  }
+  return std::shared_ptr<const AggChunk>(
+      new AggChunk(w.take(), static_cast<uint32_t>(count), buckets[0].t,
+                   buckets[count - 1].t));
+}
+
+std::optional<std::vector<AggBucket>> AggChunk::decode() const {
+  g_chunk_decodes.fetch_add(1, std::memory_order_relaxed);
+  if (count_ == 0) return std::nullopt;
+  BitReader r(bytes_);
+  XorState sum_s, min_s, max_s, first_s, last_s, inc_s;
+  std::vector<AggBucket> out;
+  out.reserve(count_);
+  int64_t t = static_cast<int64_t>(r.read_bits(64));
+  if (r.failed()) return std::nullopt;
+  int64_t prev_delta = 0;
+  int64_t prev_first_off = 0, prev_last_off = 0, prev_count = 0;
+  int64_t prev_marker_off = 0;
+  for (uint32_t i = 0; i < count_; ++i) {
+    if (i > 0) {
+      prev_delta += read_dod(r);
+      t += prev_delta;
+    }
+    AggBucket b;
+    b.t = t;
+    prev_first_off += read_dod(r);
+    prev_last_off += read_dod(r);
+    prev_count += read_dod(r);
+    if (prev_count < 0 || prev_count > UINT32_MAX) return std::nullopt;
+    b.first_t = t - prev_first_off;
+    b.last_t = t - prev_last_off;
+    b.count = static_cast<uint32_t>(prev_count);
+    if (r.read_bit()) {
+      prev_marker_off += read_dod(r);
+      b.marker_t = t - prev_marker_off;
+    }
+    if (!read_value(r, sum_s, b.sum) || !read_value(r, min_s, b.min) ||
+        !read_value(r, max_s, b.max) || !read_value(r, first_s, b.first_v) ||
+        !read_value(r, last_s, b.last_v) || !read_value(r, inc_s, b.inc) ||
+        r.failed()) {
+      return std::nullopt;
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+bool AggChunkedSeries::append(const AggBucket& bucket) {
+  if (total_ != 0 && bucket.t <= last_t_) return false;
+  if (head_.size() >= kAggChunkBuckets) {
+    if (auto chunk = AggChunk::encode(head_.data(), head_.size())) {
+      sealed_.push_back(std::move(chunk));
+      head_.clear();
+    }
+  }
+  head_.push_back(bucket);
+  last_t_ = bucket.t;
+  ++total_;
+  return true;
+}
+
+TimestampMs AggChunkedSeries::min_time() const {
+  if (!sealed_.empty()) return sealed_.front()->min_time();
+  if (!head_.empty()) return head_.front().t;
+  return 0;
+}
+
+std::size_t AggChunkedSeries::approx_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& chunk : sealed_) {
+    bytes += chunk->bytes().size() + sizeof(AggChunk);
+  }
+  bytes += head_.capacity() * sizeof(AggBucket);
+  bytes += sealed_.capacity() * sizeof(AggChunkPtr);
+  return bytes;
+}
+
+std::vector<AggBucket> AggChunkedSeries::buckets_between(
+    TimestampMs min_end, TimestampMs max_end) const {
+  std::vector<AggBucket> out;
+  if (min_end > max_end) return out;
+  for (const auto& chunk : sealed_) {
+    if (chunk->max_time() < min_end || chunk->min_time() > max_end) continue;
+    auto decoded = chunk->decode();
+    if (!decoded) continue;
+    if (chunk->min_time() >= min_end && chunk->max_time() <= max_end) {
+      out.insert(out.end(), decoded->begin(), decoded->end());
+      continue;
+    }
+    for (const auto& b : *decoded) {
+      if (b.t >= min_end && b.t <= max_end) out.push_back(b);
+    }
+  }
+  for (const auto& b : head_) {
+    if (b.t >= min_end && b.t <= max_end) out.push_back(b);
+  }
+  return out;
+}
+
+std::size_t AggChunkedSeries::drop_before(TimestampMs cutoff) {
+  std::size_t dropped = 0;
+  std::vector<AggChunkPtr> kept;
+  kept.reserve(sealed_.size());
+  for (auto& chunk : sealed_) {
+    if (chunk->max_time() < cutoff) {
+      dropped += chunk->count();
+      continue;
+    }
+    if (chunk->min_time() >= cutoff) {
+      kept.push_back(std::move(chunk));
+      continue;
+    }
+    auto decoded = chunk->decode();
+    if (!decoded) {
+      kept.push_back(std::move(chunk));
+      continue;
+    }
+    std::vector<AggBucket> survivors;
+    for (const auto& b : *decoded) {
+      if (b.t >= cutoff) survivors.push_back(b);
+    }
+    dropped += decoded->size() - survivors.size();
+    if (!survivors.empty()) {
+      if (auto re = AggChunk::encode(survivors.data(), survivors.size()))
+        kept.push_back(std::move(re));
+    }
+  }
+  sealed_ = std::move(kept);
+  std::size_t head_kept = 0;
+  for (const auto& b : head_) {
+    if (b.t >= cutoff) head_[head_kept++] = b;
+  }
+  dropped += head_.size() - head_kept;
+  head_.resize(head_kept);
+  total_ -= dropped;
+  if (total_ == 0) last_t_ = 0;
+  return dropped;
+}
+
 std::size_t SeriesView::sample_count() const {
   std::size_t n = 0;
   for (const auto& slice : slices) n += slice.count();

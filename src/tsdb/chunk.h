@@ -154,6 +154,145 @@ struct SeriesView {
 // hour at a 30s scrape interval).
 inline constexpr std::size_t kChunkSamples = 120;
 
+// ---------- multi-resolution aggregate chunks ----------
+//
+// The Thanos-compactor analogue: pre-aggregated per-bucket columns so
+// long-range window queries fold a handful of buckets instead of decoding
+// every raw sample. `t` is the bucket END boundary; the bucket covers raw
+// samples with timestamps in (t - resolution, t] — left-open exactly like
+// PromQL range selectors, so a window aligned to bucket boundaries tiles a
+// whole number of buckets. The aggregate columns are computed over the
+// bucket's samples with staleness markers filtered out (they feed
+// range-function windows, which never see markers); a trailing marker is
+// remembered separately in `marker_t` so the last-per-bucket history the
+// long-term store synthesises for legacy readers keeps hiding resolved
+// series, exactly like the raw tail would.
+//
+// The column set is what the exactness proofs in DESIGN.md §10 need:
+// count/sum/min/max answer the *_over_time family, first/last values and
+// timestamps anchor window boundaries and the rate extrapolation, and
+// `inc` (the positive-delta fold within the bucket, i.e. Thanos' counter
+// aggregate) stitches reset-aware increase/rate across bucket boundaries.
+struct AggBucket {
+  TimestampMs t = 0;        // bucket end boundary
+  uint32_t count = 0;       // non-marker samples aggregated (NaN included)
+  double sum = 0;           // left-fold of sample values in time order
+  double min = 0;           // min over non-NaN samples (NaN if none)
+  double max = 0;           // max over non-NaN samples (NaN if none)
+  double first_v = 0;       // first sample value in the bucket
+  double last_v = 0;        // last sample value in the bucket
+  double inc = 0;           // counter increase within the bucket
+  TimestampMs first_t = 0;  // timestamp of the first sample
+  TimestampMs last_t = 0;   // timestamp of the last sample
+  // When the bucket's chronologically last sample (markers included) is a
+  // staleness marker, its timestamp; 0 otherwise. count == 0 with a set
+  // marker_t means the bucket held only markers.
+  TimestampMs marker_t = 0;
+};
+
+// One sealed, immutable compressed run of aggregate buckets. Bucket-end
+// timestamps are delta-of-delta coded like raw chunk timestamps;
+// first_t/last_t ride as deltas of their offset from the bucket end (zero
+// bits per bucket under a regular scrape cadence); the six value columns
+// are XOR coded, each against its own predecessor, so slowly-varying
+// aggregates cost a few bits per bucket. Bit-lossless, like GorillaChunk.
+class AggChunk {
+ public:
+  // Encodes `count` time-ordered buckets (strictly increasing t, count>=1).
+  static std::shared_ptr<const AggChunk> encode(const AggBucket* buckets,
+                                                std::size_t count);
+
+  // Decodes every bucket. Returns nullopt on a malformed byte stream
+  // (cannot happen for chunks built by encode()).
+  std::optional<std::vector<AggBucket>> decode() const;
+
+  uint32_t count() const { return count_; }
+  TimestampMs min_time() const { return min_t_; }  // first bucket end
+  TimestampMs max_time() const { return max_t_; }  // last bucket end
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  AggChunk(std::vector<uint8_t> bytes, uint32_t count, TimestampMs min_t,
+           TimestampMs max_t)
+      : bytes_(std::move(bytes)), count_(count), min_t_(min_t), max_t_(max_t) {}
+
+  std::vector<uint8_t> bytes_;
+  uint32_t count_;
+  TimestampMs min_t_;
+  TimestampMs max_t_;
+};
+
+using AggChunkPtr = std::shared_ptr<const AggChunk>;
+
+// A materialised aggregate view of one series at one resolution level, as
+// returned by Queryable::select_agg(). Buckets are time-ordered and the
+// view is only handed out when the level covers the requested span exactly,
+// so an absent bucket means "no raw samples in that bucket".
+struct AggSeriesView {
+  metrics::Labels labels;
+  std::vector<AggBucket> buckets;
+};
+
+// Buckets-per-chunk seal threshold. 120 five-minute buckets = 10 h per
+// sealed aggregate chunk.
+inline constexpr std::size_t kAggChunkBuckets = 120;
+
+// Floor division (round toward -inf), so bucket boundaries are stable
+// across t = 0 — C++ integer division truncates toward zero instead.
+constexpr int64_t floor_div(int64_t a, int64_t b) {
+  return a / b - ((a % b != 0 && (a < 0) != (b < 0)) ? 1 : 0);
+}
+
+// Non-negative remainder of a modulo b (b > 0) — the planner's alignment
+// checks must treat negative timestamps consistently with floor_div.
+constexpr int64_t floor_mod(int64_t a, int64_t b) {
+  return a - floor_div(a, b) * b;
+}
+
+// End boundary of the bucket containing sample timestamp t at the given
+// resolution: the smallest multiple of resolution_ms that is >= t (buckets
+// are left-open, so a sample exactly on a boundary belongs to the bucket
+// ending there).
+constexpr TimestampMs agg_bucket_end(TimestampMs t, int64_t resolution_ms) {
+  return floor_div(t - 1, resolution_ms) * resolution_ms + resolution_ms;
+}
+
+// Sealed aggregate chunks plus a small mutable head of buckets — the same
+// surface shape as ChunkedSeries, at bucket granularity. Appends must carry
+// strictly increasing bucket-end timestamps (compaction only ever emits
+// complete buckets in time order).
+class AggChunkedSeries {
+ public:
+  // Rejects (returns false) buckets not strictly newer than the last one.
+  bool append(const AggBucket& bucket);
+
+  std::size_t num_buckets() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  TimestampMs min_time() const;
+  TimestampMs max_time() const { return last_t_; }
+
+  // Sealed chunk bytes + head capacity, for StorageStats accounting.
+  std::size_t approx_bytes() const;
+
+  // Materialised buckets with end timestamps in [min_end, max_end].
+  // Straddling chunks decode and filter; fully-covered chunks decode once.
+  std::vector<AggBucket> buckets_between(TimestampMs min_end,
+                                         TimestampMs max_end) const;
+
+  // Drops buckets with end < cutoff; returns how many were dropped. A
+  // chunk straddling the cutoff is decoded, filtered and re-sealed.
+  std::size_t drop_before(TimestampMs cutoff);
+
+  const std::vector<AggChunkPtr>& sealed() const { return sealed_; }
+  const std::vector<AggBucket>& head() const { return head_; }
+
+ private:
+  std::vector<AggChunkPtr> sealed_;
+  std::vector<AggBucket> head_;
+  TimestampMs last_t_ = 0;
+  std::size_t total_ = 0;
+};
+
 enum class AppendResult { kRejected, kAppended, kOverwrote };
 
 class ChunkedSeries {

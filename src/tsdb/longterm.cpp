@@ -1,11 +1,94 @@
 #include "tsdb/longterm.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
+
+#include "metrics/model.h"
 
 namespace ceems::tsdb {
 
-LongTermStore::LongTermStore(LongTermConfig config) : config_(config) {}
+namespace {
+
+bool matches_all(const std::vector<LabelMatcher>& matchers,
+                 const Labels& labels) {
+  for (const auto& matcher : matchers) {
+    if (!matcher.matches(labels)) return false;
+  }
+  return true;
+}
+
+// A freshly-opened bucket: min/max start as NaN ("no non-NaN sample seen
+// yet"), sum starts at 0 so the bucket fold is the same left fold the
+// engine's sum_over_time runs.
+AggBucket open_bucket(TimestampMs end) {
+  AggBucket bucket;
+  bucket.t = end;
+  bucket.min = std::numeric_limits<double>::quiet_NaN();
+  bucket.max = bucket.min;
+  return bucket;
+}
+
+// Folds one raw sample into an open bucket. Mirrors the engine's window
+// folds exactly (DESIGN.md §10): staleness markers touch only marker_t
+// (range windows filter them before folding), sum is a left fold in time
+// order, min/max keep the earliest strict extremum over non-NaN samples
+// (NaN while none seen), and inc is the positive-delta fold
+// counter_increase() computes over the bucket's sample pairs.
+void fold_sample(AggBucket& bucket, TimestampMs t, double v) {
+  if (metrics::is_stale_marker(v)) {
+    bucket.marker_t = t;
+    return;
+  }
+  bucket.marker_t = 0;
+  if (bucket.count == 0) {
+    bucket.first_t = t;
+    bucket.first_v = v;
+  } else {
+    double delta = v - bucket.last_v;
+    bucket.inc += delta >= 0 ? delta : v;
+  }
+  if (!std::isnan(v)) {
+    if (std::isnan(bucket.min)) {
+      bucket.min = v;
+      bucket.max = v;
+    } else {
+      if (v < bucket.min) bucket.min = v;
+      if (bucket.max < v) bucket.max = v;
+    }
+  }
+  bucket.sum += v;
+  bucket.last_t = t;
+  bucket.last_v = v;
+  ++bucket.count;
+}
+
+}  // namespace
+
+LongTermStore::LongTermStore(LongTermConfig config)
+    : config_(std::move(config)) {
+  std::vector<AggLevelConfig> ladder = config_.levels;
+  if (ladder.empty()) {
+    ladder.push_back({config_.resolution_ms, config_.retention_ms});
+  }
+  ladder.erase(std::remove_if(
+                   ladder.begin(), ladder.end(),
+                   [](const AggLevelConfig& l) { return l.resolution_ms <= 0; }),
+               ladder.end());
+  std::sort(ladder.begin(), ladder.end(),
+            [](const AggLevelConfig& a, const AggLevelConfig& b) {
+              return a.resolution_ms < b.resolution_ms;
+            });
+  levels_.reserve(ladder.size());
+  for (const auto& level_config : ladder) {
+    AggLevel level;
+    level.config = level_config;
+    levels_.push_back(std::move(level));
+  }
+  select_stats_.level_hits.assign(levels_.size(), 0);
+  select_stats_.level_points_scanned.assign(levels_.size(), 0);
+}
 
 std::size_t LongTermStore::sync_from(const TimeSeriesStore& hot) {
   std::lock_guard lock(mu_);
@@ -19,26 +102,106 @@ std::size_t LongTermStore::sync_from(const TimeSeriesStore& hot) {
   return copied;
 }
 
-void LongTermStore::compact(common::TimestampMs now) {
-  std::lock_guard lock(mu_);
-  TimestampMs cutoff = now - config_.downsample_after_ms;
-  if (cutoff > downsample_cursor_) {
-    // Bucketize everything in [downsample_cursor_, cutoff) into the coarse
-    // resolution, keeping the last sample per bucket.
-    for (const auto& view : raw_.select({}, downsample_cursor_, cutoff - 1)) {
-      std::map<int64_t, SamplePoint> buckets;
-      for (const auto& sample : view.samples()) {
-        buckets[sample.t / config_.resolution_ms] = sample;
-      }
-      for (const auto& [bucket, sample] : buckets) {
-        downsampled_.append(view.labels, sample.t, sample.v);
+TimestampMs LongTermStore::align_down_all_levels(TimestampMs t) const {
+  // For a nested ladder (each coarser width a multiple of the finer ones)
+  // one pass floors to the coarsest boundary and the loop exits after the
+  // verification sweep; for non-nested widths it walks down to the nearest
+  // common boundary.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& level : levels_) {
+      const int64_t res = level.config.resolution_ms;
+      TimestampMs aligned = floor_div(t, res) * res;
+      if (aligned != t) {
+        t = aligned;
+        changed = true;
       }
     }
-    raw_.purge_before(cutoff);
-    downsample_cursor_ = cutoff;
   }
-  if (config_.retention_ms > 0) {
-    downsampled_.purge_before(now - config_.retention_ms);
+  return t;
+}
+
+void LongTermStore::compact(common::TimestampMs now) {
+  std::lock_guard lock(mu_);
+
+  // 1. Advance each level's cursor to the newest bucket boundary the
+  //    synced data has fully passed and fold the raw samples in between.
+  //    The replication invariant (sync_from only ever observes timestamps
+  //    beyond the sync cursor) is what makes a bucket whose end the cursor
+  //    passed final: no sample at or before sync_cursor_ can arrive later.
+  if (sync_cursor_ >= 0) {
+    for (auto& level : levels_) {
+      const int64_t res = level.config.resolution_ms;
+      TimestampMs target = floor_div(sync_cursor_, res) * res;
+      if (level.cursor_ms != INT64_MIN && target <= level.cursor_ms) continue;
+      TimestampMs from =
+          level.cursor_ms == INT64_MIN ? INT64_MIN : level.cursor_ms + 1;
+      for (const auto& view : raw_.select({}, from, target)) {
+        auto& series = level.series[view.labels];
+        AggBucket bucket;
+        bool open = false;
+        for (const auto& sample : view.samples()) {
+          TimestampMs end = agg_bucket_end(sample.t, res);
+          if (open && end != bucket.t) {
+            if (series.append(bucket)) ++level.num_buckets;
+            open = false;
+          }
+          if (!open) {
+            bucket = open_bucket(end);
+            open = true;
+          }
+          fold_sample(bucket, sample.t, sample.v);
+        }
+        if (open && series.append(bucket)) ++level.num_buckets;
+      }
+      level.cursor_ms = target;
+      ++level.version;
+    }
+  }
+
+  // 2. Purge raw data past the downsample horizon, aligned down to a
+  //    boundary every level has both reached and can represent — so the
+  //    finest level's last-per-bucket synthesis seamlessly takes over as
+  //    the history select() serves.
+  TimestampMs boundary = now - config_.downsample_after_ms;
+  for (const auto& level : levels_) {
+    if (level.cursor_ms == INT64_MIN) {
+      boundary = INT64_MIN;
+      break;
+    }
+    boundary = std::min(boundary, level.cursor_ms);
+  }
+  if (boundary != INT64_MIN) boundary = align_down_all_levels(boundary);
+  if (boundary != INT64_MIN &&
+      (raw_purged_end_ == INT64_MIN || boundary > raw_purged_end_)) {
+    raw_.purge_before(boundary + 1);  // keep only t > boundary: a sample at
+                                      // exactly the boundary lives in the
+                                      // bucket ending there, not in raw
+    raw_purged_end_ = boundary;
+  }
+
+  // 3. Per-level retention: drop buckets whose end is older than the
+  //    horizon. purged_end_ms only advances when something was actually
+  //    dropped — an untouched empty span still has exact (vacuous)
+  //    coverage.
+  for (auto& level : levels_) {
+    if (level.config.retention_ms <= 0) continue;
+    TimestampMs keep_from = now - level.config.retention_ms;
+    std::size_t dropped = 0;
+    for (auto it = level.series.begin(); it != level.series.end();) {
+      dropped += it->second.drop_before(keep_from);
+      if (it->second.empty()) {
+        it = level.series.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (dropped > 0) {
+      level.num_buckets -= dropped;
+      level.purged_end_ms = std::max(level.purged_end_ms, keep_from - 1);
+      ++level.version;
+    }
   }
 }
 
@@ -46,23 +209,50 @@ std::vector<SeriesView> LongTermStore::select(
     const std::vector<LabelMatcher>& matchers, TimestampMs min_t,
     TimestampMs max_t) const {
   std::lock_guard lock(mu_);
-  std::vector<SeriesView> coarse = downsampled_.select(matchers, min_t, max_t);
+  ++select_stats_.raw_selects;
+
+  // History the raw side no longer covers, synthesised from the finest
+  // aggregate level as one last-sample-per-bucket point each — the same
+  // shape the old single-level downsample produced, including a trailing
+  // staleness marker when the bucket ended with one.
+  std::map<Labels, SeriesView> merged;
+  if (!levels_.empty() && raw_purged_end_ != INT64_MIN && min_t <= max_t) {
+    const AggLevel& finest = levels_.front();
+    const int64_t res = finest.config.resolution_ms;
+    TimestampMs hi_end = std::min(raw_purged_end_, agg_bucket_end(max_t, res));
+    for (const auto& [labels, series] : finest.series) {
+      if (!matches_all(matchers, labels)) continue;
+      std::vector<SamplePoint> points;
+      for (const auto& bucket : series.buckets_between(min_t, hi_end)) {
+        SamplePoint point;
+        if (bucket.marker_t != 0) {
+          point = {bucket.marker_t, metrics::stale_marker()};
+        } else if (bucket.count > 0) {
+          point = {bucket.last_t, bucket.last_v};
+        } else {
+          continue;
+        }
+        if (point.t < min_t || point.t > max_t) continue;
+        points.push_back(point);
+      }
+      if (points.empty()) continue;
+      Labels key = labels;
+      merged.emplace(std::move(key),
+                     SeriesView::owned(labels, std::move(points)));
+    }
+  }
+
   std::vector<SeriesView> fine = raw_.select(matchers, min_t, max_t);
 
-  // Merge per label set: downsampled history followed by the raw tail.
+  // Merge per label set: synthesised history followed by the raw tail.
   // Keyed by the full label set, not its fingerprint — two distinct label
   // sets whose fingerprints collide must stay distinct series. Series
-  // present on only one side keep their chunk-backed views. Straddling
-  // series are spliced slice-wise: compact() moves raw data into the
-  // coarse store before purging it, so every raw slice is strictly newer
-  // than the coarse end and rides along still-compressed — no
-  // materialisation, no decode. The decode-and-filter branch below only
-  // fires if that invariant is ever broken.
-  std::map<Labels, SeriesView> merged;
-  for (auto& view : coarse) {
-    Labels key = view.labels;
-    merged.emplace(std::move(key), std::move(view));
-  }
+  // present on only one side keep their views. Straddling series are
+  // spliced slice-wise: raw is only purged up to a boundary the ladder has
+  // fully aggregated, so every raw slice is strictly newer than the
+  // history's end and rides along still-compressed — no materialisation,
+  // no decode. The decode-and-filter branch below only fires if that
+  // invariant is ever broken.
   std::size_t spliced_count = 0;
   for (auto& view : fine) {
     auto it = merged.find(view.labels);
@@ -105,8 +295,48 @@ std::vector<SeriesView> LongTermStore::select(
   std::vector<SeriesView> out;
   out.reserve(merged.size());
   // Map iteration is ordered by labels, so output stays deterministic.
-  for (auto& [key, view] : merged) out.push_back(std::move(view));
+  for (auto& [key, view] : merged) {
+    select_stats_.raw_points_scanned += view.sample_count();
+    out.push_back(std::move(view));
+  }
   return out;
+}
+
+std::vector<int64_t> LongTermStore::agg_resolutions() const {
+  std::vector<int64_t> out;
+  out.reserve(levels_.size());
+  for (const auto& level : levels_) out.push_back(level.config.resolution_ms);
+  return out;
+}
+
+std::optional<std::vector<AggSeriesView>> LongTermStore::select_agg(
+    int64_t resolution_ms, const std::vector<LabelMatcher>& matchers,
+    TimestampMs min_end, TimestampMs max_end) const {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const AggLevel& level = levels_[i];
+    if (level.config.resolution_ms != resolution_ms) continue;
+    // Exact coverage only: complete on the right (cursor has passed the
+    // last requested bucket) and unpurged on the left.
+    if (level.cursor_ms == INT64_MIN || max_end > level.cursor_ms ||
+        min_end <= level.purged_end_ms) {
+      break;
+    }
+    std::vector<AggSeriesView> out;
+    std::size_t rows = 0;
+    for (const auto& [labels, series] : level.series) {
+      if (!matches_all(matchers, labels)) continue;
+      auto buckets = series.buckets_between(min_end, max_end);
+      if (buckets.empty()) continue;
+      rows += buckets.size();
+      out.push_back({labels, std::move(buckets)});
+    }
+    ++select_stats_.level_hits[i];
+    select_stats_.level_points_scanned[i] += rows;
+    return out;
+  }
+  ++select_stats_.agg_rejects;
+  return std::nullopt;
 }
 
 LongTermSelectStats LongTermStore::select_stats() const {
@@ -116,15 +346,28 @@ LongTermSelectStats LongTermStore::select_stats() const {
 
 std::vector<uint64_t> LongTermStore::version_signature() const {
   std::vector<uint64_t> out = raw_.version_signature();
-  std::vector<uint64_t> coarse = downsampled_.version_signature();
-  out.insert(out.end(), coarse.begin(), coarse.end());
+  std::lock_guard lock(mu_);
+  out.reserve(out.size() + levels_.size());
+  for (const auto& level : levels_) out.push_back(level.version);
+  return out;
+}
+
+StorageStats LongTermStore::downsampled_stats() const {
+  std::lock_guard lock(mu_);
+  StorageStats out;
+  for (const auto& level : levels_) {
+    out.num_series = std::max(out.num_series, level.series.size());
+    out.num_samples += level.num_buckets;
+    for (const auto& [labels, series] : level.series) {
+      out.approx_bytes += series.approx_bytes();
+    }
+  }
   return out;
 }
 
 StorageStats LongTermStore::stats() const {
-  std::lock_guard lock(mu_);
   StorageStats raw = raw_.stats();
-  StorageStats coarse = downsampled_.stats();
+  StorageStats coarse = downsampled_stats();
   StorageStats out;
   out.num_series = std::max(raw.num_series, coarse.num_series);
   out.num_samples = raw.num_samples + coarse.num_samples;

@@ -199,6 +199,102 @@ bool is_range_function(const std::string& func) {
   return std::find(kFuncs.begin(), kFuncs.end(), func) != kFuncs.end();
 }
 
+// ---------- resolution-aware planning ----------
+//
+// The window functions the aggregate-bucket columns can answer *exactly*
+// when the window tiles whole buckets: count/min/max reproduce the raw
+// fold bit for bit unconditionally, sum/avg/rate/increase reproduce it
+// under exact arithmetic (partial sums regroup the same terms — see
+// DESIGN.md §10 for the per-function argument). Everything else falls
+// back to raw samples.
+bool is_agg_plannable_function(const std::string& func) {
+  return func == "sum_over_time" || func == "avg_over_time" ||
+         func == "min_over_time" || func == "max_over_time" ||
+         func == "count_over_time" || func == "rate" || func == "increase";
+}
+
+// Folds one window's worth of aggregate buckets — the bucket analogue of
+// eval_range_function over raw samples. `buckets` are the (time-ordered)
+// buckets whose end lies inside the window; count-0 rows (marker-only
+// buckets) contribute nothing, exactly like the raw path where markers
+// are filtered before the window fold.
+bool eval_agg_window(const std::string& func, const AggBucket* buckets,
+                     std::size_t n, double& result) {
+  uint64_t total = 0;
+  const AggBucket* first = nullptr;
+  const AggBucket* last = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (buckets[i].count == 0) continue;
+    total += buckets[i].count;
+    if (!first) first = &buckets[i];
+    last = &buckets[i];
+  }
+  if (total == 0) return false;
+  if (func == "count_over_time") {
+    result = static_cast<double>(total);
+    return true;
+  }
+  if (func == "sum_over_time" || func == "avg_over_time") {
+    double acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (buckets[i].count > 0) acc += buckets[i].sum;
+    }
+    result = func[0] == 's' ? acc : acc / static_cast<double>(total);
+    return true;
+  }
+  if (func == "min_over_time" || func == "max_over_time") {
+    // The raw fold sticks on a NaN first sample; the window's first sample
+    // is the first nonempty bucket's first sample.
+    if (std::isnan(first->first_v)) {
+      result = first->first_v;
+      return true;
+    }
+    bool is_min = func[1] == 'i';
+    double best = 0;
+    bool seen = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (buckets[i].count == 0) continue;
+      double candidate = is_min ? buckets[i].min : buckets[i].max;
+      if (std::isnan(candidate)) continue;  // bucket had no non-NaN sample
+      if (!seen) {
+        best = candidate;
+        seen = true;
+      } else if (is_min ? candidate < best : best < candidate) {
+        best = candidate;
+      }
+    }
+    // `first->first_v` is non-NaN, so its bucket min/max is too.
+    result = best;
+    return true;
+  }
+  if (func == "rate" || func == "increase") {
+    if (total < 2) return false;
+    // Within-bucket increases plus the reset-aware delta across each pair
+    // of adjacent nonempty buckets — the same positive-delta terms the
+    // raw counter_increase fold adds, regrouped.
+    double acc = 0;
+    const AggBucket* prev = nullptr;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (buckets[i].count == 0) continue;
+      if (prev) {
+        double delta = buckets[i].first_v - prev->last_v;
+        acc += delta >= 0 ? delta : buckets[i].first_v;
+      }
+      acc += buckets[i].inc;
+      prev = &buckets[i];
+    }
+    if (func == "increase") {
+      result = acc;
+      return true;
+    }
+    double span_sec = static_cast<double>(last->last_t - first->first_t) / 1000.0;
+    if (span_sec <= 0) return false;
+    result = acc / span_sec;
+    return true;
+  }
+  return false;
+}
+
 // ---------- binary operators ----------
 
 bool is_comparison(const std::string& op) {
@@ -431,8 +527,16 @@ InstantVector eval_aggregate(const Expr& expr, const InstantVector& input,
 // what makes the two paths bit-identical by construction.
 class Evaluator {
  public:
-  Evaluator(const Queryable& source, TimestampMs t, int64_t lookback_ms)
-      : source_(source), t_(t), lookback_ms_(lookback_ms) {}
+  // resolution_aware enables the aggregate-ladder fast path for covered
+  // range-function calls (instant queries). The per-step range oracle
+  // constructs its evaluators with it off, so oracle results always come
+  // from raw samples.
+  Evaluator(const Queryable& source, TimestampMs t, int64_t lookback_ms,
+            bool resolution_aware = false)
+      : source_(source),
+        t_(t),
+        lookback_ms_(lookback_ms),
+        resolution_aware_(resolution_aware) {}
   virtual ~Evaluator() = default;
 
   // Moves the evaluation instant; streaming cursors require calls with
@@ -500,12 +604,36 @@ class Evaluator {
   }
   // Incremental fast path for a range function applied directly to a
   // matrix selector. Returns false to fall through to the generic
-  // materialise-and-fold path.
+  // materialise-and-fold path. The base implementation serves covered,
+  // bucket-aligned windows from the source's aggregate ladder (the
+  // instant-query analogue of the streaming planner); RangeEvaluator
+  // overrides it with prepared raw arrays and per-query aggregate plans.
   virtual bool range_call(const std::string& func, const Expr& call,
                           InstantVector& out) {
-    (void)func;
-    (void)call;
-    (void)out;
+    if (!resolution_aware_ || !is_agg_plannable_function(func)) return false;
+    const Expr& matrix = *call.args[0];
+    if (matrix.range_ms <= 0) return false;
+    std::vector<int64_t> resolutions = source_.agg_resolutions();
+    TimestampMs at = t_ - matrix.offset_ms;
+    for (auto it = resolutions.rbegin(); it != resolutions.rend(); ++it) {
+      const int64_t res = *it;
+      if (res <= 0 || matrix.range_ms % res != 0 || floor_mod(at, res) != 0) {
+        continue;
+      }
+      // Window (at-range, at] tiles buckets ending in [at-range+res, at].
+      auto views = source_.select_agg(res, full_matchers(matrix),
+                                      at - matrix.range_ms + res, at);
+      if (!views) continue;  // incomplete coverage: try a finer level
+      out.reserve(views->size());
+      for (const auto& view : *views) {
+        double result = 0;
+        if (eval_agg_window(func, view.buckets.data(), view.buckets.size(),
+                            result)) {
+          out.push_back({view.labels.without_name(), result});
+        }
+      }
+      return true;
+    }
     return false;
   }
 
@@ -795,6 +923,7 @@ class Evaluator {
   const Queryable& source_;
   TimestampMs t_;
   int64_t lookback_ms_;
+  bool resolution_aware_;
 };
 
 // ---------- streaming range evaluation ----------
@@ -824,6 +953,25 @@ void collect_selectors(const ExprPtr& expr, std::vector<const Expr*>& out) {
   for (const auto& arg : expr->args) collect_selectors(arg, out);
 }
 
+// Calls of a plannable window function applied directly to a matrix
+// selector — the only shape the aggregate ladder can serve. A matrix
+// selector consumed any other way (bare, predict_linear, an uncovered
+// function) always reads raw samples.
+void collect_plannable_calls(const ExprPtr& expr,
+                             std::vector<const Expr*>& out) {
+  if (!expr) return;
+  if (expr->kind == Expr::Kind::kCall && expr->args.size() == 1 &&
+      expr->args[0]->kind == Expr::Kind::kMatrixSelector &&
+      is_agg_plannable_function(expr->func)) {
+    out.push_back(expr.get());
+  }
+  collect_plannable_calls(expr->lhs, out);
+  collect_plannable_calls(expr->rhs, out);
+  collect_plannable_calls(expr->agg_expr, out);
+  collect_plannable_calls(expr->agg_param, out);
+  for (const auto& arg : expr->args) collect_plannable_calls(arg, out);
+}
+
 struct PreparedSeries {
   Labels labels;
   // Full-span, time-ordered. Matrix selectors store the series with
@@ -840,20 +988,65 @@ struct PreparedSelector {
   std::vector<PreparedSeries> series;
 };
 
+// A matrix selector the planner bound to an aggregate level for the whole
+// query: every step's window folds bucket rows from these views instead
+// of raw samples.
+struct PreparedAggPlan {
+  int64_t resolution_ms = 0;
+  std::vector<AggSeriesView> series;  // sorted by labels, like select()
+};
+
 class RangeEvalContext {
  public:
   RangeEvalContext(const Queryable& source, const ExprPtr& root,
-                   TimestampMs start, TimestampMs end, int64_t lookback_ms,
-                   common::ThreadPool* pool) {
+                   TimestampMs start, TimestampMs end, int64_t step_ms,
+                   int64_t lookback_ms, common::ThreadPool* pool,
+                   bool resolution_aware) {
     std::vector<const Expr*> nodes;
     collect_selectors(root, nodes);
 
-    // Phase 1: one full-span select per selector node. The span is the
-    // union of every step's window, so each step's view of the data is a
-    // sub-range of what we hold.
+    // Phase 0: resolution planning. For each covered call whose window
+    // grid aligns to a level's bucket boundaries — (start-offset) on a
+    // boundary, step and range whole multiples of the bucket width, so
+    // every step's window tiles whole buckets — bind the coarsest level
+    // that covers the query's full bucket span exactly. Anything
+    // unaligned or uncovered keeps the raw path, bit-identical to the
+    // planner-off evaluation.
+    if (resolution_aware && step_ms > 0 && end >= start) {
+      std::vector<const Expr*> calls;
+      collect_plannable_calls(root, calls);
+      std::vector<int64_t> resolutions =
+          calls.empty() ? std::vector<int64_t>{} : source.agg_resolutions();
+      TimestampMs last_step = start + ((end - start) / step_ms) * step_ms;
+      for (const Expr* call : calls) {
+        const Expr* matrix = call->args[0].get();
+        if (matrix->range_ms <= 0 || agg_plans_.count(matrix)) continue;
+        TimestampMs first_at = start - matrix->offset_ms;
+        for (auto it = resolutions.rbegin(); it != resolutions.rend(); ++it) {
+          const int64_t res = *it;
+          if (res <= 0 || matrix->range_ms % res != 0 ||
+              step_ms % res != 0 || floor_mod(first_at, res) != 0) {
+            continue;
+          }
+          auto agg_views = source.select_agg(
+              res, full_matchers(*matrix), first_at - matrix->range_ms + res,
+              last_step - matrix->offset_ms);
+          if (!agg_views) continue;  // incomplete coverage: try finer
+          agg_plans_.emplace(matrix,
+                             PreparedAggPlan{res, std::move(*agg_views)});
+          break;
+        }
+      }
+    }
+
+    // Phase 1: one full-span select per selector node (skipped for nodes
+    // the planner bound to a level — that is the points-scanned win). The
+    // span is the union of every step's window, so each step's view of
+    // the data is a sub-range of what we hold.
     std::vector<std::vector<SeriesView>> views(nodes.size());
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const Expr* node = nodes[i];
+      if (agg_plans_.count(node)) continue;
       TimestampMs hi = end - node->offset_ms;
       TimestampMs lo = node->kind == Expr::Kind::kMatrixSelector
                            ? start - node->offset_ms - node->range_ms + 1
@@ -921,9 +1114,17 @@ class RangeEvalContext {
     return selectors_[index_.at(node)];
   }
 
+  // The aggregate plan bound to a matrix-selector node, or nullptr when
+  // the node evaluates from raw samples.
+  const PreparedAggPlan* agg_plan(const Expr* node) const {
+    auto it = agg_plans_.find(node);
+    return it == agg_plans_.end() ? nullptr : &it->second;
+  }
+
  private:
   std::vector<PreparedSelector> selectors_;
   std::unordered_map<const Expr*, std::size_t> index_;
+  std::unordered_map<const Expr*, PreparedAggPlan> agg_plans_;
   DecodedChunkCache cache_;
 };
 
@@ -986,6 +1187,33 @@ class RangeEvaluator final : public Evaluator {
   bool range_call(const std::string& func, const Expr& call,
                   InstantVector& out) override {
     const Expr& matrix = *call.args[0];
+    if (const PreparedAggPlan* plan = ctx_.agg_plan(&matrix)) {
+      // Planned call: fold bucket rows. The plan is only ever bound when
+      // every step window tiles whole buckets, so the bucket cursor is
+      // the raw WindowCursor one level up.
+      auto& cursors = agg_cursors_[&call];
+      cursors.resize(plan->series.size());
+      TimestampMs at = time() - matrix.offset_ms;
+      out.reserve(plan->series.size());
+      for (std::size_t i = 0; i < plan->series.size(); ++i) {
+        const auto& buckets = plan->series[i].buckets;
+        AggCursor& cursor = cursors[i];
+        while (cursor.hi < buckets.size() && buckets[cursor.hi].t <= at) {
+          ++cursor.hi;
+        }
+        while (cursor.lo < cursor.hi &&
+               buckets[cursor.lo].t <= at - matrix.range_ms) {
+          ++cursor.lo;
+        }
+        double result = 0;
+        if (cursor.lo < cursor.hi &&
+            eval_agg_window(func, buckets.data() + cursor.lo,
+                            cursor.hi - cursor.lo, result)) {
+          out.push_back({plan->series[i].labels.without_name(), result});
+        }
+      }
+      return true;
+    }
     const PreparedSelector& selector = ctx_.selector(&matrix);
     auto& states = call_states_[&call];
     states.resize(selector.series.size());
@@ -1123,10 +1351,18 @@ class RangeEvaluator final : public Evaluator {
     return eval_range_function(func, samples.data() + lo, n, result);
   }
 
+  // Per-series cursor over a planned call's bucket-end timestamps; same
+  // monotone two-pointer sweep as WindowCursor, but over bucket rows.
+  struct AggCursor {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+  };
+
   const RangeEvalContext& ctx_;
   std::unordered_map<const Expr*, std::vector<std::size_t>> instant_cursors_;
   std::unordered_map<const Expr*, std::vector<WindowCursor>> window_cursors_;
   std::unordered_map<const Expr*, std::vector<SeriesWindowState>> call_states_;
+  std::unordered_map<const Expr*, std::vector<AggCursor>> agg_cursors_;
 };
 
 // Folds one step's Value into the fingerprint-keyed accumulator shared by
@@ -1198,7 +1434,9 @@ std::map<uint64_t, Series> run_steps_chunked(
 
 Value Engine::eval(const Queryable& source, const ExprPtr& expr,
                    TimestampMs t) const {
-  return Evaluator(source, t, options_.lookback_ms).eval(expr);
+  return Evaluator(source, t, options_.lookback_ms,
+                   options_.resolution_aware)
+      .eval(expr);
 }
 
 Value Engine::eval(const Queryable& source, const std::string& expr,
@@ -1210,8 +1448,13 @@ std::map<uint64_t, Series> Engine::eval_range_steps(
     const Queryable& source, const ExprPtr& expr, TimestampMs start,
     TimestampMs end, int64_t step_ms) const {
   std::map<uint64_t, Series> by_labels;
+  // Oracle purity: the per-step path always evaluates raw, independent of
+  // resolution_aware, so it stays the differential reference for both the
+  // streaming and the planned paths.
+  Evaluator evaluator(source, start, options_.lookback_ms);
   for (TimestampMs t = start; t <= end; t += step_ms) {
-    accumulate_step(by_labels, eval(source, expr, t), t);
+    evaluator.set_time(t);
+    accumulate_step(by_labels, evaluator.eval(expr), t);
   }
   return by_labels;
 }
@@ -1228,8 +1471,9 @@ std::vector<Series> Engine::eval_range(const Queryable& source,
     // per chunk), then sweep step cursors — serial or chunked across the
     // pool; either way each chunk's evaluator slides over the same shared
     // immutable arrays.
-    RangeEvalContext ctx(source, expr, start, end, options_.lookback_ms,
-                         pool);
+    RangeEvalContext ctx(source, expr, start, end, step_ms,
+                         options_.lookback_ms, pool,
+                         options_.resolution_aware);
     auto eval_steps = [&](TimestampMs from,
                           TimestampMs to) -> std::map<uint64_t, Series> {
       std::map<uint64_t, Series> partial;

@@ -69,6 +69,17 @@ struct EngineOptions {
   // per-step path (which remains as the differential oracle when this is
   // false) — see DESIGN.md "Streaming range queries".
   bool streaming_range = true;
+  // Resolution-aware planning: when the source maintains pre-aggregated
+  // resolution levels (Queryable::agg_resolutions), window functions whose
+  // windows align to bucket boundaries (sum/avg/min/max/count_over_time,
+  // rate, increase — see DESIGN.md §10 for the exactness conditions) are
+  // answered from the coarsest level that covers the span, folding a
+  // handful of bucket rows instead of every raw sample. Everything else —
+  // unaligned windows, other functions, vector selectors, spans the
+  // ladder does not cover — falls back to the raw path unchanged. Applies
+  // to streaming range queries and top-level instant queries; the
+  // per-step oracle (streaming_range = false) always evaluates raw.
+  bool resolution_aware = true;
 };
 
 class Engine {

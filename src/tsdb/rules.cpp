@@ -76,9 +76,17 @@ void RuleEngine::evaluate_alert(const AlertingRule& rule,
       ++stats.alerts_pending;
     }
   }
-  // Resolve instances of this alert that stopped matching.
+  // Resolve instances of this alert that stopped matching. An instance
+  // that was firing wrote ALERTS samples; end that series with a staleness
+  // marker so instant queries drop it immediately instead of it lingering
+  // for a full lookback window after resolution.
   for (auto it = active_.begin(); it != active_.end();) {
     if (it->second.name == rule.alert && !seen.count(it->first)) {
+      if (it->second.state == AlertState::kFiring) {
+        store_->append(it->second.labels.with("alertstate", "firing")
+                           .with_name("ALERTS"),
+                       t, metrics::stale_marker());
+      }
       it = active_.erase(it);
     } else {
       ++it;

@@ -75,6 +75,28 @@ class Queryable {
   // unchanged. Sources that cannot version themselves return {} and are
   // never cached.
   virtual std::vector<uint64_t> version_signature() const { return {}; }
+
+  // Bucket widths (ms, ascending) of pre-aggregated resolution levels this
+  // source maintains. Raw-only sources return {} and the resolution-aware
+  // planner never engages for them.
+  virtual std::vector<int64_t> agg_resolutions() const { return {}; }
+  // Aggregate buckets at exactly `resolution_ms` for series matching every
+  // matcher, restricted to buckets whose end timestamp lies in
+  // [min_end, max_end] (both expected to be multiples of the resolution).
+  // Returns nullopt unless the level covers that whole span exactly —
+  // complete on the right (compaction cursor has passed max_end) and
+  // unpurged on the left — so a present-but-bucketless series means "no
+  // raw samples there", never "not aggregated yet". Views are sorted by
+  // labels, the same order select() emits.
+  virtual std::optional<std::vector<AggSeriesView>> select_agg(
+      int64_t resolution_ms, const std::vector<LabelMatcher>& matchers,
+      TimestampMs min_end, TimestampMs max_end) const {
+    (void)resolution_ms;
+    (void)matchers;
+    (void)min_end;
+    (void)max_end;
+    return std::nullopt;
+  }
 };
 
 struct StorageStats {

@@ -99,6 +99,51 @@ TEST_F(AlertsTest, PerSeriesAlertInstances) {
   EXPECT_EQ(*active[0].labels.get("hostname"), "n2");
 }
 
+TEST_F(AlertsTest, ResolvedAlertEndsSeriesWithStalenessMarker) {
+  // Fire, then recover: the ALERTS{alertstate="firing"} series must end
+  // with a staleness marker at the resolving evaluation, so instant
+  // queries drop it immediately instead of replaying the last 1-sample
+  // for a full lookback window.
+  for (common::TimestampMs t = 0; t <= 120000; t += 30000) {
+    set_up_metric("n1", t, 0);
+    engine_.evaluate_all(t);
+  }
+  EXPECT_EQ(engine_.active_alerts().size(), 1u);
+  set_up_metric("n1", 150000, 1);  // recovered
+  engine_.evaluate_all(150000);
+  EXPECT_TRUE(engine_.active_alerts().empty());
+
+  auto alerts_series = store_->select(
+      {{"__name__", metrics::LabelMatcher::Op::kEq, "ALERTS"}}, 0, 200000);
+  ASSERT_EQ(alerts_series.size(), 1u);
+  auto samples = alerts_series[0].materialize().samples;
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(samples.back().t, 150000);
+  EXPECT_TRUE(metrics::is_stale_marker(samples.back().v));
+
+  // While firing the instant selector sees the alert; one step after
+  // resolution it is gone — well inside the 5-minute lookback.
+  promql::Engine promql_engine;
+  auto firing = promql_engine.eval(*store_, "ALERTS", 120000);
+  EXPECT_EQ(firing.vector.size(), 1u);
+  auto resolved = promql_engine.eval(*store_, "ALERTS", 150000);
+  EXPECT_TRUE(resolved.vector.empty());
+  auto later = promql_engine.eval(*store_, "ALERTS", 180000);
+  EXPECT_TRUE(later.vector.empty());
+}
+
+// A pending alert that recovers never wrote ALERTS samples, so it must
+// not write a marker either (no phantom one-sample series).
+TEST_F(AlertsTest, PendingRecoveryWritesNoMarker) {
+  set_up_metric("n1", 0, 0);
+  engine_.evaluate_all(0);
+  set_up_metric("n1", 30000, 1);
+  engine_.evaluate_all(30000);
+  auto alerts_series = store_->select(
+      {{"__name__", metrics::LabelMatcher::Op::kEq, "ALERTS"}}, 0, 60000);
+  EXPECT_TRUE(alerts_series.empty());
+}
+
 TEST(AlertsParsing, YamlAlertRules) {
   auto root = common::parse_yaml(
       "groups:\n"

@@ -108,6 +108,62 @@ TEST(Adapters, K8sPodsPlugIntoSameSchema) {
   EXPECT_EQ(kube.fetch_units_changed_since(901).size(), 1u);
 }
 
+// ---------- updater window alignment ----------
+
+// With align_window_ms set, the updater's batched aggregate queries snap
+// to the grid, so a long-term store's resolution-aware planner serves
+// them from the aggregate ladder — asserted via the per-level hit
+// counters — while the folded unit aggregates stay plausible.
+TEST(UpdaterAlignment, AggregateQueriesHitResolutionLadder) {
+  constexpr int64_t kFiveMin = 5 * common::kMillisPerMinute;
+  constexpr common::TimestampMs kEnd = 40 * common::kMillisPerMinute;
+
+  tsdb::TimeSeriesStore hot;
+  auto power = metrics::Labels{{"uuid", "vm-1"}}
+                   .with_name("ceems_job_power_watts");
+  auto cpu = metrics::Labels{{"uuid", "vm-1"}}
+                 .with_name("ceems_compute_unit_cpu_usage_seconds_total");
+  for (common::TimestampMs t = 0; t <= kEnd; t += 30000) {
+    hot.append(power, t, 200);
+    hot.append(cpu, t, static_cast<double>(t) / 1000.0);  // 1 cpu-sec/sec
+  }
+  tsdb::LongTermConfig lt_config;
+  lt_config.downsample_after_ms = 365LL * 24 * common::kMillisPerHour;
+  lt_config.levels = {{kFiveMin, 0}};
+  auto lt = std::make_shared<tsdb::LongTermStore>(lt_config);
+  lt->sync_from(hot);
+  lt->compact(kEnd);
+
+  reldb::Database db;
+  auto nova = std::make_shared<OpenstackAdapter>("cloud");
+  nova->report_vm("vm-1", "alice", "p1", 4, 8LL << 30, "ACTIVE", 0, 0, 0);
+  auto clock = common::make_sim_clock(0);
+  UpdaterConfig config;
+  config.align_window_ms = kFiveMin;
+  Updater updater(db, lt, nullptr, {nova}, clock, config);
+
+  clock->set(10 * common::kMillisPerMinute + 13000);  // off-grid on purpose
+  updater.update_once();  // first cycle pins last_agg to the 10m gridline
+  auto hits_before = lt->select_stats();
+  clock->set(35 * common::kMillisPerMinute + 7000);
+  UpdateStats stats = updater.update_once();  // 25m window ending at 35m
+  auto hits_after = lt->select_stats();
+
+  EXPECT_EQ(stats.units_aggregated, 1u);
+  uint64_t before_total = 0, after_total = 0;
+  for (uint64_t h : hits_before.level_hits) before_total += h;
+  for (uint64_t h : hits_after.level_hits) after_total += h;
+  EXPECT_GT(after_total, before_total)
+      << "aligned updater queries must be served from the aggregate ladder";
+
+  auto row = db.get(kUnitsTable, reldb::Value(std::string("vm-1")));
+  ASSERT_TRUE(row.has_value());
+  Unit unit = unit_from_row(*row);
+  // 200 W over the 25 min aligned window.
+  EXPECT_NEAR(unit.total_cpu_energy_joules, 200.0 * 25 * 60, 1.0);
+  EXPECT_NEAR(unit.total_cpu_time_seconds, 25.0 * 60, 30.0);
+}
+
 // ---------- updater + HTTP API over a live mini-stack ----------
 
 class ApiServerTest : public ::testing::Test {

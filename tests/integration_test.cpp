@@ -292,6 +292,27 @@ TEST(Config, OverridesApply) {
   EXPECT_EQ(loaded.stack.country_code, "DE");
 }
 
+TEST(Config, LongTermResolutionLadderParses) {
+  LoadedConfig loaded = parse_config_text(
+      "ceems:\n"
+      "  longterm:\n"
+      "    downsample_after: 4h\n"
+      "    levels:\n"
+      "      - resolution: 5m\n"
+      "        retention: 30d\n"
+      "      - resolution: 1h\n");
+  EXPECT_EQ(loaded.stack.longterm.downsample_after_ms,
+            4 * common::kMillisPerHour);
+  ASSERT_EQ(loaded.stack.longterm.levels.size(), 2u);
+  EXPECT_EQ(loaded.stack.longterm.levels[0].resolution_ms,
+            5 * common::kMillisPerMinute);
+  EXPECT_EQ(loaded.stack.longterm.levels[0].retention_ms,
+            30 * 24 * common::kMillisPerHour);
+  EXPECT_EQ(loaded.stack.longterm.levels[1].resolution_ms,
+            common::kMillisPerHour);
+  EXPECT_EQ(loaded.stack.longterm.levels[1].retention_ms, 0);
+}
+
 TEST(Config, MissingSectionsKeepDefaults) {
   LoadedConfig loaded = parse_config_text("unrelated: 1\n");
   EXPECT_EQ(loaded.stack.scrape_interval_ms, 30000);

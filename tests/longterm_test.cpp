@@ -63,8 +63,11 @@ TEST(LongTerm, CompactionDownsamplesOldData) {
   }
   EXPECT_EQ(old_points, 12u);
   EXPECT_EQ(series[0].samples().size(), 12u + 120u);
-  // Last-per-bucket keeps counter semantics: value at bucket end.
-  EXPECT_DOUBLE_EQ(series[0].samples()[0].v, 9);  // t=270000, sample #9
+  // Buckets are left-open (t-res, t] so aligned PromQL windows tile whole
+  // buckets; last-per-bucket keeps counter semantics: the sample exactly
+  // on a boundary IS the bucket-end value.
+  EXPECT_DOUBLE_EQ(series[0].samples()[0].v, 0);   // t=0, its own bucket
+  EXPECT_DOUBLE_EQ(series[0].samples()[1].v, 10);  // t=300000, sample #10
 }
 
 TEST(LongTerm, CompactionPreservesCounterIncrease) {
@@ -130,6 +133,87 @@ TEST(LongTerm, SelectMergesAcrossEpochBoundary) {
   for (std::size_t i = 1; i < series[0].samples().size(); ++i) {
     EXPECT_GT(series[0].samples()[i].t, series[0].samples()[i - 1].t);
   }
+}
+
+TEST(LongTerm, SplicedPointsStayZeroUnderCompactionCadence) {
+  // The compaction invariant: raw data is only purged up to a boundary the
+  // whole ladder has aggregated past, so the synthesised history and the
+  // raw tail never overlap and select() splices no decoded points. Run a
+  // realistic cadence — scrape, sync, compact every 10 min, aggressive hot
+  // retention — and check the counter stays at zero end to end.
+  LongTermConfig config;
+  config.downsample_after_ms = common::kMillisPerHour;
+  config.levels = {{5 * kMillisPerMinute, 0}, {kMillisPerHour, 0}};
+  LongTermStore lt(config);
+  TimeSeriesStore hot;
+  TimestampMs t = 0;
+  for (int cycle = 0; cycle < 72; ++cycle) {
+    TimestampMs cycle_end = TimestampMs{cycle + 1} * 10 * kMillisPerMinute;
+    for (; t < cycle_end; t += 30000) {
+      hot.append(named("m", "n1"), t, static_cast<double>(t / 30000));
+      hot.append(named("m", "n2"), t, 7.0);
+    }
+    lt.sync_from(hot);
+    lt.compact(cycle_end);
+    hot.purge_before(cycle_end - 20 * kMillisPerMinute);
+  }
+
+  auto series = lt.select({}, 0, 12 * common::kMillisPerHour);
+  ASSERT_EQ(series.size(), 2u);
+  for (const auto& view : series) {
+    const auto& samples = view.samples();
+    ASSERT_FALSE(samples.empty());
+    EXPECT_EQ(samples.front().t, 0);
+    EXPECT_EQ(samples.back().t, t - 30000);
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      EXPECT_GT(samples[i].t, samples[i - 1].t);
+    }
+  }
+  auto stats = lt.select_stats();
+  EXPECT_EQ(stats.spliced_points_copied, 0u);
+  EXPECT_GT(stats.raw_points_scanned, 0u);
+}
+
+TEST(LongTerm, PerLevelRetentionPurgesExactHorizons) {
+  LongTermConfig config;
+  config.downsample_after_ms = common::kMillisPerHour;
+  config.levels = {{5 * kMillisPerMinute, 2 * common::kMillisPerHour},
+                   {kMillisPerHour, 10 * common::kMillisPerHour}};
+  LongTermStore lt(config);
+  TimeSeriesStore hot;
+  for (TimestampMs t = 0; t <= 12 * common::kMillisPerHour; t += 30000) {
+    hot.append(named("m", "n1"), t, 1);
+  }
+  lt.sync_from(hot);
+  lt.compact(12 * common::kMillisPerHour);
+
+  // 5m level keeps exactly the bucket ends in [10h, 12h] (25 rows), the
+  // 1h level exactly [2h, 12h] (11 rows).
+  auto fine = lt.select_agg(5 * kMillisPerMinute, {},
+                            10 * common::kMillisPerHour,
+                            12 * common::kMillisPerHour);
+  ASSERT_TRUE(fine.has_value());
+  ASSERT_EQ(fine->size(), 1u);
+  EXPECT_EQ((*fine)[0].buckets.size(), 25u);
+  EXPECT_EQ((*fine)[0].buckets.front().t, 10 * common::kMillisPerHour);
+  EXPECT_EQ((*fine)[0].buckets.back().t, 12 * common::kMillisPerHour);
+
+  auto coarse = lt.select_agg(kMillisPerHour, {}, 2 * common::kMillisPerHour,
+                              12 * common::kMillisPerHour);
+  ASSERT_TRUE(coarse.has_value());
+  ASSERT_EQ(coarse->size(), 1u);
+  EXPECT_EQ((*coarse)[0].buckets.size(), 11u);
+  EXPECT_EQ((*coarse)[0].buckets.front().t, 2 * common::kMillisPerHour);
+
+  // One bucket past either horizon: coverage can no longer be promised.
+  EXPECT_FALSE(lt.select_agg(5 * kMillisPerMinute, {},
+                             10 * common::kMillisPerHour - 5 * kMillisPerMinute,
+                             12 * common::kMillisPerHour)
+                   .has_value());
+  EXPECT_FALSE(lt.select_agg(kMillisPerHour, {}, kMillisPerHour,
+                             12 * common::kMillisPerHour)
+                   .has_value());
+  EXPECT_EQ(lt.downsampled_stats().num_samples, 25u + 11u);
 }
 
 TEST(LongTerm, StatsReflectBothTiers) {

@@ -238,6 +238,195 @@ TEST(PromqlDifferential, StalenessEndsSeries) {
   expect_bit_identical(ra, rb, "staleness rate");
 }
 
+// ---------- resolution-aware planner differential ----------
+
+// Integer-valued random fixture for planner bit-identity: with integer
+// sample values every partial sum the aggregate buckets regroup is exact
+// (doubles are exact integers far below 2^53), so the planned fold and
+// the raw fold agree bit for bit, not merely approximately. Staleness
+// markers, counter resets, irregular scrape intervals and late/early
+// series all stay in; NaN excursions are left out because NaN propagation
+// is not associative at the bit level. The last sample lands exactly on
+// kDataEnd so every ladder level's cursor reaches the end of the grid.
+std::shared_ptr<TimeSeriesStore> make_integer_store(uint64_t seed) {
+  common::Rng rng(seed);
+  auto store = std::make_shared<TimeSeriesStore>();
+  for (int h = 0; h < 3; ++h) {
+    for (int s = 0; s < 3; ++s) {
+      Labels gauge_labels = Labels{{"hostname", "n" + std::to_string(h)},
+                                   {"uuid", std::to_string(s)}}
+                                .with_name("power_watts");
+      Labels counter_labels = Labels{{"hostname", "n" + std::to_string(h)},
+                                     {"uuid", std::to_string(s)}}
+                                  .with_name("energy_joules_total");
+      TimestampMs start =
+          rng.chance(0.25) ? rng.uniform_int(0, kDataEnd / 3) : 0;
+      double counter = 0;
+      TimestampMs t = start;
+      while (true) {
+        double gauge_value = static_cast<double>(rng.uniform_int(50, 300));
+        if (rng.chance(0.01)) gauge_value = metrics::stale_marker();
+        store->append(gauge_labels, t, gauge_value);
+
+        counter += static_cast<double>(rng.uniform_int(0, 40));
+        if (rng.chance(0.01)) counter = 1;  // reset
+        double counter_value =
+            rng.chance(0.005) ? metrics::stale_marker() : counter;
+        store->append(counter_labels, t, counter_value);
+        if (t >= kDataEnd) break;
+        t += kStep + rng.uniform_int(-2000, 2000);
+        if (rng.chance(0.03)) t += kStep * rng.uniform_int(2, 8);
+        if (t > kDataEnd) t = kDataEnd;  // pin the grid end
+      }
+    }
+  }
+  return store;
+}
+
+// Two-level ladder (5m -> 1h) with raw kept forever, so the raw paths stay
+// meaningful oracles over the whole range even after compaction.
+std::shared_ptr<LongTermStore> make_ladder_store(const TimeSeriesStore& hot) {
+  LongTermConfig config;
+  config.downsample_after_ms = 365LL * 24 * 60 * 60 * 1000;
+  config.levels = {{5 * 60 * 1000, 0}, {60 * 60 * 1000, 0}};
+  auto lt = std::make_shared<LongTermStore>(config);
+  lt->sync_from(hot);
+  lt->compact(kDataEnd);
+  return lt;
+}
+
+uint64_t total_level_hits(const LongTermStore& lt) {
+  uint64_t total = 0;
+  for (uint64_t hits : lt.select_stats().level_hits) total += hits;
+  return total;
+}
+
+// Every plannable window function, aligned and unaligned: bit-identical
+// results planner-on vs planner-off, with the level-hit counters proving
+// aligned queries were served from the ladder and unaligned ones fell
+// back to raw.
+TEST(PromqlDifferential, ResolutionAwarePlannerBitIdentical) {
+  const char* funcs[] = {"sum_over_time", "avg_over_time",  "min_over_time",
+                         "max_over_time", "count_over_time", "rate",
+                         "increase"};
+  EngineOptions on_options;
+  on_options.query_cache_capacity = 0;
+  Engine planner_on(on_options);
+  EngineOptions off_options = on_options;
+  off_options.resolution_aware = false;
+  Engine planner_off(off_options);
+  Engine oracle = make_engine(false, nullptr);  // per-step, always raw
+
+  constexpr int64_t kFiveMin = 5 * 60 * 1000;
+  for (uint64_t seed : {3u, 21u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto store = make_integer_store(seed);
+    auto lt = make_ladder_store(*store);
+    for (const char* func : funcs) {
+      for (const char* metric : {"power_watts", "energy_joules_total"}) {
+        for (bool aligned : {true, false}) {
+          // Aligned: range, step and start all multiples of the 5m bucket
+          // width (offset included). Unaligned: off-grid range and step.
+          std::string range = aligned ? "30m" : "7m";
+          std::string offset = aligned ? " offset 10m" : " offset 3m";
+          int64_t step_ms = aligned ? kFiveMin : 47 * 1000;
+          TimestampMs start = aligned ? 45 * 60 * 1000 : 44 * 60 * 1000 + 13;
+          std::string query = std::string(func) + "(" + metric + "[" + range +
+                              "]" + offset + ")";
+          SCOPED_TRACE("query: " + query);
+          auto expr = promql::parse(query);
+
+          auto expected = oracle.eval_range(*lt, expr, start, kDataEnd,
+                                            step_ms);
+          auto off = planner_off.eval_range(*lt, expr, start, kDataEnd,
+                                            step_ms);
+          uint64_t hits_before = total_level_hits(*lt);
+          auto on = planner_on.eval_range(*lt, expr, start, kDataEnd,
+                                          step_ms);
+          uint64_t hits_after = total_level_hits(*lt);
+          expect_bit_identical(expected, off, query + " [planner off]");
+          expect_bit_identical(expected, on, query + " [planner on]");
+          if (aligned) {
+            EXPECT_GT(hits_after, hits_before)
+                << query << " should be served from the aggregate ladder";
+          } else {
+            EXPECT_EQ(hits_after, hits_before)
+                << query << " must take the raw fallback";
+          }
+        }
+      }
+    }
+  }
+}
+
+// Top-level instant queries go through the same planner: aligned instants
+// hit the ladder, unaligned ones and non-plannable functions fall back.
+TEST(PromqlDifferential, ResolutionAwareInstantQueries) {
+  auto store = make_integer_store(17);
+  auto lt = make_ladder_store(*store);
+  EngineOptions on_options;
+  on_options.query_cache_capacity = 0;
+  Engine planner_on(on_options);
+  EngineOptions off_options = on_options;
+  off_options.resolution_aware = false;
+  Engine planner_off(off_options);
+
+  struct Case {
+    const char* query;
+    TimestampMs at;
+    bool planned;
+  };
+  const Case cases[] = {
+      {"sum by (hostname) (increase(energy_joules_total[1h]))", kDataEnd,
+       true},
+      {"avg_over_time(power_watts[30m])", kDataEnd - 5 * 60 * 1000, true},
+      {"max_over_time(power_watts[2h])", kDataEnd, true},  // 1h level
+      {"rate(energy_joules_total[30m])", kDataEnd - 17, false},  // unaligned t
+      {"rate(energy_joules_total[17m])", kDataEnd, false},  // unaligned range
+      {"last_over_time(power_watts[30m])", kDataEnd, false},  // not plannable
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string("query: ") + c.query);
+    auto expr = promql::parse(c.query);
+    auto expected = planner_off.eval(*lt, expr, c.at);
+    uint64_t hits_before = total_level_hits(*lt);
+    auto got = planner_on.eval(*lt, expr, c.at);
+    uint64_t hits_after = total_level_hits(*lt);
+    ASSERT_EQ(expected.kind, got.kind);
+    ASSERT_EQ(expected.vector.size(), got.vector.size());
+    for (std::size_t i = 0; i < expected.vector.size(); ++i) {
+      EXPECT_EQ(expected.vector[i].labels, got.vector[i].labels);
+      EXPECT_EQ(bits(expected.vector[i].value), bits(got.vector[i].value))
+          << "series " << expected.vector[i].labels.to_string();
+    }
+    if (c.planned) {
+      EXPECT_GT(hits_after, hits_before);
+    } else {
+      EXPECT_EQ(hits_after, hits_before);
+    }
+  }
+}
+
+// The coarsest covering level wins: a 2h-range query aligned to the hour
+// must be answered from the 1h level, not the 5m one.
+TEST(PromqlDifferential, PlannerPrefersCoarsestCoveringLevel) {
+  auto store = make_integer_store(29);
+  auto lt = make_ladder_store(*store);
+  EngineOptions options;
+  options.query_cache_capacity = 0;
+  Engine engine(options);
+  auto before = lt->select_stats();
+  auto value =
+      engine.eval(*lt, "sum_over_time(power_watts[2h])", kDataEnd);
+  auto after = lt->select_stats();
+  ASSERT_FALSE(value.vector.empty());
+  ASSERT_EQ(after.level_hits.size(), 2u);
+  EXPECT_EQ(after.level_hits[0], before.level_hits[0]);  // 5m untouched
+  EXPECT_GT(after.level_hits[1], before.level_hits[1]);  // 1h served it
+  // And the bucket rows scanned are a sliver of the raw samples.
+  EXPECT_GT(after.level_points_scanned[1], before.level_points_scanned[1]);
+}
+
 // ---------- decode-count regression ----------
 
 // Each sealed chunk overlapping a streaming range query decodes at most

@@ -150,7 +150,44 @@ TEST(RulesLibrary, AllRulesParse) {
   for (auto& group : core::equal_split_baseline_rules()) {
     EXPECT_NO_THROW(engine.add_group(std::move(group)));
   }
-  EXPECT_GE(engine.group_count(), 8u);
+  for (auto& group : core::long_range_report_rules()) {
+    EXPECT_NO_THROW(engine.add_group(std::move(group)));
+  }
+  EXPECT_GE(engine.group_count(), 9u);
+}
+
+TEST(RulesLibrary, LongRangeReportGroupTilesItsWindow) {
+  auto groups = core::long_range_report_rules("30m");
+  ASSERT_EQ(groups.size(), 1u);
+  // Interval equals the window, so consecutive evaluations tile the
+  // timeline and every range lands on the alignment grid the
+  // resolution-aware planner needs.
+  EXPECT_EQ(groups[0].interval_ms, 30 * common::kMillisPerMinute);
+  for (const auto& rule : groups[0].rules) {
+    EXPECT_NE(rule.expr.find("[30m]"), std::string::npos) << rule.record;
+  }
+
+  // The rules evaluate against a store with the expected inputs.
+  auto store = std::make_shared<TimeSeriesStore>();
+  for (TimestampMs t = 0; t <= 30 * common::kMillisPerMinute; t += 30000) {
+    store->append(named("ceems_job_power_watts", {{"uuid", "1"}}), t, 100);
+    store->append(named("ceems_rapl_package_joules_total",
+                        {{"hostname", "n1"}, {"nodegroup", "intel-cpu"}}),
+                  t, static_cast<double>(t) / 1000.0 * 50);
+  }
+  RuleEngine engine(store);
+  for (auto& group : core::long_range_report_rules("30m")) {
+    engine.add_group(std::move(group));
+  }
+  RuleEvalStats stats = engine.evaluate_all(30 * common::kMillisPerMinute);
+  EXPECT_EQ(stats.rule_failures, 0u);
+  auto energy = store->select(
+      {{"__name__", metrics::LabelMatcher::Op::kEq,
+        "report:job_energy_joules"}},
+      0, common::kMillisPerHour);
+  ASSERT_EQ(energy.size(), 1u);
+  // 100 W over a 30 min window.
+  EXPECT_NEAR(energy[0].samples()[0].v, 100.0 * 30 * 60, 1e-6);
 }
 
 // Feeds hand-built node series for one Intel host with two jobs and checks

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard for deterministic work counters.
+
+Compares the counters a fresh bench_tsdb run emitted against the committed
+baseline (BENCH_tsdb.json) and fails when either:
+
+  * the fresh run's context says the binary was built without optimisations
+    ("library_build_type": "debug") — a debug-recorded baseline once made
+    every number in BENCH_tsdb.json meaningless, so this is a hard error
+    regardless of counter values; or
+  * a guarded counter drifted beyond tolerance from the baseline.
+
+Only *deterministic work counters* are guarded (points scanned, chunks
+decoded, bytes per sample) — never wall-clock time, which is hopeless on
+shared CI runners. The counters are exact functions of the workload and the
+code, so drift means a real behaviour change: e.g. the resolution-aware
+planner silently falling back to raw scans shows up as
+points_scanned_per_query jumping 20x, far outside any tolerance.
+
+Benchmarks present in only one file are reported but not fatal (new
+benchmarks land before their baseline is re-recorded; retired ones linger
+in the baseline until then).
+
+Usage:
+  bench_guard.py --current build/bench/BENCH_tsdb_smoke.json \
+                 --baseline BENCH_tsdb.json [--tolerance 0.1]
+"""
+
+import argparse
+import json
+import sys
+
+# Counters that are deterministic functions of workload + code. Time-based
+# metrics are deliberately absent.
+GUARDED_COUNTERS = (
+    "points_scanned_per_query",
+    "decodes_per_query",
+    "bytes_per_sample",
+    "compression_ratio",
+)
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) duplicate counter values;
+        # keep plain iterations only.
+        if bench.get("run_type") == "aggregate":
+            continue
+        runs[bench["name"]] = bench
+    return doc.get("context", {}), runs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="JSON emitted by the fresh benchmark run")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (BENCH_tsdb.json)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max relative drift per counter (default 0.10)")
+    args = parser.parse_args()
+
+    context, current = load_benchmarks(args.current)
+    build_type = context.get("library_build_type")
+    if build_type != "release":
+        print(f"FAIL: current run context says library_build_type="
+              f"{build_type!r}, expected 'release'. Re-run the benchmark "
+              f"from a -DCMAKE_BUILD_TYPE=Release build.")
+        return 1
+    print(f"library_build_type: {build_type}")
+
+    baseline_context, baseline = load_benchmarks(args.baseline)
+    baseline_build = baseline_context.get("library_build_type")
+    if baseline_build != "release":
+        print(f"FAIL: committed baseline {args.baseline} was recorded from a "
+              f"{baseline_build!r} build; re-record it from a Release build.")
+        return 1
+
+    failures = []
+    compared = 0
+    for name, bench in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"note: {name} has no baseline entry (new benchmark?)")
+            continue
+        for counter in GUARDED_COUNTERS:
+            if counter not in bench:
+                continue
+            if counter not in base:
+                print(f"note: {name}: baseline lacks counter {counter}")
+                continue
+            cur_v = float(bench[counter])
+            base_v = float(base[counter])
+            compared += 1
+            if base_v == 0.0:
+                drift = 0.0 if cur_v == 0.0 else float("inf")
+            else:
+                drift = abs(cur_v - base_v) / abs(base_v)
+            status = "ok" if drift <= args.tolerance else "FAIL"
+            print(f"{status}: {name} {counter}: current={cur_v:g} "
+                  f"baseline={base_v:g} drift={drift:.1%}")
+            if drift > args.tolerance:
+                failures.append((name, counter, cur_v, base_v))
+
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"note: baseline entry {name} absent from current run "
+                  f"(filtered out or retired)")
+
+    if compared == 0:
+        print("FAIL: no guarded counters compared — wrong file or filter?")
+        return 1
+    if failures:
+        print(f"\n{len(failures)} counter(s) drifted beyond "
+              f"{args.tolerance:.0%}:")
+        for name, counter, cur_v, base_v in failures:
+            print(f"  {name} {counter}: {base_v:g} -> {cur_v:g}")
+        return 1
+    print(f"\nall {compared} guarded counters within {args.tolerance:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
