@@ -1,0 +1,138 @@
+// ceems_soak — drives one soak Scenario (DESIGN.md §11) against a full
+// simulated CEEMS deployment and gates on its hard invariants.
+//
+//   ceems_soak [--scenario NAME | --file SCENARIO.soak]
+//              [--nodes N] [--seed S | --seeds "S1 S2 ..."]
+//              [--duration 30m] [--out BENCH_soak.json] [--log FILE]
+//              [--list] [--print]
+//
+// Exit status 0 only when every seed's run kept every invariant green.
+// On a red run the violations and a one-line replay command are printed,
+// which is also what the soak-smoke CI job uploads as its failure
+// artifact (alongside --log).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/flags.h"
+#include "common/strutil.h"
+#include "soak/runner.h"
+
+using namespace ceems;
+
+int main(int argc, char** argv) {
+  cli::Flags flags(argc, argv,
+                   "[--scenario NAME|--file F] [--nodes N] [--seed S|--seeds "
+                   "\"S1 S2 ...\"] [--duration D] [--out JSON] [--log FILE] "
+                   "[--list] [--print]");
+
+  if (flags.get_bool("list")) {
+    for (const std::string& name : soak::builtin_scenario_names())
+      std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  std::string text;
+  std::string file = flags.get("file");
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    std::string name = flags.get("scenario", "smoke");
+    text = soak::builtin_scenario_text(name);
+    if (text.empty()) {
+      std::fprintf(stderr, "unknown scenario '%s' (see --list)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  std::string error;
+  auto parsed = soak::parse_scenario_text(text, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "scenario parse error: %s\n", error.c_str());
+    return 2;
+  }
+  soak::Scenario scenario = *parsed;
+
+  if (int64_t nodes = flags.get_int("nodes", 0); nodes > 0)
+    scenario.nodes = static_cast<int>(nodes);
+  if (std::string duration = flags.get("duration"); !duration.empty()) {
+    auto parsed_ms = common::parse_duration_ms(duration);
+    if (!parsed_ms) {
+      std::fprintf(stderr, "bad --duration '%s'\n", duration.c_str());
+      return 2;
+    }
+    scenario.duration_ms = *parsed_ms;
+  }
+
+  std::vector<uint64_t> seeds;
+  if (std::string list = flags.get("seeds"); !list.empty()) {
+    for (const std::string& field : common::split_fields(list))
+      seeds.push_back(
+          static_cast<uint64_t>(common::parse_int64(field).value_or(0)));
+  } else {
+    seeds.push_back(
+        static_cast<uint64_t>(flags.get_int("seed", scenario.seed)));
+  }
+
+  if (flags.get_bool("print")) {
+    std::fputs(soak::to_text(scenario).c_str(), stdout);
+    return 0;
+  }
+
+  std::FILE* log = stderr;
+  std::string log_path = flags.get("log");
+  if (!log_path.empty()) {
+    log = std::fopen(log_path.c_str(), "w");
+    if (!log) {
+      std::fprintf(stderr, "cannot open %s for writing\n", log_path.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<soak::SoakReport> reports;
+  bool all_ok = true;
+  for (uint64_t seed : seeds) {
+    scenario.seed = seed;
+    soak::SoakOptions options;
+    options.log = log;
+    soak::SoakRunner runner(scenario, options);
+    soak::SoakReport report = runner.run();
+    std::printf(
+        "%s seed %llu: %s  nodes=%d units=%llu samples=%llu "
+        "peak_bytes=%zu max_series=%zu dropped=%llu p99_points=%llu\n",
+        scenario.name.c_str(), (unsigned long long)seed,
+        report.ok ? "OK" : "FAIL", report.node_count,
+        (unsigned long long)report.units_total,
+        (unsigned long long)report.samples_ingested, report.peak_bytes,
+        report.max_series, (unsigned long long)report.dropped_scrapes,
+        (unsigned long long)report.query_points_p99);
+    if (!report.ok) {
+      all_ok = false;
+      for (const std::string& violation : report.violations)
+        std::printf("  VIOLATION %s\n", violation.c_str());
+      std::printf("  replay: %s\n", report.replay_command().c_str());
+    }
+    reports.push_back(std::move(report));
+  }
+
+  std::string out = flags.get("out");
+  if (!out.empty()) {
+    if (!soak::write_bench_json(out, reports)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      if (log != stderr) std::fclose(log);
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s (%zu runs)\n", out.c_str(),
+                 reports.size());
+  }
+  if (log != stderr) std::fclose(log);
+  return all_ok ? 0 : 1;
+}

@@ -51,6 +51,11 @@ void FaultPlan::configure(const std::string& site, SiteFaults faults) {
   sites_[site] = faults;
 }
 
+void FaultPlan::clear(const std::string& site) {
+  std::lock_guard lock(mu_);
+  sites_.erase(site);
+}
+
 FaultDecision FaultPlan::decide(std::string_view site, std::string_view key) {
   std::lock_guard lock(mu_);
   auto site_it = sites_.find(site);

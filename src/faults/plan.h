@@ -64,6 +64,13 @@ class FaultPlan {
   // unconfigured ("no-fault") plan is behaviourally inert.
   void configure(const std::string& site, SiteFaults faults);
 
+  // Removes a site's fault config: subsequent decisions short-circuit to
+  // "no fault" exactly like a never-configured site. Decision streams are
+  // kept, so a later configure() resumes them deterministically. The soak
+  // runner uses configure()/clear() pairs to turn storms on and off at
+  // scenario boundaries.
+  void clear(const std::string& site);
+
   // One decision for (site, key); advances that pair's stream.
   FaultDecision decide(std::string_view site, std::string_view key);
 

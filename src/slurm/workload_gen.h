@@ -47,6 +47,14 @@ class WorkloadGenerator {
   JobRequest sample();
 
   const WorkloadGenConfig& config() const { return config_; }
+
+  // Retunes the arrival rate mid-run (soak churn storms). Only the
+  // Poisson thinning changes; the per-job sampling streams are untouched,
+  // so runs stay deterministic across rate changes made at deterministic
+  // times.
+  void set_jobs_per_day(double jobs_per_day) {
+    config_.jobs_per_day = jobs_per_day;
+  }
   std::string user_name(int index) const;
   std::string project_of(const std::string& user) const;
 

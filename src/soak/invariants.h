@@ -1,0 +1,74 @@
+// Hard invariants for soak runs (DESIGN.md §11). The checker is fed by
+// the SoakRunner at every checkpoint and once more after the recovery
+// tail; every breach is recorded as a human-readable violation carrying
+// the simulated timestamp, so a red soak run names exactly which
+// invariant broke and when. All checks are functions of deterministic
+// state (approx_bytes, sample timestamps, circuit states, points-scanned
+// counters), never wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stack.h"
+#include "soak/scenario.h"
+
+namespace ceems::soak {
+
+class InvariantChecker {
+ public:
+  InvariantChecker(const Scenario& scenario, int node_count,
+                   std::size_t target_count);
+
+  // Continuous invariants, every checkpoint: memory ceiling, bounded
+  // ingest lag, full `up` coverage (every target has an up series — a
+  // flapping target reports up==0, it never vanishes).
+  void at_checkpoint(core::CeemsStack& stack, common::TimestampMs now);
+
+  // Per-canonical-query deterministic work (points scanned); the p99
+  // budget is asserted in finish().
+  void record_query_points(uint64_t points);
+
+  // One-shot, shortly after a cardinality storm ends: the storm series
+  // must be invisible to instant queries (stale-marked), while the raw
+  // store still holds them — proof the markers, not retention, ended
+  // them.
+  void after_cardinality_storm(core::CeemsStack& stack,
+                               common::TimestampMs now);
+
+  // Recovery invariants, after the clean tail: every up series back to 1,
+  // emissions factors fresh again, every LB circuit closed (when the LB
+  // ran), and no staleness-marker leak on live targets.
+  void at_recovery_end(core::CeemsStack& stack, common::TimestampMs now,
+                       bool lb_running);
+
+  // Evaluates end-of-run budgets (query p99). Returns true when no
+  // invariant was violated anywhere in the run.
+  bool finish();
+
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  // Deterministic observables, tracked across checkpoints.
+  std::size_t peak_bytes() const { return peak_bytes_; }
+  std::size_t max_series() const { return max_series_; }
+  uint64_t query_points_p99() const { return query_points_p99_; }
+  uint64_t queries_run() const { return query_points_.size(); }
+
+ private:
+  void violate(common::TimestampMs now, const std::string& what);
+
+  Scenario scenario_;
+  int node_count_;
+  std::size_t target_count_;
+  std::size_t bytes_ceiling_;
+  int64_t ingest_lag_budget_ms_;
+
+  std::vector<std::string> violations_;
+  std::vector<uint64_t> query_points_;
+  std::size_t peak_bytes_ = 0;
+  std::size_t max_series_ = 0;
+  uint64_t query_points_p99_ = 0;
+};
+
+}  // namespace ceems::soak

@@ -1,0 +1,75 @@
+// SoakRunner — executes one Scenario against a full CEEMS stack on a
+// simulated fleet (DESIGN.md §11). The runner composes the existing
+// machinery rather than reimplementing it: a Jean-Zay-shaped ClusterSim
+// scaled to the scenario's node count, a CeemsStack in deterministic
+// pipeline mode, a seeded FaultPlan for the flap / outage / LB storms, a
+// misbehaving extra scrape target for the cardinality storm, and the
+// workload generator's arrival rate for churn storms. Invariants
+// (soak/invariants.h) are asserted at every checkpoint; the counters the
+// run emits are deterministic functions of (scenario, seed), which is
+// what lets tools/bench_guard.py gate BENCH_soak.json in CI.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "soak/invariants.h"
+#include "soak/scenario.h"
+
+namespace ceems::soak {
+
+struct SoakOptions {
+  // Checkpoint/storm log sink (nullptr = silent). The CLI tees this into
+  // the CI failure artifact.
+  std::FILE* log = nullptr;
+};
+
+// Everything a finished run reports. All counters are deterministic
+// given (scenario, seed); wall-clock time appears nowhere.
+struct SoakReport {
+  Scenario scenario;
+  int node_count = 0;
+  bool ok = false;
+  std::vector<std::string> violations;
+
+  uint64_t samples_ingested = 0;
+  uint64_t dropped_scrapes = 0;
+  uint64_t stale_markers = 0;
+  uint64_t scrape_retries = 0;
+  uint64_t faults_injected = 0;
+  uint64_t points_scanned = 0;  // by the canonical checkpoint queries
+  uint64_t queries_run = 0;
+  uint64_t query_points_p99 = 0;
+  std::size_t peak_bytes = 0;
+  std::size_t max_series = 0;
+  uint64_t units_total = 0;
+  uint64_t jobs_submitted = 0;
+  uint64_t circuit_opens = 0;
+
+  // One-line replay command for this exact run.
+  std::string replay_command() const;
+};
+
+class SoakRunner {
+ public:
+  explicit SoakRunner(Scenario scenario, SoakOptions options = {});
+
+  // Builds the fleet, drives the scenario plus its recovery tail, and
+  // returns the report. Safe to call once per runner.
+  SoakReport run();
+
+ private:
+  Scenario scenario_;
+  SoakOptions options_;
+};
+
+// BENCH_soak.json: google-benchmark-shaped JSON (context +
+// benchmarks[].counters) so tools/bench_guard.py reads it exactly like
+// BENCH_tsdb.json. One benchmark entry per report, named
+// "soak/<scenario>/seed<seed>".
+std::string bench_json(const std::vector<SoakReport>& reports);
+bool write_bench_json(const std::string& path,
+                      const std::vector<SoakReport>& reports);
+
+}  // namespace ceems::soak

@@ -1,0 +1,361 @@
+#include "soak/scenario.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/strutil.h"
+
+namespace ceems::soak {
+namespace {
+
+using common::parse_double;
+using common::parse_duration_ms;
+using common::parse_int64;
+
+// "192k" / "64M" / "1G" / plain bytes.
+std::optional<std::size_t> parse_bytes(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t multiplier = 1;
+  char suffix = text.back();
+  if (suffix == 'k' || suffix == 'K') {
+    multiplier = 1u << 10;
+  } else if (suffix == 'M') {
+    multiplier = 1u << 20;
+  } else if (suffix == 'G') {
+    multiplier = 1u << 30;
+  }
+  if (multiplier != 1) text.remove_suffix(1);
+  auto value = parse_int64(text);
+  if (!value || *value < 0) return std::nullopt;
+  return static_cast<std::size_t>(*value) * multiplier;
+}
+
+std::string format_bytes(std::size_t bytes) {
+  if (bytes != 0 && bytes % (1u << 30) == 0)
+    return std::to_string(bytes >> 30) + "G";
+  if (bytes != 0 && bytes % (1u << 20) == 0)
+    return std::to_string(bytes >> 20) + "M";
+  if (bytes != 0 && bytes % (1u << 10) == 0)
+    return std::to_string(bytes >> 10) + "k";
+  return std::to_string(bytes);
+}
+
+// Storm windows are written "from 10m for 5m"; extra key/value pairs
+// follow. Consumes tokens[i...]; returns false on syntax errors.
+bool parse_window(const std::vector<std::string>& tokens, std::size_t* i,
+                  StormWindow* window, std::string* error) {
+  if (*i + 3 >= tokens.size() || tokens[*i] != "from" ||
+      tokens[*i + 2] != "for") {
+    *error = "expected 'from <start> for <length>'";
+    return false;
+  }
+  auto start = parse_duration_ms(tokens[*i + 1]);
+  auto length = parse_duration_ms(tokens[*i + 3]);
+  if (!start || !length || *length <= 0) {
+    *error = "bad storm window durations";
+    return false;
+  }
+  window->start_ms = *start;
+  window->end_ms = *start + *length;
+  *i += 4;
+  return true;
+}
+
+// Remaining tokens as key/value pairs ("series 5000 churn 4").
+std::optional<std::map<std::string, std::string>> parse_kv(
+    const std::vector<std::string>& tokens, std::size_t i,
+    std::string* error) {
+  std::map<std::string, std::string> kv;
+  for (; i < tokens.size(); i += 2) {
+    if (i + 1 >= tokens.size()) {
+      *error = "dangling key '" + tokens[i] + "'";
+      return std::nullopt;
+    }
+    kv[tokens[i]] = tokens[i + 1];
+  }
+  return kv;
+}
+
+}  // namespace
+
+double Scenario::effective_jobs_per_day() const {
+  if (jobs_per_day > 0) return jobs_per_day;
+  // MiniStack runs ~6 nodes at 4000 jobs/day; ~700/day/node keeps the
+  // same churn density at any fleet size.
+  return 700.0 * nodes;
+}
+
+int64_t Scenario::last_storm_end_ms() const {
+  int64_t end = 0;
+  if (cardinality) end = std::max(end, cardinality->window.end_ms);
+  if (flap) end = std::max(end, flap->window.end_ms);
+  if (churn) end = std::max(end, churn->window.end_ms);
+  if (outage) end = std::max(end, outage->window.end_ms);
+  if (lb) end = std::max(end, lb->window.end_ms);
+  return end;
+}
+
+std::optional<Scenario> parse_scenario_text(const std::string& text,
+                                            std::string* error) {
+  Scenario scenario;
+  std::string local_error;
+  if (!error) error = &local_error;
+  int line_no = 0;
+  std::istringstream in(text);
+  std::string line;
+  auto fail = [&](const std::string& what) {
+    *error = "line " + std::to_string(line_no) + ": " + what;
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::vector<std::string> tokens = common::split_fields(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+
+    auto want = [&](std::size_t n) { return tokens.size() == n + 1; };
+    if (key == "scenario" && want(1)) {
+      scenario.name = tokens[1];
+    } else if (key == "nodes" && want(1)) {
+      auto v = parse_int64(tokens[1]);
+      if (!v || *v <= 0) return fail("bad node count");
+      scenario.nodes = static_cast<int>(*v);
+    } else if (key == "seed" && want(1)) {
+      auto v = parse_int64(tokens[1]);
+      if (!v || *v < 0) return fail("bad seed");
+      scenario.seed = static_cast<uint64_t>(*v);
+    } else if (key == "jobs_per_day" && want(1)) {
+      auto v = parse_double(tokens[1]);
+      if (!v || *v < 0) return fail("bad jobs_per_day");
+      scenario.jobs_per_day = *v;
+    } else if ((key == "duration" || key == "step" || key == "scrape_interval" ||
+                key == "checkpoint_every" || key == "hot_retention" ||
+                key == "recovery") &&
+               want(1)) {
+      auto v = parse_duration_ms(tokens[1]);
+      if (!v || *v < 0) return fail("bad duration '" + tokens[1] + "'");
+      if (key == "duration") scenario.duration_ms = *v;
+      else if (key == "step") scenario.step_ms = *v;
+      else if (key == "scrape_interval") scenario.scrape_interval_ms = *v;
+      else if (key == "checkpoint_every") scenario.checkpoint_every_ms = *v;
+      else if (key == "hot_retention") scenario.hot_retention_ms = *v;
+      else scenario.recovery_ms = *v;
+    } else if (key == "budget" && tokens.size() == 3) {
+      const std::string& which = tokens[1];
+      if (which == "bytes_fixed" || which == "bytes_per_node") {
+        auto v = parse_bytes(tokens[2]);
+        if (!v) return fail("bad byte budget '" + tokens[2] + "'");
+        (which == "bytes_fixed" ? scenario.budgets.bytes_fixed
+                                : scenario.budgets.bytes_per_node) = *v;
+      } else if (which == "ingest_lag") {
+        auto v = parse_duration_ms(tokens[2]);
+        if (!v) return fail("bad ingest_lag");
+        scenario.budgets.ingest_lag_ms = *v;
+      } else if (which == "query_points_p99") {
+        auto v = parse_int64(tokens[2]);
+        if (!v || *v <= 0) return fail("bad query_points_p99");
+        scenario.budgets.query_points_p99 = static_cast<uint64_t>(*v);
+      } else {
+        return fail("unknown budget '" + which + "'");
+      }
+    } else if (key == "storm" || key == "outage") {
+      if (tokens.size() < 2) return fail("storm needs a kind");
+      const std::string& kind = tokens[1];
+      StormWindow window;
+      std::size_t i = 2;
+      std::string window_error;
+      if (!parse_window(tokens, &i, &window, &window_error))
+        return fail(window_error);
+      auto kv = parse_kv(tokens, i, &window_error);
+      if (!kv) return fail(window_error);
+      if (kind == "cardinality") {
+        CardinalityStorm storm;
+        storm.window = window;
+        if (auto it = kv->find("series"); it != kv->end())
+          storm.series = static_cast<int>(parse_int64(it->second).value_or(0));
+        if (auto it = kv->find("churn"); it != kv->end())
+          storm.churn_sweeps =
+              static_cast<int>(parse_int64(it->second).value_or(0));
+        if (storm.series <= 0 || storm.churn_sweeps <= 0)
+          return fail("cardinality storm needs series > 0 and churn > 0");
+        scenario.cardinality = storm;
+      } else if (kind == "flap") {
+        FlapStorm storm;
+        storm.window = window;
+        if (auto it = kv->find("fraction"); it != kv->end())
+          storm.fraction = parse_double(it->second).value_or(-1);
+        if (storm.fraction < 0 || storm.fraction > 1)
+          return fail("flap fraction must be in [0,1]");
+        scenario.flap = storm;
+      } else if (kind == "churn") {
+        ChurnStorm storm;
+        storm.window = window;
+        if (auto it = kv->find("factor"); it != kv->end())
+          storm.factor = parse_double(it->second).value_or(0);
+        if (storm.factor <= 0) return fail("churn factor must be > 0");
+        scenario.churn = storm;
+      } else if (kind == "emissions") {
+        EmissionsOutage outage;
+        outage.window = window;
+        scenario.outage = outage;
+      } else if (kind == "lb") {
+        LbStorm storm;
+        storm.window = window;
+        if (auto it = kv->find("fraction"); it != kv->end())
+          storm.flap_fraction = parse_double(it->second).value_or(-1);
+        if (storm.flap_fraction < 0 || storm.flap_fraction > 1)
+          return fail("lb fraction must be in [0,1]");
+        scenario.lb = storm;
+      } else {
+        return fail("unknown storm kind '" + kind + "'");
+      }
+    } else {
+      return fail("unknown directive '" + key + "'");
+    }
+  }
+  if (scenario.duration_ms <= 0 || scenario.step_ms <= 0)
+    return fail("duration and step must be positive");
+  if (scenario.last_storm_end_ms() > scenario.duration_ms)
+    return fail("a storm window extends past the scenario duration");
+  return scenario;
+}
+
+std::string to_text(const Scenario& s) {
+  std::ostringstream out;
+  auto window = [](const StormWindow& w) {
+    return "from " + common::format_duration_ms(w.start_ms) + " for " +
+           common::format_duration_ms(w.end_ms - w.start_ms);
+  };
+  out << "scenario " << s.name << "\n";
+  out << "nodes " << s.nodes << "\n";
+  out << "duration " << common::format_duration_ms(s.duration_ms) << "\n";
+  out << "step " << common::format_duration_ms(s.step_ms) << "\n";
+  out << "scrape_interval " << common::format_duration_ms(s.scrape_interval_ms)
+      << "\n";
+  if (s.jobs_per_day > 0) out << "jobs_per_day " << s.jobs_per_day << "\n";
+  out << "seed " << s.seed << "\n";
+  out << "checkpoint_every "
+      << common::format_duration_ms(s.checkpoint_every_ms) << "\n";
+  out << "hot_retention " << common::format_duration_ms(s.hot_retention_ms)
+      << "\n";
+  out << "recovery " << common::format_duration_ms(s.recovery_ms) << "\n";
+  out << "budget bytes_fixed " << format_bytes(s.budgets.bytes_fixed) << "\n";
+  out << "budget bytes_per_node " << format_bytes(s.budgets.bytes_per_node)
+      << "\n";
+  if (s.budgets.ingest_lag_ms > 0)
+    out << "budget ingest_lag "
+        << common::format_duration_ms(s.budgets.ingest_lag_ms) << "\n";
+  out << "budget query_points_p99 " << s.budgets.query_points_p99 << "\n";
+  if (s.flap)
+    out << "storm flap " << window(s.flap->window) << " fraction "
+        << s.flap->fraction << "\n";
+  if (s.cardinality)
+    out << "storm cardinality " << window(s.cardinality->window) << " series "
+        << s.cardinality->series << " churn " << s.cardinality->churn_sweeps
+        << "\n";
+  if (s.churn)
+    out << "storm churn " << window(s.churn->window) << " factor "
+        << s.churn->factor << "\n";
+  if (s.outage) out << "outage emissions " << window(s.outage->window) << "\n";
+  if (s.lb)
+    out << "storm lb " << window(s.lb->window) << " fraction "
+        << s.lb->flap_fraction << "\n";
+  return out.str();
+}
+
+namespace {
+
+// Builtin scenarios. Timings are written against the scenario's own
+// duration, so overriding --nodes/--seed from the CLI never invalidates
+// the windows.
+const struct {
+  const char* name;
+  const char* text;
+} kBuiltins[] = {
+    {"smoke",
+     // The CI trend-gate scenario: every storm kind packed into 12
+     // simulated minutes at 100 nodes, plus a 3-minute recovery tail.
+     // Counters recorded from this scenario (BENCH_soak.json) are gated
+     // by tools/bench_guard.py.
+     "scenario smoke\n"
+     "nodes 100\n"
+     "duration 12m\n"
+     "scrape_interval 30s\n"
+     "checkpoint_every 2m\n"
+     "hot_retention 10m\n"
+     "recovery 3m\n"
+     "budget query_points_p99 120000\n"
+     "storm flap from 2m for 6m fraction 0.2\n"
+     "storm cardinality from 3m for 4m series 1500 churn 3\n"
+     "storm churn from 4m for 4m factor 4\n"
+     "outage emissions from 5m for 4m\n"
+     "storm lb from 6m for 3m\n"},
+    {"churn",
+     "scenario churn\n"
+     "nodes 1000\n"
+     "duration 30m\n"
+     "checkpoint_every 5m\n"
+     "hot_retention 25m\n"
+     "recovery 5m\n"
+     "budget bytes_per_node 384k\n"
+     "storm churn from 5m for 15m factor 6\n"},
+    {"cardinality",
+     "scenario cardinality\n"
+     "nodes 1000\n"
+     "duration 30m\n"
+     "checkpoint_every 5m\n"
+     "hot_retention 25m\n"
+     "recovery 5m\n"
+     "budget bytes_per_node 384k\n"
+     "storm cardinality from 5m for 15m series 5000 churn 4\n"},
+    {"outage",
+     "scenario outage\n"
+     "nodes 1000\n"
+     "duration 30m\n"
+     "checkpoint_every 5m\n"
+     "hot_retention 25m\n"
+     "recovery 5m\n"
+     "budget bytes_per_node 384k\n"
+     "storm flap from 4m for 16m fraction 0.25\n"
+     "outage emissions from 8m for 12m\n"
+     "storm lb from 10m for 8m\n"},
+    {"full",
+     // The acceptance scenario: churn + cardinality storm + provider
+     // outage + flapping + LB brown-out on one thousand-node fleet. The
+     // byte budget is ~30% above the measured steady-state peak (~310 MB
+     // at 1000 nodes): tight enough to catch a broken retention purge or
+     // a cardinality leak, loose enough not to gate on allocator noise.
+     "scenario full\n"
+     "nodes 1000\n"
+     "duration 35m\n"
+     "scrape_interval 30s\n"
+     "checkpoint_every 5m\n"
+     "hot_retention 25m\n"
+     "recovery 5m\n"
+     "budget bytes_per_node 384k\n"
+     "storm flap from 4m for 18m fraction 0.2\n"
+     "storm cardinality from 8m for 10m series 5000 churn 4\n"
+     "storm churn from 10m for 10m factor 4\n"
+     "outage emissions from 12m for 10m\n"
+     "storm lb from 16m for 8m\n"},
+};
+
+}  // namespace
+
+std::vector<std::string> builtin_scenario_names() {
+  std::vector<std::string> names;
+  for (const auto& builtin : kBuiltins) names.push_back(builtin.name);
+  return names;
+}
+
+std::string builtin_scenario_text(const std::string& name) {
+  for (const auto& builtin : kBuiltins) {
+    if (name == builtin.name) return builtin.text;
+  }
+  return "";
+}
+
+}  // namespace ceems::soak

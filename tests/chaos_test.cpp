@@ -52,6 +52,19 @@ const char* const kDifferentialMetrics[] = {
     "ceems_ipmi_dcmi_current_watts",
 };
 
+// First failure prints a one-line reproduction command (the soak-smoke CI
+// job surfaces these lines from the log — see .github/workflows/ci.yml):
+// the failing seed is pinned via CHAOS_SEEDS and the suite re-run alone.
+void print_replay_once(uint64_t seed) {
+  static bool printed = false;
+  if (printed || !::testing::Test::HasFailure()) return;
+  printed = true;
+  std::fprintf(stderr,
+               "[chaos replay] CHAOS_SEEDS=\"%llu\" ctest --test-dir build "
+               "--output-on-failure -R Chaos\n",
+               static_cast<unsigned long long>(seed));
+}
+
 std::vector<uint64_t> chaos_seeds() {
   if (const char* env = std::getenv("CHAOS_SEEDS")) {
     std::vector<uint64_t> seeds;
@@ -250,6 +263,7 @@ TEST(ChaosStack, RandomFaultPlansKeepInvariants) {
     EXPECT_GT(options.stack.fault_plan->stats().faults, 0u);
     check_staleness_invariants(mini, /*expect_failures=*/true);
     check_differential_subset(mini, baseline_dump());
+    print_replay_once(seed);
   }
 }
 
@@ -266,6 +280,7 @@ TEST(ChaosStack, SimfsReadFaultsSurvived) {
     mini.run(kChaosRunMs);
     EXPECT_GT(options.stack.fault_plan->stats().faults, 0u);
     check_staleness_invariants(mini, /*expect_failures=*/true);
+    print_replay_once(seed);
   }
 }
 
@@ -369,6 +384,7 @@ TEST(ChaosLb, NeverRoutesToOpenCircuit) {
       clock->advance(500);
     }
     healthy.stop();
+    print_replay_once(seed);
   }
 }
 

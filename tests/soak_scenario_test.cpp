@@ -1,0 +1,183 @@
+// Soak scenario DSL + report plumbing (tier1 — the actual soak runs are
+// tier2, tests/soak_test.cpp). Covers: parse/serialize round-trips, every
+// builtin parses, window validation, bench_json has the shape
+// tools/bench_guard.py consumes.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "soak/runner.h"
+#include "soak/scenario.h"
+
+namespace ceems::soak {
+namespace {
+
+Scenario parse_ok(const std::string& text) {
+  std::string error;
+  auto scenario = parse_scenario_text(text, &error);
+  EXPECT_TRUE(scenario.has_value()) << error;
+  return scenario.value_or(Scenario{});
+}
+
+std::string parse_error(const std::string& text) {
+  std::string error;
+  auto scenario = parse_scenario_text(text, &error);
+  EXPECT_FALSE(scenario.has_value()) << "parsed unexpectedly";
+  return error;
+}
+
+TEST(SoakScenario, ParsesFullGrammar) {
+  Scenario s = parse_ok(
+      "# comment line\n"
+      "scenario storms   # trailing comment\n"
+      "nodes 500\n"
+      "duration 45m\n"
+      "step 5s\n"
+      "scrape_interval 15s\n"
+      "jobs_per_day 12000\n"
+      "seed 99\n"
+      "checkpoint_every 3m\n"
+      "hot_retention 20m\n"
+      "recovery 4m\n"
+      "budget bytes_fixed 32M\n"
+      "budget bytes_per_node 192k\n"
+      "budget ingest_lag 90s\n"
+      "budget query_points_p99 50000\n"
+      "storm flap from 5m for 20m fraction 0.3\n"
+      "storm cardinality from 10m for 10m series 4000 churn 2\n"
+      "storm churn from 15m for 10m factor 5\n"
+      "outage emissions from 20m for 10m\n"
+      "storm lb from 24m for 8m fraction 0.75\n");
+  EXPECT_EQ(s.name, "storms");
+  EXPECT_EQ(s.nodes, 500);
+  EXPECT_EQ(s.duration_ms, 45 * common::kMillisPerMinute);
+  EXPECT_EQ(s.step_ms, 5 * common::kMillisPerSecond);
+  EXPECT_EQ(s.scrape_interval_ms, 15 * common::kMillisPerSecond);
+  EXPECT_EQ(s.jobs_per_day, 12000);
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_EQ(s.checkpoint_every_ms, 3 * common::kMillisPerMinute);
+  EXPECT_EQ(s.hot_retention_ms, 20 * common::kMillisPerMinute);
+  EXPECT_EQ(s.recovery_ms, 4 * common::kMillisPerMinute);
+  EXPECT_EQ(s.budgets.bytes_fixed, 32u << 20);
+  EXPECT_EQ(s.budgets.bytes_per_node, 192u << 10);
+  EXPECT_EQ(s.budgets.ingest_lag_ms, 90 * common::kMillisPerSecond);
+  EXPECT_EQ(s.budgets.query_points_p99, 50000u);
+
+  ASSERT_TRUE(s.flap);
+  EXPECT_EQ(s.flap->window.start_ms, 5 * common::kMillisPerMinute);
+  EXPECT_EQ(s.flap->window.end_ms, 25 * common::kMillisPerMinute);
+  EXPECT_DOUBLE_EQ(s.flap->fraction, 0.3);
+  ASSERT_TRUE(s.cardinality);
+  EXPECT_EQ(s.cardinality->series, 4000);
+  EXPECT_EQ(s.cardinality->churn_sweeps, 2);
+  ASSERT_TRUE(s.churn);
+  EXPECT_DOUBLE_EQ(s.churn->factor, 5);
+  ASSERT_TRUE(s.outage);
+  EXPECT_EQ(s.outage->window.end_ms, 30 * common::kMillisPerMinute);
+  ASSERT_TRUE(s.lb);
+  EXPECT_DOUBLE_EQ(s.lb->flap_fraction, 0.75);
+  EXPECT_EQ(s.last_storm_end_ms(), 32 * common::kMillisPerMinute);
+}
+
+TEST(SoakScenario, RoundTripsThroughText) {
+  Scenario s = parse_ok(builtin_scenario_text("smoke"));
+  Scenario again = parse_ok(to_text(s));
+  EXPECT_EQ(to_text(s), to_text(again));
+  EXPECT_EQ(again.nodes, s.nodes);
+  EXPECT_EQ(again.duration_ms, s.duration_ms);
+  EXPECT_EQ(again.budgets.query_points_p99, s.budgets.query_points_p99);
+  ASSERT_TRUE(again.cardinality);
+  EXPECT_EQ(again.cardinality->series, s.cardinality->series);
+}
+
+TEST(SoakScenario, EveryBuiltinParses) {
+  auto names = builtin_scenario_names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    std::string text = builtin_scenario_text(name);
+    ASSERT_FALSE(text.empty());
+    Scenario s = parse_ok(text);
+    EXPECT_EQ(s.name, name);
+    // Storm windows must leave room for the recovery invariants.
+    EXPECT_LE(s.last_storm_end_ms(), s.duration_ms);
+    EXPECT_GT(s.recovery_ms, 0);
+  }
+  EXPECT_TRUE(builtin_scenario_text("no-such-scenario").empty());
+}
+
+TEST(SoakScenario, RejectsBadInput) {
+  EXPECT_NE(parse_error("bogus_directive 1\n").find("line 1"),
+            std::string::npos);
+  EXPECT_NE(parse_error("nodes -5\n").find("bad node count"),
+            std::string::npos);
+  EXPECT_NE(parse_error("storm flap at 5m\n").find("from"),
+            std::string::npos);
+  EXPECT_NE(parse_error("budget frobs 12\n").find("unknown budget"),
+            std::string::npos);
+  EXPECT_NE(parse_error("storm cardinality from 1m for 2m series 0\n")
+                .find("series"),
+            std::string::npos);
+  // A storm window past the duration is a scenario bug, not a runtime one.
+  EXPECT_NE(parse_error("duration 10m\nstorm flap from 8m for 5m\n")
+                .find("extends past"),
+            std::string::npos);
+}
+
+TEST(SoakScenario, WindowContainsIsHalfOpen) {
+  StormWindow window{1000, 2000};
+  EXPECT_FALSE(window.contains(999));
+  EXPECT_TRUE(window.contains(1000));
+  EXPECT_TRUE(window.contains(1999));
+  EXPECT_FALSE(window.contains(2000));
+}
+
+TEST(SoakScenario, DefaultJobsPerDayScalesWithNodes) {
+  Scenario s;
+  s.nodes = 10;
+  EXPECT_DOUBLE_EQ(s.effective_jobs_per_day(), 7000.0);
+  s.jobs_per_day = 1234;
+  EXPECT_DOUBLE_EQ(s.effective_jobs_per_day(), 1234.0);
+}
+
+TEST(SoakReport, BenchJsonHasBenchGuardShape) {
+  SoakReport report;
+  report.scenario.name = "smoke";
+  report.scenario.seed = 11;
+  report.node_count = 100;
+  report.ok = true;
+  report.peak_bytes = 1u << 20;
+  report.max_series = 4321;
+  report.dropped_scrapes = 17;
+  report.samples_ingested = 99999;
+  report.points_scanned = 5555;
+  report.query_points_p99 = 444;
+  report.units_total = 1300;
+
+  auto json = common::Json::parse(bench_json({report}));
+  // The exact shape tools/bench_guard.py consumes: context with the
+  // build type, benchmarks[] with name/run_type plus counter fields.
+  ASSERT_TRUE(json.at("context").get("library_build_type").has_value());
+  const auto& benchmarks = json.at("benchmarks").as_array();
+  ASSERT_EQ(benchmarks.size(), 1u);
+  const auto& bench = benchmarks[0];
+  EXPECT_EQ(bench.at("name").as_string(), "soak/smoke/seed11");
+  EXPECT_EQ(bench.at("run_type").as_string(), "iteration");
+  EXPECT_EQ(bench.at("peak_bytes").as_int(), 1 << 20);
+  EXPECT_EQ(bench.at("max_series").as_int(), 4321);
+  EXPECT_EQ(bench.at("dropped_scrapes").as_int(), 17);
+  EXPECT_EQ(bench.at("samples_ingested").as_int(), 99999);
+  EXPECT_EQ(bench.at("query_points_p99").as_int(), 444);
+  EXPECT_TRUE(bench.at("invariants_ok").as_bool());
+}
+
+TEST(SoakReport, ReplayCommandNamesScenarioNodesSeed) {
+  SoakReport report;
+  report.scenario.name = "full";
+  report.scenario.nodes = 1000;
+  report.scenario.seed = 8;
+  EXPECT_EQ(report.replay_command(),
+            "ceems_soak --scenario full --nodes 1000 --seed 8");
+}
+
+}  // namespace
+}  // namespace ceems::soak

@@ -1,0 +1,127 @@
+// Tier-2 soak runs (labelled tier2 in CMake; only the soak-smoke CI job
+// executes these — the regular build-test matrix runs `ctest -L tier1`).
+//
+// The acceptance run drives the builtin `full` scenario — job churn,
+// cardinality explosion, scrape flapping, emissions-provider outage and
+// an LB brown-out on a thousand-node fleet — and requires every hard
+// invariant green. Override the sweep with
+//   SOAK_SEEDS="7 8 9" SOAK_NODES=1000 ctest -L tier2
+// On the first failure the test prints the one-line ceems_soak replay
+// command for the exact (scenario, nodes, seed).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "soak/runner.h"
+#include "soak/scenario.h"
+
+namespace ceems::soak {
+namespace {
+
+std::vector<uint64_t> soak_seeds() {
+  if (const char* env = std::getenv("SOAK_SEEDS")) {
+    std::vector<uint64_t> seeds;
+    std::istringstream in(env);
+    uint64_t seed;
+    while (in >> seed) seeds.push_back(seed);
+    if (!seeds.empty()) return seeds;
+  }
+  return {7};
+}
+
+int soak_nodes(int fallback) {
+  if (const char* env = std::getenv("SOAK_NODES")) {
+    int nodes = std::atoi(env);
+    if (nodes > 0) return nodes;
+  }
+  return fallback;
+}
+
+void print_replay_once(const SoakReport& report) {
+  static bool printed = false;
+  if (printed || !::testing::Test::HasFailure()) return;
+  printed = true;
+  std::fprintf(stderr, "[soak replay] %s\n", report.replay_command().c_str());
+}
+
+TEST(Soak, FullScenarioThousandNodesKeepsInvariants) {
+  std::string error;
+  auto parsed = parse_scenario_text(builtin_scenario_text("full"), &error);
+  ASSERT_TRUE(parsed) << error;
+  Scenario scenario = *parsed;
+  scenario.nodes = soak_nodes(scenario.nodes);
+
+  for (uint64_t seed : soak_seeds()) {
+    SCOPED_TRACE("soak seed " + std::to_string(seed));
+    scenario.seed = seed;
+    SoakOptions options;
+    options.log = stderr;
+    SoakReport report = SoakRunner(scenario, options).run();
+
+    EXPECT_TRUE(report.ok);
+    for (const std::string& violation : report.violations)
+      ADD_FAILURE() << violation;
+
+    // The storm actually happened: tens of thousands of compute units
+    // churned through the fleet, faults were injected and survived, the
+    // breakers saw traffic, and the exporter explosion registered.
+    EXPECT_GE(report.node_count, scenario.nodes * 9 / 10);
+    if (scenario.nodes >= 1000) {
+      EXPECT_GE(report.units_total, 10000u);
+    }
+    EXPECT_GT(report.samples_ingested, 0u);
+    EXPECT_GT(report.faults_injected, 0u);
+    EXPECT_GT(report.dropped_scrapes, 0u);
+    EXPECT_GT(report.stale_markers, 0u);
+    EXPECT_GT(report.max_series, 0u);
+    EXPECT_GT(report.queries_run, 0u);
+
+    print_replay_once(report);
+  }
+}
+
+TEST(Soak, SmallScenarioIsDeterministic) {
+  // The CI trend gate (BENCH_soak.json vs bench_guard) only works if the
+  // counters are pure functions of (scenario, seed). Run one storm-heavy
+  // scenario twice in-process and require identical counters.
+  // peak_bytes is deliberately excluded: the process-global symbol table
+  // outlives run 1, so run 2's early checkpoints see more interned
+  // symbols — identical across *processes* (what CI compares), not across
+  // back-to-back in-process runs.
+  std::string error;
+  auto parsed = parse_scenario_text(builtin_scenario_text("smoke"), &error);
+  ASSERT_TRUE(parsed) << error;
+  Scenario scenario = *parsed;
+  scenario.nodes = 30;
+  scenario.seed = 4242;
+
+  SoakReport reports[2];
+  for (SoakReport& report : reports) {
+    report = SoakRunner(scenario).run();
+    EXPECT_TRUE(report.ok);
+    for (const std::string& violation : report.violations)
+      ADD_FAILURE() << violation;
+  }
+  EXPECT_EQ(reports[0].samples_ingested, reports[1].samples_ingested);
+  EXPECT_EQ(reports[0].dropped_scrapes, reports[1].dropped_scrapes);
+  EXPECT_EQ(reports[0].stale_markers, reports[1].stale_markers);
+  EXPECT_EQ(reports[0].scrape_retries, reports[1].scrape_retries);
+  // faults_injected and circuit_opens are NOT compared: the lb.backend
+  // fault streams are keyed by backend URL, and server ports are
+  // ephemeral, so those two counters legitimately differ run to run.
+  // They are informational in BENCH_soak.json, never gated — only the
+  // counters asserted here are in bench_guard's GUARDED_COUNTERS.
+  EXPECT_EQ(reports[0].points_scanned, reports[1].points_scanned);
+  EXPECT_EQ(reports[0].query_points_p99, reports[1].query_points_p99);
+  EXPECT_EQ(reports[0].max_series, reports[1].max_series);
+  EXPECT_EQ(reports[0].units_total, reports[1].units_total);
+  EXPECT_EQ(reports[0].jobs_submitted, reports[1].jobs_submitted);
+  if (::testing::Test::HasFailure())
+    std::fprintf(stderr, "[soak replay] %s\n",
+                 reports[0].replay_command().c_str());
+}
+
+}  // namespace
+}  // namespace ceems::soak

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Benchmark regression guard for deterministic work counters.
 
-Compares the counters a fresh bench_tsdb run emitted against the committed
-baseline (BENCH_tsdb.json) and fails when either:
+Compares the counters a fresh benchmark/soak run emitted against the
+committed baseline (BENCH_tsdb.json, BENCH_soak.json) and fails when
+either:
 
   * the fresh run's context says the binary was built without optimisations
     ("library_build_type": "debug") — a debug-recorded baseline once made
@@ -11,19 +12,27 @@ baseline (BENCH_tsdb.json) and fails when either:
   * a guarded counter drifted beyond tolerance from the baseline.
 
 Only *deterministic work counters* are guarded (points scanned, chunks
-decoded, bytes per sample) — never wall-clock time, which is hopeless on
-shared CI runners. The counters are exact functions of the workload and the
-code, so drift means a real behaviour change: e.g. the resolution-aware
-planner silently falling back to raw scans shows up as
-points_scanned_per_query jumping 20x, far outside any tolerance.
+decoded, bytes per sample, peak bytes, series cardinality, dropped
+scrapes) — never wall-clock time, which is hopeless on shared CI runners.
+The counters are exact functions of the workload and the code, so drift
+means a real behaviour change: e.g. the resolution-aware planner silently
+falling back to raw scans shows up as points_scanned_per_query jumping
+20x, and a broken retention purge shows up as peak_bytes climbing, far
+outside any tolerance.
 
 Benchmarks present in only one file are reported but not fatal (new
 benchmarks land before their baseline is re-recorded; retired ones linger
 in the baseline until then).
 
+--current/--baseline may be repeated to gate several pairs in one
+invocation (pairs are matched by position); the run fails if any pair
+fails.
+
 Usage:
   bench_guard.py --current build/bench/BENCH_tsdb_smoke.json \
-                 --baseline BENCH_tsdb.json [--tolerance 0.1]
+                 --baseline BENCH_tsdb.json \
+                 [--current build/BENCH_soak_fresh.json \
+                  --baseline BENCH_soak.json] [--tolerance 0.1]
 """
 
 import argparse
@@ -31,12 +40,19 @@ import json
 import sys
 
 # Counters that are deterministic functions of workload + code. Time-based
-# metrics are deliberately absent.
+# metrics are deliberately absent. The first group comes from bench_tsdb,
+# the second from the soak harness (cli/ceems_soak.cpp).
 GUARDED_COUNTERS = (
     "points_scanned_per_query",
     "decodes_per_query",
     "bytes_per_sample",
     "compression_ratio",
+    "peak_bytes",
+    "max_series",
+    "dropped_scrapes",
+    "samples_ingested",
+    "points_scanned",
+    "query_points_p99",
 )
 
 
@@ -53,31 +69,25 @@ def load_benchmarks(path):
     return doc.get("context", {}), runs
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--current", required=True,
-                        help="JSON emitted by the fresh benchmark run")
-    parser.add_argument("--baseline", required=True,
-                        help="committed baseline JSON (BENCH_tsdb.json)")
-    parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="max relative drift per counter (default 0.10)")
-    args = parser.parse_args()
-
-    context, current = load_benchmarks(args.current)
+def check_pair(current_path, baseline_path, tolerance):
+    """Gates one current/baseline pair. Returns (ok, compared)."""
+    context, current = load_benchmarks(current_path)
     build_type = context.get("library_build_type")
     if build_type != "release":
         print(f"FAIL: current run context says library_build_type="
               f"{build_type!r}, expected 'release'. Re-run the benchmark "
               f"from a -DCMAKE_BUILD_TYPE=Release build.")
-        return 1
-    print(f"library_build_type: {build_type}")
+        return False, 0
+    print(f"{current_path} vs {baseline_path} "
+          f"(library_build_type: {build_type})")
 
-    baseline_context, baseline = load_benchmarks(args.baseline)
+    baseline_context, baseline = load_benchmarks(baseline_path)
     baseline_build = baseline_context.get("library_build_type")
     if baseline_build != "release":
-        print(f"FAIL: committed baseline {args.baseline} was recorded from a "
-              f"{baseline_build!r} build; re-record it from a Release build.")
-        return 1
+        print(f"FAIL: committed baseline {baseline_path} was recorded from "
+              f"a {baseline_build!r} build; re-record it from a Release "
+              f"build.")
+        return False, 0
 
     failures = []
     compared = 0
@@ -99,10 +109,10 @@ def main():
                 drift = 0.0 if cur_v == 0.0 else float("inf")
             else:
                 drift = abs(cur_v - base_v) / abs(base_v)
-            status = "ok" if drift <= args.tolerance else "FAIL"
+            status = "ok" if drift <= tolerance else "FAIL"
             print(f"{status}: {name} {counter}: current={cur_v:g} "
                   f"baseline={base_v:g} drift={drift:.1%}")
-            if drift > args.tolerance:
+            if drift > tolerance:
                 failures.append((name, counter, cur_v, base_v))
 
     for name in sorted(baseline):
@@ -110,17 +120,46 @@ def main():
             print(f"note: baseline entry {name} absent from current run "
                   f"(filtered out or retired)")
 
-    if compared == 0:
-        print("FAIL: no guarded counters compared — wrong file or filter?")
-        return 1
     if failures:
         print(f"\n{len(failures)} counter(s) drifted beyond "
-              f"{args.tolerance:.0%}:")
+              f"{tolerance:.0%}:")
         for name, counter, cur_v, base_v in failures:
             print(f"  {name} {counter}: {base_v:g} -> {cur_v:g}")
+        return False, compared
+    return True, compared
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True, action="append",
+                        help="JSON emitted by the fresh run (repeatable)")
+    parser.add_argument("--baseline", required=True, action="append",
+                        help="committed baseline JSON, one per --current")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max relative drift per counter (default 0.10)")
+    args = parser.parse_args()
+
+    if len(args.current) != len(args.baseline):
+        print(f"FAIL: {len(args.current)} --current but "
+              f"{len(args.baseline)} --baseline; pairs are positional")
         return 1
-    print(f"\nall {compared} guarded counters within {args.tolerance:.0%} "
-          f"of baseline")
+
+    all_ok = True
+    total_compared = 0
+    for current_path, baseline_path in zip(args.current, args.baseline):
+        ok, compared = check_pair(current_path, baseline_path,
+                                  args.tolerance)
+        all_ok = all_ok and ok
+        total_compared += compared
+        print()
+
+    if total_compared == 0:
+        print("FAIL: no guarded counters compared — wrong file or filter?")
+        return 1
+    if not all_ok:
+        return 1
+    print(f"all {total_compared} guarded counters within "
+          f"{args.tolerance:.0%} of baseline")
     return 0
 
 

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_guard.py (run in CI by the soak-smoke job:
+`python3 tools/bench_guard_test.py`). Covers the gate's contract: release
+builds only, drift within tolerance, zero-baseline handling, multiple
+--current/--baseline pairs, and the soak counters."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_guard  # noqa: E402
+
+
+def doc(build_type="release", benchmarks=None):
+    return {
+        "context": {"library_build_type": build_type},
+        "benchmarks": benchmarks if benchmarks is not None else [],
+    }
+
+
+def bench(name, run_type="iteration", **counters):
+    entry = {"name": name, "run_type": run_type}
+    entry.update(counters)
+    return entry
+
+
+class BenchGuardTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.n = 0
+
+    def write(self, document):
+        self.n += 1
+        path = os.path.join(self.tmp.name, f"bench{self.n}.json")
+        with open(path, "w") as f:
+            json.dump(document, f)
+        return path
+
+    def run_main(self, argv):
+        old_argv = sys.argv
+        sys.argv = ["bench_guard.py"] + argv
+        try:
+            return bench_guard.main()
+        finally:
+            sys.argv = old_argv
+
+    def guard(self, current, baseline, tolerance=0.10):
+        return self.run_main([
+            "--current", self.write(current),
+            "--baseline", self.write(baseline),
+            "--tolerance", str(tolerance),
+        ])
+
+    def test_identical_counters_pass(self):
+        d = doc(benchmarks=[bench("soak/smoke/seed11", peak_bytes=1000,
+                                  max_series=50, dropped_scrapes=7)])
+        self.assertEqual(self.guard(d, d), 0)
+
+    def test_small_drift_within_tolerance_passes(self):
+        cur = doc(benchmarks=[bench("b", points_scanned=105)])
+        base = doc(benchmarks=[bench("b", points_scanned=100)])
+        self.assertEqual(self.guard(cur, base, tolerance=0.10), 0)
+
+    def test_drift_beyond_tolerance_fails(self):
+        cur = doc(benchmarks=[bench("b", peak_bytes=200)])
+        base = doc(benchmarks=[bench("b", peak_bytes=100)])
+        self.assertEqual(self.guard(cur, base, tolerance=0.10), 1)
+
+    def test_debug_current_build_is_fatal(self):
+        d = doc("debug", [bench("b", peak_bytes=1)])
+        self.assertEqual(self.guard(d, doc(benchmarks=[bench("b",
+                                                             peak_bytes=1)])),
+                         1)
+
+    def test_debug_baseline_is_fatal(self):
+        good = doc(benchmarks=[bench("b", peak_bytes=1)])
+        bad = doc("debug", [bench("b", peak_bytes=1)])
+        self.assertEqual(self.guard(good, bad), 1)
+
+    def test_nothing_compared_is_fatal(self):
+        # Counter names outside GUARDED_COUNTERS never gate.
+        cur = doc(benchmarks=[bench("b", wall_time_ns=123)])
+        base = doc(benchmarks=[bench("b", wall_time_ns=456)])
+        self.assertEqual(self.guard(cur, base), 1)
+
+    def test_zero_baseline_zero_current_passes(self):
+        d = doc(benchmarks=[bench("b", dropped_scrapes=0)])
+        self.assertEqual(self.guard(d, d), 0)
+
+    def test_zero_baseline_nonzero_current_fails(self):
+        cur = doc(benchmarks=[bench("b", dropped_scrapes=3)])
+        base = doc(benchmarks=[bench("b", dropped_scrapes=0)])
+        self.assertEqual(self.guard(cur, base), 1)
+
+    def test_missing_baseline_entry_is_note_not_failure(self):
+        cur = doc(benchmarks=[bench("new", peak_bytes=5),
+                              bench("old", peak_bytes=5)])
+        base = doc(benchmarks=[bench("old", peak_bytes=5)])
+        self.assertEqual(self.guard(cur, base), 0)
+
+    def test_aggregate_rows_are_skipped(self):
+        cur = doc(benchmarks=[bench("b", peak_bytes=100),
+                              bench("b_mean", run_type="aggregate",
+                                    peak_bytes=999999)])
+        base = doc(benchmarks=[bench("b", peak_bytes=100)])
+        self.assertEqual(self.guard(cur, base), 0)
+
+    def test_soak_counters_are_guarded(self):
+        for counter in ("peak_bytes", "max_series", "dropped_scrapes",
+                        "samples_ingested", "points_scanned",
+                        "query_points_p99"):
+            self.assertIn(counter, bench_guard.GUARDED_COUNTERS)
+            cur = doc(benchmarks=[bench("b", **{counter: 300})])
+            base = doc(benchmarks=[bench("b", **{counter: 100})])
+            self.assertEqual(self.guard(cur, base), 1, counter)
+
+    def test_multiple_pairs_all_pass(self):
+        tsdb = doc(benchmarks=[bench("t", points_scanned_per_query=10)])
+        soak = doc(benchmarks=[bench("s", peak_bytes=10)])
+        code = self.run_main([
+            "--current", self.write(tsdb), "--baseline", self.write(tsdb),
+            "--current", self.write(soak), "--baseline", self.write(soak),
+        ])
+        self.assertEqual(code, 0)
+
+    def test_multiple_pairs_one_failing_fails(self):
+        ok = doc(benchmarks=[bench("t", points_scanned_per_query=10)])
+        cur = doc(benchmarks=[bench("s", peak_bytes=500)])
+        base = doc(benchmarks=[bench("s", peak_bytes=100)])
+        code = self.run_main([
+            "--current", self.write(ok), "--baseline", self.write(ok),
+            "--current", self.write(cur), "--baseline", self.write(base),
+        ])
+        self.assertEqual(code, 1)
+
+    def test_mismatched_pair_counts_fail(self):
+        d = self.write(doc(benchmarks=[bench("b", peak_bytes=1)]))
+        code = self.run_main(["--current", d, "--current", d,
+                              "--baseline", d])
+        self.assertEqual(code, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
