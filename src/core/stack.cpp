@@ -7,6 +7,11 @@ namespace ceems::core {
 CeemsStack::CeemsStack(slurm::ClusterSim& sim, StackConfig config)
     : sim_(sim), config_(std::move(config)), clock_(sim.clock()) {
   hot_store_ = std::make_shared<tsdb::TimeSeriesStore>();
+  if (config_.hot_durable_dir) {
+    durable_ = std::make_unique<tsdb::DurableTsdb>(
+        hot_store_, config_.hot_durable_dir, config_.hot_wal);
+    last_open_ = durable_->open();
+  }
   longterm_ = std::make_shared<tsdb::LongTermStore>(config_.longterm);
 
   faults::FaultHook fault_hook;
@@ -153,6 +158,11 @@ void CeemsStack::pipeline_step_forced() {
   rules_->evaluate_all(now);
   longterm_->sync_from(*hot_store_);
   longterm_->compact(now);
+}
+
+tsdb::DurableTsdb::OpenResult CeemsStack::recover_hot_store() {
+  last_open_ = durable_->open();
+  return last_open_;
 }
 
 apiserver::UpdateStats CeemsStack::update_api() {

@@ -29,11 +29,13 @@
 #include "exporter/emissions_collector.h"
 #include "faults/plan.h"
 #include "lb/load_balancer.h"
+#include "simfs/durable_dir.h"
 #include "slurm/cluster_sim.h"
 #include "tsdb/http_api.h"
 #include "tsdb/longterm.h"
 #include "tsdb/rules.h"
 #include "tsdb/scrape.h"
+#include "tsdb/wal.h"
 
 namespace ceems::core {
 
@@ -57,6 +59,12 @@ struct StackConfig {
   // Operational alerting rules (exporter down, power anomaly, ...).
   bool include_alert_rules = true;
   std::string db_wal_path;  // empty = in-memory DB
+  // Durability for the hot TSDB: when set, every append is WAL-logged to
+  // this directory before it is applied (group commit), and the stack
+  // exposes checkpoint/recovery through durable_tsdb(). Empty = the hot
+  // store is purely in-memory, zero write-path overhead.
+  simfs::DurableDirPtr hot_durable_dir;
+  tsdb::WalOptions hot_wal;
   http::BasicAuthConfig exporter_auth;  // applied to every exporter
   // Chaos: when set, the plan's hook is installed on every fault site the
   // stack owns — scrape fetches ("scrape.target"), exporter HTTP servers
@@ -86,6 +94,16 @@ class CeemsStack {
   void start_servers();
   void stop_servers();
 
+  // --- durability (present iff config.hot_durable_dir is set) ---
+  tsdb::DurableTsdb* durable_tsdb() { return durable_.get(); }
+  // Result of the initial open() — snapshot/replay counters for tests.
+  const tsdb::DurableTsdb::OpenResult& last_open() const { return last_open_; }
+  // In-place crash recovery: clears the hot store and rebuilds it from
+  // the durable directory (snapshot + WAL replay). Every component
+  // holding the StorePtr — scraper, rules, long-term sync — sees the
+  // recovered state.
+  tsdb::DurableTsdb::OpenResult recover_hot_store();
+
   // --- accessors ---
   tsdb::StorePtr hot_store() { return hot_store_; }
   std::shared_ptr<tsdb::LongTermStore> longterm() { return longterm_; }
@@ -109,6 +127,8 @@ class CeemsStack {
   std::unique_ptr<exporter::Exporter> emissions_exporter_;
 
   tsdb::StorePtr hot_store_;
+  std::unique_ptr<tsdb::DurableTsdb> durable_;
+  tsdb::DurableTsdb::OpenResult last_open_;
   std::unique_ptr<tsdb::ScrapeManager> scraper_;
   std::unique_ptr<tsdb::RuleEngine> rules_;
   std::shared_ptr<tsdb::LongTermStore> longterm_;

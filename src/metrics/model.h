@@ -26,6 +26,17 @@ struct Sample {
   double value = 0;
 };
 
+// Non-owning sample for batch appends on the zero-copy scrape path: the
+// label set lives in a per-target series cache (tsdb/scrape.h) whose
+// entries are stable for the duration of the batch, so a scrape's worth
+// of samples is a flat vector of {pointer, t, v} — no per-sample label
+// vector copies.
+struct SampleRef {
+  const InternedLabels* labels = nullptr;
+  TimestampMs timestamp_ms = 0;
+  double value = 0;
+};
+
 // One metric within a family: label set (without __name__) plus value.
 struct Metric {
   Labels labels;  // family name excluded

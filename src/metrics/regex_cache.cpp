@@ -1,5 +1,6 @@
 #include "metrics/regex_cache.h"
 
+#include <functional>
 #include <list>
 #include <mutex>
 #include <unordered_map>
@@ -12,7 +13,16 @@ namespace {
 // hostile stream of unique patterns stays O(capacity) memory.
 constexpr std::size_t kCapacity = 128;
 
-struct Cache {
+// The cache is lock-striped: concurrent query threads hitting *different*
+// patterns take different mutexes, so the hot lookup path scales with
+// threads instead of serializing on one process-wide lock. Each stripe is
+// an independent LRU over its share of the capacity; a pattern lives in
+// exactly one stripe (keyed by its hash), so the semantics per pattern are
+// identical to the old single-lock cache.
+constexpr std::size_t kStripes = 8;
+static_assert(kCapacity % kStripes == 0);
+
+struct Stripe {
   std::mutex mu;
   // Most-recently-used at the front.
   std::list<std::string> lru;
@@ -24,6 +34,13 @@ struct Cache {
   RegexCacheStats stats;
 };
 
+struct Cache {
+  Stripe stripes[kStripes];
+  Stripe& of(const std::string& pattern) {
+    return stripes[std::hash<std::string>{}(pattern) % kStripes];
+  }
+};
+
 Cache& cache() {
   static Cache* instance = new Cache();  // intentionally leaked
   return *instance;
@@ -33,13 +50,13 @@ Cache& cache() {
 
 std::shared_ptr<const std::regex> compiled_anchored_regex(
     const std::string& pattern) {
-  Cache& c = cache();
+  Stripe& s = cache().of(pattern);
   {
-    std::lock_guard lock(c.mu);
-    auto it = c.entries.find(pattern);
-    if (it != c.entries.end()) {
-      ++c.stats.hits;
-      c.lru.splice(c.lru.begin(), c.lru, it->second.lru_it);
+    std::lock_guard lock(s.mu);
+    auto it = s.entries.find(pattern);
+    if (it != s.entries.end()) {
+      ++s.stats.hits;
+      s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
       return it->second.regex;
     }
   }
@@ -47,29 +64,35 @@ std::shared_ptr<const std::regex> compiled_anchored_regex(
   // may throw std::regex_error, which must reach the caller uncached.
   auto compiled = std::make_shared<const std::regex>(
       "^(?:" + pattern + ")$", std::regex::ECMAScript);
-  std::lock_guard lock(c.mu);
-  auto it = c.entries.find(pattern);
-  if (it != c.entries.end()) {
+  std::lock_guard lock(s.mu);
+  auto it = s.entries.find(pattern);
+  if (it != s.entries.end()) {
     // Raced with another thread compiling the same pattern; keep theirs.
-    ++c.stats.hits;
-    c.lru.splice(c.lru.begin(), c.lru, it->second.lru_it);
+    ++s.stats.hits;
+    s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
     return it->second.regex;
   }
-  ++c.stats.misses;
-  if (c.entries.size() >= kCapacity) {
-    ++c.stats.evictions;
-    c.entries.erase(c.lru.back());
-    c.lru.pop_back();
+  ++s.stats.misses;
+  if (s.entries.size() >= kCapacity / kStripes) {
+    ++s.stats.evictions;
+    s.entries.erase(s.lru.back());
+    s.lru.pop_back();
   }
-  c.lru.push_front(pattern);
-  c.entries.emplace(pattern, Cache::Entry{compiled, c.lru.begin()});
+  s.lru.push_front(pattern);
+  s.entries.emplace(pattern, Stripe::Entry{compiled, s.lru.begin()});
   return compiled;
 }
 
 RegexCacheStats regex_cache_stats() {
   Cache& c = cache();
-  std::lock_guard lock(c.mu);
-  return c.stats;
+  RegexCacheStats total;
+  for (Stripe& s : c.stripes) {
+    std::lock_guard lock(s.mu);
+    total.hits += s.stats.hits;
+    total.misses += s.stats.misses;
+    total.evictions += s.stats.evictions;
+  }
+  return total;
 }
 
 }  // namespace ceems::metrics

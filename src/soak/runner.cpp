@@ -7,6 +7,7 @@
 #include "common/strutil.h"
 #include "core/stack.h"
 #include "faults/plan.h"
+#include "simfs/durable_dir.h"
 #include "slurm/cluster_sim.h"
 #include "tsdb/promql_eval.h"
 
@@ -122,6 +123,16 @@ SoakReport SoakRunner::run() {
   config.scrape_interval_ms = scenario_.scrape_interval_ms;
   config.http_exporter_count = 0;  // local transport: one process, any fleet
   config.fault_plan = plan;
+  // Only crash_restart scenarios get a WAL-backed hot store: every other
+  // scenario keeps the purely in-memory store, so its counters stay
+  // bit-identical to what BENCH_soak.json recorded before durability
+  // existed.
+  std::shared_ptr<simfs::SimDurableDir> wal_dir;
+  if (scenario_.crash_restart) {
+    wal_dir = std::make_shared<simfs::SimDurableDir>();
+    config.hot_durable_dir = wal_dir;
+    config.hot_wal.segment_bytes = 1u << 20;  // several rotations per run
+  }
   core::CeemsStack stack(sim, config);
 
   if (scenario_.cardinality) {
@@ -223,6 +234,14 @@ SoakReport SoakRunner::run() {
   // queries with per-query points-scanned accounting ---
   auto checkpoint = [&](TimestampMs now) {
     stack.hot_store()->purge_before(now - scenario_.hot_retention_ms);
+    // WAL-backed runs fold the store into a snapshot and truncate the
+    // log at every checkpoint, so replay after a crash covers at most
+    // one checkpoint interval.
+    if (stack.durable_tsdb() && !stack.durable_tsdb()->checkpoint()) {
+      report.violations.push_back(
+          "durable checkpoint failed at t=+" +
+          common::format_duration_ms(now - start_ms));
+    }
     checker.at_checkpoint(stack, now);
     auto longterm = stack.longterm();
     for (const CanonicalQuery& query : kCanonicalQueries) {
@@ -251,6 +270,69 @@ SoakReport SoakRunner::run() {
         plan->stats().faults, stack.scraper().stats().scrapes_failed);
   };
 
+  // --- crash_restart storm: power-cut the hot store's durable dir and
+  // recover it in place from snapshot + WAL replay, asserting lossless
+  // recovery. Crashes land between pipeline steps (the stack is
+  // quiesced), and every append group-committed before returning, so a
+  // torn tail or any divergence is an invariant violation.
+  auto hot_query_fingerprint = [&](TimestampMs now) {
+    std::string out;
+    for (const char* expr :
+         {"sum(up)", "sum by (nodegroup) (ceems_job_power_watts)"}) {
+      out += expr;
+      out += ':';
+      try {
+        auto value = engine.eval(*stack.hot_store(), expr, now);
+        if (value.kind == tsdb::promql::Value::Kind::kVector) {
+          for (const auto& sample : value.vector) {
+            out += sample.labels.to_string();
+            out += '=';
+            out += std::to_string(sample.value);
+            out += ';';
+          }
+        } else {
+          out += std::to_string(value.scalar);
+          out += ';';
+        }
+      } catch (const tsdb::promql::EvalError& error) {
+        out += std::string("error ") + error.what() + ";";
+      }
+    }
+    return out;
+  };
+  auto do_crash_restart = [&](TimestampMs now, int64_t rel_ms) {
+    auto pre = stack.hot_store()->stats();
+    std::string pre_queries = hot_query_fingerprint(now);
+    wal_dir->crash();  // the power cut: unsynced bytes vanish
+    auto result = stack.recover_hot_store();
+    ++report.crash_restarts;
+    report.wal_records_replayed += result.replay.records_applied;
+    std::string when = common::format_duration_ms(rel_ms);
+    if (!result.replay.error.empty())
+      report.violations.push_back("crash_restart t=+" + when +
+                                  ": replay error: " + result.replay.error);
+    if (result.replay.torn_tail)
+      report.violations.push_back("crash_restart t=+" + when +
+                                  ": torn tail at a quiesced crash point");
+    auto post = stack.hot_store()->stats();
+    if (post.num_series != pre.num_series ||
+        post.num_samples != pre.num_samples)
+      report.violations.push_back(
+          "crash_restart t=+" + when + ": recovered " +
+          std::to_string(post.num_series) + " series / " +
+          std::to_string(post.num_samples) + " samples, expected " +
+          std::to_string(pre.num_series) + " / " +
+          std::to_string(pre.num_samples));
+    if (hot_query_fingerprint(now) != pre_queries)
+      report.violations.push_back(
+          "crash_restart t=+" + when +
+          ": canonical hot-store queries changed across recovery");
+    log("t=+%s crash_restart: snapshot %zu + %" PRIu64
+        " wal records replayed; %zu series / %zu samples intact",
+        when.c_str(), result.snapshot_samples, result.replay.records_applied,
+        post.num_series, post.num_samples);
+  };
+
   auto lb_probe = [&] {
     http::Request request;
     request.method = "GET";
@@ -271,6 +353,11 @@ SoakReport SoakRunner::run() {
                 2 * scenario_.scrape_interval_ms
           : -1;
   bool card_checked = false;
+  // First crash one period into the storm window, then on cadence.
+  int64_t next_crash_rel =
+      scenario_.crash_restart ? scenario_.crash_restart->window.start_ms +
+                                    scenario_.crash_restart->every_ms
+                              : -1;
 
   sim.run_for(total_ms, scenario_.step_ms, [&](TimestampMs now) {
     int64_t rel_ms = now - start_ms;
@@ -294,6 +381,11 @@ SoakReport SoakRunner::run() {
     if (now >= next_checkpoint) {
       checkpoint(now);
       next_checkpoint += scenario_.checkpoint_every_ms;
+    }
+    if (scenario_.crash_restart && rel_ms >= next_crash_rel &&
+        scenario_.crash_restart->window.contains(rel_ms)) {
+      do_crash_restart(now, rel_ms);
+      next_crash_rel = rel_ms + scenario_.crash_restart->every_ms;
     }
   });
 
@@ -361,6 +453,8 @@ std::string bench_json(const std::vector<SoakReport>& reports) {
     bench["jobs_submitted"] = report.jobs_submitted;
     bench["faults_injected"] = report.faults_injected;
     bench["circuit_opens"] = report.circuit_opens;
+    bench["crash_restarts"] = report.crash_restarts;
+    bench["wal_records_replayed"] = report.wal_records_replayed;
     benchmarks.push_back(common::Json(std::move(bench)));
   }
   common::JsonObject root;

@@ -46,6 +46,10 @@ struct SoakReport {
   uint64_t units_total = 0;
   uint64_t jobs_submitted = 0;
   uint64_t circuit_opens = 0;
+  // crash_restart storm: power-cuts survived and WAL records replayed
+  // across all of them (0 when the scenario has no crash_restart storm).
+  uint64_t crash_restarts = 0;
+  uint64_t wal_records_replayed = 0;
 
   // One-line replay command for this exact run.
   std::string replay_command() const;

@@ -93,6 +93,7 @@ int64_t Scenario::last_storm_end_ms() const {
   if (churn) end = std::max(end, churn->window.end_ms);
   if (outage) end = std::max(end, outage->window.end_ms);
   if (lb) end = std::max(end, lb->window.end_ms);
+  if (crash_restart) end = std::max(end, crash_restart->window.end_ms);
   return end;
 }
 
@@ -209,6 +210,14 @@ std::optional<Scenario> parse_scenario_text(const std::string& text,
         if (storm.flap_fraction < 0 || storm.flap_fraction > 1)
           return fail("lb fraction must be in [0,1]");
         scenario.lb = storm;
+      } else if (kind == "crash_restart") {
+        CrashRestartStorm storm;
+        storm.window = window;
+        if (auto it = kv->find("every"); it != kv->end())
+          storm.every_ms = parse_duration_ms(it->second).value_or(0);
+        if (storm.every_ms <= 0)
+          return fail("crash_restart needs every > 0");
+        scenario.crash_restart = storm;
       } else {
         return fail("unknown storm kind '" + kind + "'");
       }
@@ -263,6 +272,10 @@ std::string to_text(const Scenario& s) {
   if (s.lb)
     out << "storm lb " << window(s.lb->window) << " fraction "
         << s.lb->flap_fraction << "\n";
+  if (s.crash_restart)
+    out << "storm crash_restart " << window(s.crash_restart->window)
+        << " every " << common::format_duration_ms(s.crash_restart->every_ms)
+        << "\n";
   return out.str();
 }
 
@@ -322,6 +335,22 @@ const struct {
      "storm flap from 4m for 16m fraction 0.25\n"
      "outage emissions from 8m for 12m\n"
      "storm lb from 10m for 8m\n"},
+    {"crash",
+     // Durability scenario: the hot TSDB loses power every few minutes —
+     // including during a flap storm and a churn burst — and is WAL-
+     // recovered in place. Lossless recovery is asserted at every crash
+     // (series/sample counts and canonical queries identical), on top of
+     // the usual budget/recovery invariants.
+     "scenario crash\n"
+     "nodes 200\n"
+     "duration 24m\n"
+     "scrape_interval 30s\n"
+     "checkpoint_every 4m\n"
+     "hot_retention 20m\n"
+     "recovery 4m\n"
+     "storm flap from 4m for 10m fraction 0.2\n"
+     "storm churn from 6m for 10m factor 3\n"
+     "storm crash_restart from 3m for 18m every 4m\n"},
     {"full",
      // The acceptance scenario: churn + cardinality storm + provider
      // outage + flapping + LB brown-out on one thousand-node fleet. The

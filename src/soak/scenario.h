@@ -19,6 +19,7 @@
 //   storm churn from 15m for 10m factor 4
 //   outage emissions from 20m for 10m
 //   storm lb from 24m for 8m
+//   storm crash_restart from 22m for 12m every 4m
 //   budget bytes_per_node 192k
 //
 // parse_scenario_text() reads it back; to_text() round-trips. The
@@ -84,6 +85,18 @@ struct LbStorm {
   double flap_fraction = 0.5;
 };
 
+// Hot-store crash/restart storm: every `every_ms` within the window the
+// hot TSDB process "loses power" (its durable dir drops unsynced bytes)
+// and is recovered in place from snapshot + WAL replay — the write-path
+// durability claim exercised mid-scenario. Because every append is group-
+// committed before it returns and crashes land between pipeline steps,
+// recovery must be lossless: series/sample counts and canonical query
+// results are asserted identical across each crash.
+struct CrashRestartStorm {
+  StormWindow window;
+  int64_t every_ms = 4 * common::kMillisPerMinute;
+};
+
 // Hard-invariant budgets, asserted continuously at every checkpoint.
 struct InvariantBudgets {
   // Memory ceiling: hot + long-term approx_bytes + the process symbol
@@ -124,6 +137,7 @@ struct Scenario {
   std::optional<ChurnStorm> churn;
   std::optional<EmissionsOutage> outage;
   std::optional<LbStorm> lb;
+  std::optional<CrashRestartStorm> crash_restart;
 
   // Derived: jobs_per_day, honoring the 0 = per-node default.
   double effective_jobs_per_day() const;

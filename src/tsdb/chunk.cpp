@@ -40,6 +40,8 @@ class BitWriter {
 
   std::vector<uint8_t> take() { return std::move(bytes_); }
 
+  void reserve(std::size_t bytes) { bytes_.reserve(bytes); }
+
  private:
   std::vector<uint8_t> bytes_;
   uint32_t used_ = 0;  // free bits remaining in bytes_.back()
@@ -199,6 +201,10 @@ std::shared_ptr<const GorillaChunk> GorillaChunk::encode(
     const SamplePoint* samples, std::size_t count) {
   if (count == 0 || count > UINT32_MAX) return nullptr;
   BitWriter w;
+  // One up-front buffer sized for a typical (≈3 bytes/sample) chunk keeps
+  // the seal on the ingest hot path at a couple of allocations instead of
+  // a realloc cascade; poorly-compressing data grows past it normally.
+  w.reserve(16 + count * 3);
   XorState xs;
   // First sample: full 64-bit timestamp + full 64-bit value bits.
   w.write_bits(static_cast<uint64_t>(samples[0].t), 64);

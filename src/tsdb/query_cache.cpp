@@ -1,30 +1,54 @@
 #include "tsdb/query_cache.h"
 
+#include <algorithm>
+#include <functional>
+
 namespace ceems::tsdb::promql {
+
+namespace {
+// At most this many stripes; each stripe wants at least 8 entries so
+// small caches (the eviction-sensitive ones) keep exact LRU order.
+constexpr std::size_t kMaxStripes = 8;
+constexpr std::size_t kMinStripeEntries = 8;
+}  // namespace
+
+QueryCache::QueryCache(std::size_t capacity) : capacity_(capacity) {
+  stripe_count_ = std::clamp<std::size_t>(capacity / kMinStripeEntries, 1,
+                                          kMaxStripes);
+  // Round up so the striped total never falls below the requested
+  // capacity.
+  stripe_capacity_ = (capacity + stripe_count_ - 1) / stripe_count_;
+  stripes_ = std::make_unique<Stripe[]>(stripe_count_);
+}
 
 std::string QueryCacheKey::encode() const {
   return query + "\x1f" + std::to_string(start) + "\x1f" +
          std::to_string(end) + "\x1f" + std::to_string(step_ms);
 }
 
+QueryCache::Stripe& QueryCache::stripe_of(const std::string& encoded) const {
+  return stripes_[std::hash<std::string>{}(encoded) % stripe_count_];
+}
+
 std::optional<std::vector<Series>> QueryCache::lookup(
     const QueryCacheKey& key, const std::vector<uint64_t>& versions) {
   std::string encoded = key.encode();
-  std::lock_guard lock(mu_);
-  auto it = by_key_.find(encoded);
-  if (it == by_key_.end()) {
-    ++stats_.misses;
+  Stripe& s = stripe_of(encoded);
+  std::lock_guard lock(s.mu);
+  auto it = s.by_key.find(encoded);
+  if (it == s.by_key.end()) {
+    ++s.stats.misses;
     return std::nullopt;
   }
   if (it->second->versions != versions) {
-    lru_.erase(it->second);
-    by_key_.erase(it);
-    ++stats_.invalidations;
-    ++stats_.misses;
+    s.lru.erase(it->second);
+    s.by_key.erase(it);
+    ++s.stats.invalidations;
+    ++s.stats.misses;
     return std::nullopt;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  ++s.stats.hits;
   return it->second->result;
 }
 
@@ -33,31 +57,42 @@ void QueryCache::insert(const QueryCacheKey& key,
                         std::vector<Series> result) {
   if (capacity_ == 0) return;
   std::string encoded = key.encode();
-  std::lock_guard lock(mu_);
-  if (auto it = by_key_.find(encoded); it != by_key_.end()) {
-    lru_.erase(it->second);
-    by_key_.erase(it);
+  Stripe& s = stripe_of(encoded);
+  std::lock_guard lock(s.mu);
+  if (auto it = s.by_key.find(encoded); it != s.by_key.end()) {
+    s.lru.erase(it->second);
+    s.by_key.erase(it);
   }
-  lru_.push_front(Entry{encoded, std::move(versions), std::move(result)});
-  by_key_[encoded] = lru_.begin();
-  while (lru_.size() > capacity_) {
-    by_key_.erase(lru_.back().encoded_key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  s.lru.push_front(Entry{encoded, std::move(versions), std::move(result)});
+  s.by_key[encoded] = s.lru.begin();
+  while (s.lru.size() > stripe_capacity_) {
+    s.by_key.erase(s.lru.back().encoded_key);
+    s.lru.pop_back();
+    ++s.stats.evictions;
   }
 }
 
 QueryCacheStats QueryCache::stats() const {
-  std::lock_guard lock(mu_);
-  QueryCacheStats out = stats_;
-  out.size = lru_.size();
+  QueryCacheStats out;
+  for (std::size_t i = 0; i < stripe_count_; ++i) {
+    Stripe& s = stripes_[i];
+    std::lock_guard lock(s.mu);
+    out.hits += s.stats.hits;
+    out.misses += s.stats.misses;
+    out.invalidations += s.stats.invalidations;
+    out.evictions += s.stats.evictions;
+    out.size += s.lru.size();
+  }
   return out;
 }
 
 void QueryCache::clear() {
-  std::lock_guard lock(mu_);
-  lru_.clear();
-  by_key_.clear();
+  for (std::size_t i = 0; i < stripe_count_; ++i) {
+    Stripe& s = stripes_[i];
+    std::lock_guard lock(s.mu);
+    s.lru.clear();
+    s.by_key.clear();
+  }
 }
 
 }  // namespace ceems::tsdb::promql

@@ -6,10 +6,18 @@
 // The signature is captured *before* evaluation, so a write racing the
 // evaluation leaves a stale signature behind and the entry self-evicts on
 // its next lookup; the cache can serve stale data only never.
+//
+// The cache is lock-striped: a key lives in the stripe its hash selects,
+// so concurrent query threads hitting different keys take different
+// mutexes instead of serializing on one global lock. Stripe count scales
+// with capacity (capacity/8, capped at 8) so small caches keep exact
+// global LRU order; striped caches evict LRU per stripe, which
+// approximates global LRU with the usual striping error bound.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -44,7 +52,7 @@ struct QueryCacheStats {
 
 class QueryCache {
  public:
-  explicit QueryCache(std::size_t capacity) : capacity_(capacity) {}
+  explicit QueryCache(std::size_t capacity);
 
   // Returns the cached matrix when present and its recorded version
   // signature equals `versions`; a mismatched entry is dropped.
@@ -65,11 +73,19 @@ class QueryCache {
     std::vector<Series> result;
   };
 
+  struct Stripe {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> by_key;
+    QueryCacheStats stats;
+  };
+
+  Stripe& stripe_of(const std::string& encoded) const;
+
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
-  QueryCacheStats stats_;
+  std::size_t stripe_count_ = 1;
+  std::size_t stripe_capacity_ = 0;
+  std::unique_ptr<Stripe[]> stripes_;
 };
 
 }  // namespace ceems::tsdb::promql

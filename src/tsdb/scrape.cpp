@@ -1,9 +1,76 @@
 #include "tsdb/scrape.h"
 
+#include <cctype>
+
 #include "common/logging.h"
+#include "common/strutil.h"
 #include "metrics/text_format.h"
 
 namespace ceems::tsdb {
+
+namespace {
+
+using metrics::ExpositionParseError;
+using metrics::InternedLabels;
+using metrics::Labels;
+
+uint64_t fnv1a(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+// Strict label-block parse, byte-for-byte the same accept/reject rules
+// (and exception messages) as metrics::parse_exposition — the chaos
+// suite's differential guard depends on failure parity. Runs only on a
+// series-cache miss, so its per-label allocations are once per series
+// lifetime, not once per scrape.
+Labels parse_label_block(std::string_view line, std::size_t& pos) {
+  std::vector<Labels::Pair> pairs;
+  ++pos;  // consume '{'
+  for (;;) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == ',')) ++pos;
+    if (pos < line.size() && line[pos] == '}') {
+      ++pos;
+      return Labels(std::move(pairs));
+    }
+    std::size_t name_start = pos;
+    while (pos < line.size() && line[pos] != '=') ++pos;
+    if (pos >= line.size())
+      throw ExpositionParseError("unterminated label block: " +
+                                 std::string(line));
+    std::string name(
+        common::trim(line.substr(name_start, pos - name_start)));
+    ++pos;  // '='
+    if (pos >= line.size() || line[pos] != '"')
+      throw ExpositionParseError("label value must be quoted: " +
+                                 std::string(line));
+    ++pos;  // '"'
+    std::size_t value_start = pos;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\' && pos + 1 < line.size()) pos += 2;
+      else ++pos;
+    }
+    if (pos >= line.size())
+      throw ExpositionParseError("unterminated label value: " +
+                                 std::string(line));
+    std::string value = metrics::unescape_label_value(
+        line.substr(value_start, pos - value_start));
+    ++pos;  // closing '"'
+    if (!metrics::is_valid_label_name(name))
+      throw ExpositionParseError("invalid label name '" + name + "'");
+    pairs.emplace_back(std::move(name), std::move(value));
+  }
+}
+
+}  // namespace
 
 ScrapeManager::ScrapeManager(StorePtr store, common::ClockPtr clock,
                              ScrapeConfig config)
@@ -114,12 +181,13 @@ ScrapeManager::TargetSweep ScrapeManager::scrape_target(
   auto mark_failed = [&] {
     append_synthetics(0);
     ++state.consecutive_failures;
-    if (config_.emit_stale_markers && !state.live_series.empty()) {
-      for (const auto& [fp, labels] : state.live_series) {
-        store_->append(labels, now, metrics::stale_marker());
+    if (config_.emit_stale_markers) {
+      for (auto& [hash, entry] : state.series_cache) {
+        if (!entry.live) continue;
+        store_->append(entry.labels, now, metrics::stale_marker());
+        entry.live = false;
+        ++sweep.stale_markers;
       }
-      sweep.stale_markers += state.live_series.size();
-      state.live_series.clear();
     }
     sweep.ingested = -1;
   };
@@ -130,41 +198,42 @@ ScrapeManager::TargetSweep ScrapeManager::scrape_target(
   }
 
   try {
-    auto parsed = metrics::parse_exposition(result.response.body);
-    // Batch the whole scrape through append_all: samples are grouped by
-    // storage shard so each per-shard lock is taken once per sweep rather
-    // than once per sample. Samples arrive interned from the parser and
-    // target labels were interned at registration, so the merge below is
-    // pure symbol-id work — no label strings are copied per sample.
-    std::vector<metrics::Sample> batch;
-    batch.reserve(parsed.samples.size());
-    std::unordered_map<uint64_t, metrics::InternedLabels> seen;
-    seen.reserve(parsed.samples.size());
-    for (auto& sample : parsed.samples) {
-      metrics::InternedLabels labels = std::move(sample.labels);
-      for (const auto& [name_sym, value_sym] : state.target_syms) {
-        labels = labels.with_symbols(name_sym, value_sym);
+    // Zero-copy parse into the reused scratch batch: lines are walked as
+    // string_views over the response body, each series resolves through
+    // the per-target cache (symbol resolution happens once per series
+    // lifetime), and nothing is appended until the whole body parsed —
+    // a malformed line fails the sweep atomically, exactly like the old
+    // parse_exposition path.
+    ++state.sweep_gen;
+    parse_into_batch(state, result.response.body, now);
+    sweep.ingested = static_cast<int64_t>(
+        store_->append_refs(state.batch.data(), state.batch.size()));
+    // One pass over the cache: series exposed last scrape but gone now
+    // ended between sweeps — mark them stale so they vanish from queries
+    // at this sweep, not after the lookback window drains (Prometheus'
+    // disappearing-series semantics). Entries dead long enough are
+    // evicted so churned series do not pin cache memory forever.
+    for (auto it = state.series_cache.begin();
+         it != state.series_cache.end();) {
+      auto& entry = it->second;
+      if (entry.last_seen == state.sweep_gen) {
+        entry.live = true;
+        ++it;
+        continue;
       }
-      common::TimestampMs t =
-          config_.honor_timestamps && sample.timestamp_ms != 0
-              ? sample.timestamp_ms
-              : now;
-      seen.emplace(labels.fingerprint(), labels);
-      batch.push_back({std::move(labels), t, sample.value});
-    }
-    sweep.ingested = static_cast<int64_t>(store_->append_all(batch));
-    // Series exposed last scrape but gone now ended between sweeps: mark
-    // them stale so they vanish from queries at this sweep, not after the
-    // lookback window drains (Prometheus' disappearing-series semantics).
-    if (config_.emit_stale_markers) {
-      for (const auto& [fp, labels] : state.live_series) {
-        if (seen.find(fp) == seen.end()) {
-          store_->append(labels, now, metrics::stale_marker());
+      if (entry.live) {
+        if (config_.emit_stale_markers) {
+          store_->append(entry.labels, now, metrics::stale_marker());
           ++sweep.stale_markers;
         }
+        entry.live = false;
+      }
+      if (state.sweep_gen - entry.last_seen > kEvictSweeps) {
+        it = state.series_cache.erase(it);
+      } else {
+        ++it;
       }
     }
-    state.live_series = std::move(seen);
     state.consecutive_failures = 0;
   } catch (const metrics::ExpositionParseError& e) {
     CEEMS_LOG_WARN("scrape") << state.target.url << ": " << e.what();
@@ -173,6 +242,140 @@ ScrapeManager::TargetSweep ScrapeManager::scrape_target(
   }
   append_synthetics(1);
   return sweep;
+}
+
+void ScrapeManager::parse_into_batch(TargetState& state,
+                                     std::string_view body,
+                                     common::TimestampMs now) {
+  state.batch.clear();
+  state.overflow_labels.clear();
+
+  for (std::size_t start = 0; start < body.size();) {
+    std::size_t nl = body.find('\n', start);
+    std::size_t line_end = (nl == std::string_view::npos) ? body.size() : nl;
+    std::string_view line = common::trim(body.substr(start, line_end - start));
+    start = line_end + 1;
+    if (line.empty() || line[0] == '#') continue;  // comments never fail
+
+    // Series key span: metric name plus the raw label block. The scan is
+    // quote-aware (a '}' inside a quoted label value does not close the
+    // block) but validates nothing — validation happens in the strict
+    // parse on a cache miss, so every line the old parser rejected still
+    // throws here.
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ' &&
+           line[pos] != '\t') {
+      ++pos;
+    }
+    std::size_t name_len = pos;
+    std::size_t key_end = pos;
+    bool scan_failed = false;
+    if (pos < line.size() && line[pos] == '{') {
+      bool in_quotes = false;
+      std::size_t scan = pos + 1;
+      std::size_t close = std::string_view::npos;
+      while (scan < line.size()) {
+        char c = line[scan];
+        if (in_quotes) {
+          if (c == '\\' && scan + 1 < line.size()) ++scan;
+          else if (c == '"') in_quotes = false;
+        } else if (c == '"') {
+          in_quotes = true;
+        } else if (c == '}') {
+          close = scan;
+          break;
+        }
+        ++scan;
+      }
+      if (close == std::string_view::npos) {
+        scan_failed = true;  // strict parse below raises the exact error
+      } else {
+        key_end = close + 1;
+      }
+    }
+
+    const InternedLabels* labels = nullptr;
+    if (!scan_failed) {
+      std::string_view key = line.substr(0, key_end);
+      uint64_t hash = fnv1a(key);
+      auto it = state.series_cache.find(hash);
+      if (it != state.series_cache.end() && it->second.raw_key == key) {
+        it->second.last_seen = state.sweep_gen;
+        labels = &it->second.labels;
+      } else if (it == state.series_cache.end()) {
+        InternedLabels resolved =
+            resolve_series_strict(state, line, name_len, &key_end);
+        auto [slot, inserted] = state.series_cache.emplace(
+            hash, TargetState::CachedSeries{std::string(key),
+                                            std::move(resolved),
+                                            state.sweep_gen, false});
+        labels = &slot->second.labels;
+      } else {
+        // Same 64-bit hash, different bytes: parse in full, keep the
+        // labels alive in the overflow list, leave the cache alone.
+        state.overflow_labels.push_back(
+            resolve_series_strict(state, line, name_len, &key_end));
+        labels = &state.overflow_labels.back();
+      }
+    } else {
+      // No closing '}' found: the strict parse below throws the exact
+      // error the old parser raised for this line.
+      state.overflow_labels.push_back(
+          resolve_series_strict(state, line, name_len, &key_end));
+      labels = &state.overflow_labels.back();
+    }
+
+    // Value and optional timestamp, tokenized exactly like split_fields
+    // (any isspace separates; trailing extra fields are ignored).
+    std::size_t p = key_end;
+    while (p < line.size() && is_space(line[p])) ++p;
+    if (p >= line.size())
+      throw ExpositionParseError("missing value in line: " +
+                                 std::string(line));
+    std::size_t tok = p;
+    while (p < line.size() && !is_space(line[p])) ++p;
+    std::string_view value_text = line.substr(tok, p - tok);
+    auto value = common::parse_double(value_text);
+    if (!value)
+      throw ExpositionParseError("bad sample value '" +
+                                 std::string(value_text) + "'");
+    common::TimestampMs timestamp = 0;
+    while (p < line.size() && is_space(line[p])) ++p;
+    if (p < line.size()) {
+      tok = p;
+      while (p < line.size() && !is_space(line[p])) ++p;
+      std::string_view ts_text = line.substr(tok, p - tok);
+      auto ts = common::parse_int64(ts_text);
+      if (!ts)
+        throw ExpositionParseError("bad timestamp '" + std::string(ts_text) +
+                                   "'");
+      timestamp = *ts;
+    }
+
+    common::TimestampMs t =
+        config_.honor_timestamps && timestamp != 0 ? timestamp : now;
+    state.batch.push_back({labels, t, *value});
+  }
+}
+
+metrics::InternedLabels ScrapeManager::resolve_series_strict(
+    TargetState& state, std::string_view line, std::size_t name_len,
+    std::size_t* end_pos) {
+  std::string_view name = line.substr(0, name_len);
+  if (!metrics::is_valid_metric_name(name))
+    throw ExpositionParseError("invalid metric name in line: " +
+                               std::string(line));
+  std::size_t pos = name_len;
+  Labels labels;
+  if (pos < line.size() && line[pos] == '{')
+    labels = parse_label_block(line, pos);
+  *end_pos = pos;
+  InternedLabels resolved =
+      InternedLabels(labels).with(metrics::kMetricNameLabel, name);
+  for (const auto& [name_sym, value_sym] : state.target_syms) {
+    resolved = resolved.with_symbols(name_sym, value_sym);
+  }
+  return resolved;
 }
 
 ScrapeStats ScrapeManager::scrape_all_once() {
@@ -186,12 +389,18 @@ ScrapeStats ScrapeManager::scrape_all_once() {
 
   ScrapeStats sweep;
   std::mutex sweep_mu;
-  common::ThreadPool pool(
+  // The sweep pool persists across sweeps (re-created only when the
+  // effective width changes, i.e. when targets are added below the
+  // parallelism cap) — a steady-state sweep spawns no threads.
+  std::size_t width =
       std::min<std::size_t>(static_cast<std::size_t>(config_.parallelism),
-                            std::max<std::size_t>(1, snapshot.size())),
-      "scrape");
+                            std::max<std::size_t>(1, snapshot.size()));
+  if (!sweep_pool_ || sweep_pool_width_ != width) {
+    sweep_pool_ = std::make_unique<common::ThreadPool>(width, "scrape");
+    sweep_pool_width_ = width;
+  }
   for (TargetState* state : snapshot) {
-    pool.submit([&, state] {
+    sweep_pool_->submit([&, state] {
       TargetSweep result = scrape_target(*state, now);
       std::lock_guard lock(sweep_mu);
       ++sweep.scrapes_total;
@@ -204,8 +413,7 @@ ScrapeStats ScrapeManager::scrape_all_once() {
       }
     });
   }
-  pool.wait_idle();
-  pool.shutdown();
+  sweep_pool_->wait_idle();
 
   scrapes_total_ += sweep.scrapes_total;
   scrapes_failed_ += sweep.scrapes_failed;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -108,15 +109,43 @@ class ScrapeManager {
     metrics::InternedLabels up_labels;
     metrics::InternedLabels duration_labels;
     metrics::InternedLabels retries_labels;
-    // Series the target exposed on its last successful scrape, keyed by
-    // fingerprint — the diff basis for staleness markers. Touched only by
-    // the (single) sweep thread scraping this target.
-    std::unordered_map<uint64_t, metrics::InternedLabels> live_series;
+    // Per-target symbol-resolution cache — the heart of the zero-copy
+    // parse path. Key: 64-bit FNV-1a of the raw series text (metric name
+    // + label block, byte-for-byte as exposed), verified against the
+    // stored raw bytes so a hash collision can never alias two series.
+    // Value: the fully resolved label set (exposition labels interned
+    // against the global SymbolTable, __name__ and target labels merged)
+    // — built once per series lifetime, so a stable target's steady-state
+    // scrape does zero symbol-table lookups and zero label allocations.
+    // The `live` flag replaces the old per-sweep live_series map as the
+    // staleness-marker diff basis; entries dead for kEvictSweeps sweeps
+    // are evicted during the post-sweep scan. unordered_map reference
+    // stability keeps SampleRef pointers valid while a batch is alive.
+    // Touched only by the (single) sweep thread scraping this target.
+    struct CachedSeries {
+      std::string raw_key;
+      metrics::InternedLabels labels;
+      uint64_t last_seen = 0;  // sweep generation of last appearance
+      bool live = false;       // exposed on the last successful scrape
+    };
+    std::unordered_map<uint64_t, CachedSeries> series_cache;
+    // Stable backing for the (astronomically rare) line whose key hash
+    // collides with a different cached series: parsed in full, appended
+    // here, never cached. Cleared at the start of every sweep.
+    std::deque<metrics::InternedLabels> overflow_labels;
+    uint64_t sweep_gen = 0;
+    // Reused per-sweep scratch batch; labels point into series_cache /
+    // overflow_labels.
+    std::vector<metrics::SampleRef> batch;
     // Scrape-level retry attempts (local transport); HTTP transport
     // retries are counted inside http::Client and added on export.
     uint64_t local_retries = 0;
     uint64_t consecutive_failures = 0;
   };
+
+  // Sweeps a dead cache entry stays resident before eviction (cheap
+  // re-resolution insurance for flapping series).
+  static constexpr uint64_t kEvictSweeps = 8;
 
   struct TargetSweep {
     int64_t ingested = -1;  // samples ingested, or -1 on failure
@@ -127,12 +156,31 @@ class ScrapeManager {
   // Scrapes one target, applying retries and staleness markers.
   TargetSweep scrape_target(TargetState& state, common::TimestampMs now);
 
+  // Zero-copy exposition parse: walks `body` line by line as
+  // string_views, resolves each series through the target's cache and
+  // fills state.batch. Throws metrics::ExpositionParseError on exactly
+  // the inputs metrics::parse_exposition rejects.
+  void parse_into_batch(TargetState& state, std::string_view body,
+                        common::TimestampMs now);
+  // Cache-miss path: full strict parse of the series part of a line
+  // (name + label block), resolved against the symbol table and merged
+  // with target labels. Sets *end_pos to one past the series text.
+  metrics::InternedLabels resolve_series_strict(TargetState& state,
+                                                std::string_view line,
+                                                std::size_t name_len,
+                                                std::size_t* end_pos);
+
   StorePtr store_;
   common::ClockPtr clock_;
   ScrapeConfig config_;
 
   mutable std::mutex targets_mu_;
   std::vector<std::unique_ptr<TargetState>> targets_;
+
+  // Reused by scrape_all_once (single sweep driver at a time); sized
+  // min(parallelism, targets) and rebuilt only when that width changes.
+  std::unique_ptr<common::ThreadPool> sweep_pool_;
+  std::size_t sweep_pool_width_ = 0;
 
   std::atomic<uint64_t> scrapes_total_{0};
   std::atomic<uint64_t> scrapes_failed_{0};

@@ -4,6 +4,9 @@
 #include <fstream>
 #include <limits>
 #include <mutex>
+#include <sstream>
+
+#include "tsdb/wal.h"
 
 namespace ceems::tsdb {
 
@@ -70,12 +73,23 @@ bool TimeSeriesStore::append_locked(Shard& shard, const InternedLabels& labels,
   return false;
 }
 
+void TimeSeriesStore::set_wal(std::shared_ptr<Wal> wal) {
+  wal_owner_ = std::move(wal);
+  wal_.store(wal_owner_.get(), std::memory_order_release);
+}
+
 bool TimeSeriesStore::append(const Labels& labels, TimestampMs t, double v) {
   return append(InternedLabels(labels), t, v);
 }
 
 bool TimeSeriesStore::append(const InternedLabels& labels, TimestampMs t,
                              double v) {
+  Wal::CommitGuard guard;
+  if (Wal* wal = wal_.load(std::memory_order_acquire)) {
+    metrics::SampleRef ref{&labels, t, v};
+    guard = wal->commit_shared();
+    wal->log_batch(&ref, 1);
+  }
   Shard& shard = shards_[shard_of(labels.fingerprint())];
   std::unique_lock lock(shard.mu);
   bool accepted = append_locked(shard, labels, t, v);
@@ -85,12 +99,45 @@ bool TimeSeriesStore::append(const InternedLabels& labels, TimestampMs t,
 
 std::size_t TimeSeriesStore::append_all(
     const std::vector<metrics::Sample>& samples) {
+  // One code path with append_refs: batch appends flow through the same
+  // WAL logging and shard bucketing regardless of the caller's sample
+  // representation. The ref vector is thread-local scratch, so steady
+  // state allocates nothing.
+  thread_local std::vector<metrics::SampleRef> refs;
+  refs.clear();
+  refs.reserve(samples.size());
+  for (const auto& sample : samples) {
+    refs.push_back({&sample.labels, sample.timestamp_ms, sample.value});
+  }
+  return append_refs(refs.data(), refs.size());
+}
+
+std::size_t TimeSeriesStore::append_refs(const metrics::SampleRef* samples,
+                                         std::size_t count) {
+  if (count == 0) return 0;
+  Wal::CommitGuard guard;
+  if (Wal* wal = wal_.load(std::memory_order_acquire)) {
+    // Durable before applied: the guard spans log→apply so a checkpoint
+    // (which takes the barrier exclusively) always sees both or neither.
+    guard = wal->commit_shared();
+    wal->log_batch(samples, count);
+  }
+  return apply_refs(samples, count);
+}
+
+std::size_t TimeSeriesStore::apply_refs(const metrics::SampleRef* samples,
+                                        std::size_t count) {
   // Bucket by shard first so each shard lock is acquired once per batch.
   // Sample labels arrive interned from the parser, so this reads the
-  // precomputed fingerprint instead of hashing label strings.
-  std::array<std::vector<const metrics::Sample*>, kShardCount> buckets;
-  for (const auto& sample : samples) {
-    buckets[shard_of(sample.labels.fingerprint())].push_back(&sample);
+  // precomputed fingerprint instead of hashing label strings. Buckets
+  // are thread-local so their capacity persists across batches.
+  thread_local std::array<std::vector<const metrics::SampleRef*>,
+                          kShardCount>
+      buckets;
+  for (auto& bucket : buckets) bucket.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    buckets[shard_of(samples[i].labels->fingerprint())].push_back(
+        &samples[i]);
   }
   std::size_t accepted = 0;
   for (std::size_t s = 0; s < kShardCount; ++s) {
@@ -98,8 +145,8 @@ std::size_t TimeSeriesStore::append_all(
     Shard& shard = shards_[s];
     std::unique_lock lock(shard.mu);
     std::size_t shard_accepted = 0;
-    for (const metrics::Sample* sample : buckets[s]) {
-      if (append_locked(shard, sample->labels, sample->timestamp_ms,
+    for (const metrics::SampleRef* sample : buckets[s]) {
+      if (append_locked(shard, *sample->labels, sample->timestamp_ms,
                         sample->value)) {
         ++shard_accepted;
       }
@@ -210,6 +257,11 @@ std::vector<std::string> TimeSeriesStore::label_values(
 }
 
 std::size_t TimeSeriesStore::purge_before(TimestampMs cutoff) {
+  Wal::CommitGuard guard;
+  if (Wal* wal = wal_.load(std::memory_order_acquire)) {
+    guard = wal->commit_shared();
+    wal->log_purge(cutoff);
+  }
   std::size_t dropped = 0;
   for (Shard& shard : shards_) {
     std::unique_lock lock(shard.mu);
@@ -231,6 +283,11 @@ std::size_t TimeSeriesStore::purge_before(TimestampMs cutoff) {
 
 std::size_t TimeSeriesStore::delete_series(
     const std::vector<LabelMatcher>& matchers) {
+  Wal::CommitGuard guard;
+  if (Wal* wal = wal_.load(std::memory_order_acquire)) {
+    guard = wal->commit_shared();
+    wal->log_delete(matchers);
+  }
   std::size_t deleted = 0;
   for (Shard& shard : shards_) {
     std::unique_lock lock(shard.mu);
@@ -246,6 +303,19 @@ std::size_t TimeSeriesStore::delete_series(
     if (mutated) shard.version.fetch_add(1, std::memory_order_acq_rel);
   }
   return deleted;
+}
+
+void TimeSeriesStore::clear() {
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mu);
+    shard.series.clear();
+    shard.by_fp.clear();
+    shard.index.clear();
+    shard.num_samples = 0;
+    // Versions keep counting up (never reset) so query-cache entries
+    // recorded before the clear can never validate afterwards.
+    shard.version.fetch_add(1, std::memory_order_acq_rel);
+  }
 }
 
 StorageStats TimeSeriesStore::stats() const {
@@ -346,6 +416,18 @@ bool get_labels(std::istream& in, Labels& out) {
 }  // namespace
 
 bool TimeSeriesStore::snapshot_to(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return false;
+  return snapshot_stream(out);
+}
+
+std::string TimeSeriesStore::snapshot_bytes() const {
+  std::ostringstream out(std::ios::binary);
+  snapshot_stream(out);
+  return std::move(out).str();
+}
+
+bool TimeSeriesStore::snapshot_stream(std::ostream& out) const {
   // Hold every shard lock (in index order, so concurrent snapshots cannot
   // deadlock) for a consistent cut across shards.
   std::vector<std::shared_lock<std::shared_mutex>> locks;
@@ -355,8 +437,6 @@ bool TimeSeriesStore::snapshot_to(const std::string& path) const {
     locks.emplace_back(shard.mu);
     num_series += shard.series.size();
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.good()) return false;
   out.write(kSnapshotMagicV2, sizeof(kSnapshotMagicV2) - 1);
   put_u64(out, num_series);
   for (const Shard& shard : shards_) {
@@ -389,6 +469,16 @@ std::optional<std::size_t> TimeSeriesStore::restore_from(
     const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return std::nullopt;
+  return restore_stream(in);
+}
+
+std::optional<std::size_t> TimeSeriesStore::restore_from_bytes(
+    std::string_view bytes) {
+  std::istringstream in(std::string(bytes), std::ios::binary);
+  return restore_stream(in);
+}
+
+std::optional<std::size_t> TimeSeriesStore::restore_stream(std::istream& in) {
   char magic[sizeof(kSnapshotMagicV2) - 1];
   in.read(magic, sizeof(magic));
   if (!in.good()) return std::nullopt;

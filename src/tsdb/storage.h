@@ -35,6 +35,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
@@ -112,6 +113,8 @@ struct StorageStats {
   std::size_t symbol_bytes = 0;
 };
 
+class Wal;  // tsdb/wal.h
+
 class TimeSeriesStore final : public Queryable {
  public:
   // Lock stripes; power of two so shard_of() is a mask.
@@ -126,6 +129,17 @@ class TimeSeriesStore final : public Queryable {
   // Bulk append of scrape output, grouped by shard so each shard lock is
   // taken once per batch. Returns the number of samples accepted.
   std::size_t append_all(const std::vector<metrics::Sample>& samples);
+  // Same, over non-owning sample refs — the allocation-free scrape hot
+  // path: the caller's label pointers must stay valid for the call.
+  std::size_t append_refs(const metrics::SampleRef* samples,
+                          std::size_t count);
+
+  // Attaches (or detaches, with nullptr) a write-ahead log: every
+  // mutation is then logged and made durable (group commit) before it is
+  // applied, under the WAL's shared commit lock. Call only while no
+  // writer is active — at startup, or quiesced during crash recovery.
+  void set_wal(std::shared_ptr<Wal> wal);
+  Wal* wal() const { return wal_.load(std::memory_order_acquire); }
 
   std::vector<SeriesView> select(const std::vector<LabelMatcher>& matchers,
                                  TimestampMs min_t,
@@ -143,6 +157,13 @@ class TimeSeriesStore final : public Queryable {
   // Deletes whole matching series (the API server's cardinality cleanup of
   // §II-C: metrics of jobs shorter than the cutoff are removed wholesale).
   std::size_t delete_series(const std::vector<LabelMatcher>& matchers);
+
+  // Drops every series and sample, bumping shard versions so cached
+  // query results invalidate. The WAL attachment is untouched; crash
+  // recovery detaches first, clears, then replays. In-place reset means
+  // every holder of this StorePtr (scraper, rules, API) sees the
+  // recovered state without re-wiring.
+  void clear();
 
   StorageStats stats() const;
 
@@ -167,6 +188,11 @@ class TimeSeriesStore final : public Queryable {
   // the whole snapshot is parsed and validated into scratch structures
   // before any series is created or appended to.
   std::optional<std::size_t> restore_from(const std::string& path);
+
+  // Same snapshot/restore over in-memory bytes — the WAL checkpoint path
+  // (tsdb/wal.h) wraps these in its atomically-installed snapshot file.
+  std::string snapshot_bytes() const;
+  std::optional<std::size_t> restore_from_bytes(std::string_view bytes);
 
   static std::size_t shard_of(uint64_t fingerprint) {
     return static_cast<std::size_t>(fingerprint) & (kShardCount - 1);
@@ -217,7 +243,21 @@ class TimeSeriesStore final : public Queryable {
   static std::vector<uint64_t> match_ids(
       const Shard& shard, const std::vector<LabelMatcher>& matchers);
 
+  // Shard-bucketed apply without WAL logging (append_refs calls it after
+  // the batch is durable; WAL replay reaches it through append_refs on a
+  // store with no WAL attached).
+  std::size_t apply_refs(const metrics::SampleRef* samples,
+                         std::size_t count);
+
+  bool snapshot_stream(std::ostream& out) const;
+  std::optional<std::size_t> restore_stream(std::istream& in);
+
   std::array<Shard, kShardCount> shards_;
+
+  // Owner keeps the Wal alive; the raw pointer is what the hot path
+  // loads (one relaxed-ish atomic read per batch, no refcount traffic).
+  std::shared_ptr<Wal> wal_owner_;
+  std::atomic<Wal*> wal_{nullptr};
 };
 
 using StorePtr = std::shared_ptr<TimeSeriesStore>;

@@ -46,7 +46,8 @@ TEST(SoakScenario, ParsesFullGrammar) {
       "storm cardinality from 10m for 10m series 4000 churn 2\n"
       "storm churn from 15m for 10m factor 5\n"
       "outage emissions from 20m for 10m\n"
-      "storm lb from 24m for 8m fraction 0.75\n");
+      "storm lb from 24m for 8m fraction 0.75\n"
+      "storm crash_restart from 22m for 12m every 3m\n");
   EXPECT_EQ(s.name, "storms");
   EXPECT_EQ(s.nodes, 500);
   EXPECT_EQ(s.duration_ms, 45 * common::kMillisPerMinute);
@@ -75,7 +76,11 @@ TEST(SoakScenario, ParsesFullGrammar) {
   EXPECT_EQ(s.outage->window.end_ms, 30 * common::kMillisPerMinute);
   ASSERT_TRUE(s.lb);
   EXPECT_DOUBLE_EQ(s.lb->flap_fraction, 0.75);
-  EXPECT_EQ(s.last_storm_end_ms(), 32 * common::kMillisPerMinute);
+  ASSERT_TRUE(s.crash_restart);
+  EXPECT_EQ(s.crash_restart->window.start_ms, 22 * common::kMillisPerMinute);
+  EXPECT_EQ(s.crash_restart->window.end_ms, 34 * common::kMillisPerMinute);
+  EXPECT_EQ(s.crash_restart->every_ms, 3 * common::kMillisPerMinute);
+  EXPECT_EQ(s.last_storm_end_ms(), 34 * common::kMillisPerMinute);
 }
 
 TEST(SoakScenario, RoundTripsThroughText) {
@@ -116,6 +121,9 @@ TEST(SoakScenario, RejectsBadInput) {
             std::string::npos);
   EXPECT_NE(parse_error("storm cardinality from 1m for 2m series 0\n")
                 .find("series"),
+            std::string::npos);
+  EXPECT_NE(parse_error("storm crash_restart from 1m for 2m every 0s\n")
+                .find("every"),
             std::string::npos);
   // A storm window past the duration is a scenario bug, not a runtime one.
   EXPECT_NE(parse_error("duration 10m\nstorm flap from 8m for 5m\n")
@@ -168,6 +176,33 @@ TEST(SoakReport, BenchJsonHasBenchGuardShape) {
   EXPECT_EQ(bench.at("samples_ingested").as_int(), 99999);
   EXPECT_EQ(bench.at("query_points_p99").as_int(), 444);
   EXPECT_TRUE(bench.at("invariants_ok").as_bool());
+}
+
+TEST(SoakCrashRestart, MiniScenarioRecoversLosslesslyMidRun) {
+  // A small fleet with the crash_restart storm on a tight cadence: the
+  // hot store is power-cut and WAL-recovered in place several times
+  // mid-run. The runner itself asserts lossless recovery (counts and
+  // canonical queries identical across each crash) — any divergence
+  // lands in report.violations and flips ok.
+  Scenario s = parse_ok(
+      "scenario mini-crash\n"
+      "nodes 8\n"
+      "duration 8m\n"
+      "step 10s\n"
+      "scrape_interval 30s\n"
+      "checkpoint_every 2m\n"
+      "hot_retention 6m\n"
+      "recovery 2m\n"
+      "storm crash_restart from 1m for 7m every 2m\n");
+  s.seed = 77;
+  SoakReport report = SoakRunner(s).run();
+  for (const auto& violation : report.violations) {
+    ADD_FAILURE() << violation;
+  }
+  EXPECT_TRUE(report.ok);
+  EXPECT_GE(report.crash_restarts, 3u);
+  EXPECT_GT(report.wal_records_replayed, 0u);
+  EXPECT_GT(report.samples_ingested, 0u);
 }
 
 TEST(SoakReport, ReplayCommandNamesScenarioNodesSeed) {

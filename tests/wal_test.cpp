@@ -1,0 +1,432 @@
+// WAL codec and recovery properties. The core invariants:
+//
+//   * round trip: every batch logged through the WAL replays into a
+//     bit-identical store — raw f64 bits (NaN payloads, -0.0, denormals)
+//     and timestamps survive exactly;
+//   * torn tail: truncating or corrupting the log at ANY byte offset
+//     loses at most the records from the damage point on — replay never
+//     crashes, never applies a partial record, and repair leaves a log
+//     that replays cleanly;
+//   * checkpoint: snapshot + truncate is a consistent cut; recovery
+//     restores snapshot ∪ post-checkpoint records.
+#include "tsdb/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <thread>
+
+#include "metrics/model.h"
+#include "simfs/durable_dir.h"
+#include "tsdb/storage.h"
+
+namespace ceems::tsdb {
+namespace {
+
+using metrics::InternedLabels;
+using metrics::Labels;
+using metrics::SampleRef;
+
+// Canonical bit-exact digest of a store's full contents: every series
+// (sorted by label text) with every sample's timestamp and raw value
+// bits. Two stores with equal digests are observably identical.
+std::string digest(const TimeSeriesStore& store) {
+  auto all = store.series_since(std::numeric_limits<TimestampMs>::min());
+  std::vector<std::pair<std::string, const Series*>> sorted;
+  sorted.reserve(all.size());
+  for (const auto& series : all) {
+    sorted.emplace_back(series.labels.to_string(), &series);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, series] : sorted) {
+    out += key;
+    out += '\n';
+    for (const auto& sample : series->samples) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &sample.v, sizeof(bits));
+      out += "  " + std::to_string(sample.t) + " " + std::to_string(bits) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+// Replays `dir` into a fresh store and returns its digest.
+std::string replay_digest(simfs::DurableDir& dir, uint64_t floor = 0,
+                          bool repair = true) {
+  TimeSeriesStore store;
+  replay_wal(dir, floor, store, repair);
+  return digest(store);
+}
+
+double value_from_bits(uint64_t bits) {
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Values whose bit patterns must survive the codec exactly.
+double tricky_value(std::mt19937_64& rng) {
+  switch (rng() % 8) {
+    case 0: return metrics::stale_marker();
+    case 1: return -0.0;
+    case 2: return std::numeric_limits<double>::infinity();
+    case 3: return -std::numeric_limits<double>::infinity();
+    case 4: return std::numeric_limits<double>::denorm_min();
+    case 5: return value_from_bits(rng());  // arbitrary bits (often NaN)
+    default:
+      return std::uniform_real_distribution<double>(-1e12, 1e12)(rng);
+  }
+}
+
+// Frame offsets within one segment's durable bytes: byte offset where
+// each complete record ends (ascending), starting after the header.
+constexpr std::size_t kWalHeaderLen = 8 + 1 + 8;  // magic+version+seq
+
+std::vector<std::size_t> record_ends(const std::string& bytes) {
+  std::vector<std::size_t> ends;
+  std::size_t offset = kWalHeaderLen;
+  while (bytes.size() - offset >= 8) {
+    uint32_t len = 0;
+    std::memcpy(&len, bytes.data() + offset, 4);
+    if (bytes.size() - offset - 8 < len) break;
+    offset += 8 + len;
+    ends.push_back(offset);
+  }
+  return ends;
+}
+
+TEST(WalCodec, RoundTripsRandomBatchesBitExactly) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    std::mt19937_64 rng(seed);
+    auto dir = std::make_shared<simfs::SimDurableDir>();
+    auto store = std::make_shared<TimeSeriesStore>();
+    // Small segments so several seeds exercise rotation (the series
+    // dictionary must survive it).
+    WalOptions options;
+    options.segment_bytes = 1u << 12;
+    auto wal = std::make_shared<Wal>(dir, 1, options);
+    store->set_wal(wal);
+
+    // A pool of series with occasionally-weird label values.
+    std::vector<InternedLabels> series;
+    int num_series = 3 + static_cast<int>(rng() % 40);
+    for (int s = 0; s < num_series; ++s) {
+      Labels labels{{"uuid", std::to_string(s)},
+                    {"host", "n" + std::to_string(rng() % 5)}};
+      if (rng() % 4 == 0) {
+        labels = labels.with("odd", std::string("a\nb\"c\\d\xc3\xa9 ") +
+                                        std::to_string(rng() % 100));
+      }
+      series.push_back(InternedLabels(labels.with_name("m")));
+    }
+
+    int64_t t = -5000 + static_cast<int64_t>(rng() % 10000);
+    int sweeps = 5 + static_cast<int>(rng() % 20);
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      std::vector<SampleRef> batch;
+      for (const auto& labels : series) {
+        if (rng() % 8 == 0) continue;  // series flaps out of this sweep
+        batch.push_back({&labels, t + static_cast<int64_t>(rng() % 100),
+                         tricky_value(rng)});
+      }
+      store->append_refs(batch.data(), batch.size());
+      if (rng() % 7 == 0) store->purge_before(t - 60000);
+      if (rng() % 11 == 0) {
+        store->delete_series({{"uuid", metrics::LabelMatcher::Op::kEq,
+                               std::to_string(rng() % num_series)}});
+      }
+      t += 30000;
+    }
+
+    EXPECT_EQ(replay_digest(*dir), digest(*store)) << "seed " << seed;
+    // Replay is idempotent on an undamaged log.
+    EXPECT_EQ(replay_digest(*dir), replay_digest(*dir)) << "seed " << seed;
+    store->set_wal(nullptr);
+  }
+}
+
+// Builds a single-segment log with `records` small batches; returns the
+// dir plus the digest after each record prefix (oracle[k] = digest with
+// the first k records applied).
+struct TornFixture {
+  std::shared_ptr<simfs::SimDurableDir> dir;
+  std::string segment;
+  std::string bytes;                 // durable segment contents
+  std::vector<std::size_t> ends;     // end offset of each record
+  std::vector<std::string> oracle;   // oracle[k]: first k records applied
+};
+
+TornFixture make_torn_fixture(int records) {
+  TornFixture fx;
+  fx.dir = std::make_shared<simfs::SimDurableDir>();
+  auto store = std::make_shared<TimeSeriesStore>();
+  auto wal = std::make_shared<Wal>(fx.dir, 1, WalOptions{});
+  store->set_wal(wal);
+  std::vector<InternedLabels> series;
+  for (int s = 0; s < 4; ++s) {
+    series.push_back(
+        InternedLabels(Labels{{"uuid", std::to_string(s)}}.with_name("m")));
+  }
+  for (int r = 0; r < records; ++r) {
+    std::vector<SampleRef> batch;
+    for (int s = 0; s <= r % 4; ++s) {
+      batch.push_back({&series[s], r * 1000, r * 1.5 + s});
+    }
+    store->append_refs(batch.data(), batch.size());
+  }
+  store->set_wal(nullptr);
+
+  fx.segment = Wal::segment_name(1);
+  fx.bytes = *fx.dir->read(fx.segment);
+  fx.ends = record_ends(fx.bytes);
+  EXPECT_EQ(fx.ends.size(), static_cast<std::size_t>(records));
+
+  // Oracle prefixes: replay a boundary-truncated copy for each k.
+  for (int k = 0; k <= records; ++k) {
+    simfs::SimDurableDir prefix_dir;
+    std::size_t end = k == 0 ? kWalHeaderLen : fx.ends[k - 1];
+    prefix_dir.append(fx.segment, std::string_view(fx.bytes).substr(0, end));
+    prefix_dir.sync(fx.segment);
+    fx.oracle.push_back(replay_digest(prefix_dir));
+  }
+  // Sanity: each record changes the store.
+  for (std::size_t k = 1; k < fx.oracle.size(); ++k) {
+    EXPECT_NE(fx.oracle[k - 1], fx.oracle[k]);
+  }
+  return fx;
+}
+
+TEST(WalTornTail, TruncationAtEveryByteOffsetReplaysCleanPrefix) {
+  TornFixture fx = make_torn_fixture(5);
+  for (std::size_t cut = 0; cut <= fx.bytes.size(); ++cut) {
+    simfs::SimDurableDir dir;
+    dir.append(fx.segment, std::string_view(fx.bytes).substr(0, cut));
+    dir.sync(fx.segment);
+
+    // Complete records surviving the cut.
+    std::size_t k = 0;
+    while (k < fx.ends.size() && fx.ends[k] <= cut) ++k;
+    bool clean = cut == fx.bytes.size() ||
+                 cut == (k == 0 ? kWalHeaderLen : fx.ends[k - 1]);
+    // Cuts inside the header leave no valid segment at all.
+    if (cut < kWalHeaderLen) clean = false;
+
+    TimeSeriesStore store;
+    auto result = replay_wal(dir, 0, store, true);
+    EXPECT_EQ(digest(store), fx.oracle[k]) << "cut at " << cut;
+    EXPECT_EQ(result.torn_tail, !clean) << "cut at " << cut;
+    EXPECT_TRUE(result.error.empty()) << "cut at " << cut;
+    EXPECT_EQ(result.records_applied, k) << "cut at " << cut;
+
+    // After repair the log replays cleanly to the same state.
+    TimeSeriesStore repaired;
+    auto second = replay_wal(dir, 0, repaired, true);
+    EXPECT_EQ(digest(repaired), fx.oracle[k]) << "cut at " << cut;
+    EXPECT_FALSE(second.torn_tail) << "cut at " << cut;
+  }
+}
+
+TEST(WalTornTail, CorruptionAtEveryByteOffsetOfTailRecordDiscardsIt) {
+  TornFixture fx = make_torn_fixture(5);
+  const std::size_t last_start = fx.ends[fx.ends.size() - 2];
+  const std::size_t expect_records = fx.ends.size() - 1;
+  for (std::size_t pos = last_start; pos < fx.bytes.size(); ++pos) {
+    simfs::SimDurableDir dir;
+    dir.append(fx.segment, fx.bytes);
+    dir.sync(fx.segment);
+    dir.corrupt_durable(fx.segment, pos,
+                        static_cast<uint8_t>(fx.bytes[pos]) ^ 0x5A);
+
+    TimeSeriesStore store;
+    auto result = replay_wal(dir, 0, store, true);
+    // Every earlier record applies; the damaged tail record never does,
+    // not even partially.
+    EXPECT_EQ(digest(store), fx.oracle[expect_records]) << "pos " << pos;
+    EXPECT_TRUE(result.torn_tail) << "pos " << pos;
+    EXPECT_TRUE(result.error.empty()) << "pos " << pos;
+    EXPECT_EQ(result.records_applied, expect_records) << "pos " << pos;
+
+    TimeSeriesStore repaired;
+    auto second = replay_wal(dir, 0, repaired, true);
+    EXPECT_EQ(digest(repaired), fx.oracle[expect_records]) << "pos " << pos;
+    EXPECT_FALSE(second.torn_tail) << "pos " << pos;
+  }
+}
+
+TEST(WalTornTail, InteriorSegmentCorruptionStopsWithError) {
+  // Tiny segments force every record into its own segment; damaging a
+  // non-final segment is real corruption, not a torn tail.
+  auto dir = std::make_shared<simfs::SimDurableDir>();
+  auto store = std::make_shared<TimeSeriesStore>();
+  WalOptions options;
+  options.segment_bytes = 1;  // rotate before every record
+  auto wal = std::make_shared<Wal>(dir, 1, options);
+  store->set_wal(wal);
+  auto labels = InternedLabels(Labels{{"uuid", "1"}}.with_name("m"));
+  for (int r = 0; r < 4; ++r) {
+    SampleRef ref{&labels, r * 1000, static_cast<double>(r)};
+    store->append_refs(&ref, 1);
+  }
+  store->set_wal(nullptr);
+
+  // With segment_bytes=1 each record rotated into its own segment; the
+  // first listed segment holds only a header. Damage the segment that
+  // carries the second record — an interior segment, not the tail.
+  auto segments = dir->list();
+  ASSERT_GE(segments.size(), 4u);
+  dir->corrupt_durable(segments[2], kWalHeaderLen + 8, 0xFF);
+
+  TimeSeriesStore recovered;
+  auto result = replay_wal(*dir, 0, recovered, true);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_FALSE(result.torn_tail);
+  // Only the records before the damaged segment applied.
+  EXPECT_EQ(result.records_applied, 1u);
+  EXPECT_EQ(recovered.stats().num_samples, 1u);
+}
+
+TEST(WalCodec, DictionarySurvivesSegmentRotation) {
+  auto dir = std::make_shared<simfs::SimDurableDir>();
+  auto store = std::make_shared<TimeSeriesStore>();
+  WalOptions options;
+  options.segment_bytes = 64;  // rotate constantly
+  auto wal = std::make_shared<Wal>(dir, 1, options);
+  store->set_wal(wal);
+  auto labels = InternedLabels(Labels{{"uuid", "1"}}.with_name("m"));
+  for (int r = 0; r < 50; ++r) {
+    SampleRef ref{&labels, r * 1000, static_cast<double>(r)};
+    store->append_refs(&ref, 1);
+  }
+  ASSERT_GT(wal->stats().segments, 2u);
+  // The definition was written once, in the first segment; every later
+  // segment carries bare refs that must still resolve on replay.
+  EXPECT_EQ(replay_digest(*dir), digest(*store));
+  store->set_wal(nullptr);
+}
+
+TEST(WalGroupCommit, ConcurrentWritersCoalesceAndLoseNothing) {
+  auto dir = std::make_shared<simfs::SimDurableDir>();
+  auto store = std::make_shared<TimeSeriesStore>();
+  auto wal = std::make_shared<Wal>(dir, 1, WalOptions{});
+  store->set_wal(wal);
+
+  constexpr int kThreads = 8;
+  constexpr int kBatches = 40;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      auto labels = InternedLabels(
+          Labels{{"writer", std::to_string(w)}}.with_name("m"));
+      for (int b = 0; b < kBatches; ++b) {
+        SampleRef ref{&labels, b * 1000, w * 1000.0 + b};
+        store->append_refs(&ref, 1);
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+
+  auto stats = wal->stats();
+  EXPECT_EQ(stats.batches, static_cast<uint64_t>(kThreads * kBatches));
+  EXPECT_EQ(stats.samples, static_cast<uint64_t>(kThreads * kBatches));
+  // Group commit: syncs may be far fewer than batches, never more than
+  // one per record plus segment creation.
+  EXPECT_LE(stats.groups, stats.records);
+  EXPECT_EQ(store->stats().num_samples,
+            static_cast<std::size_t>(kThreads * kBatches));
+
+  EXPECT_EQ(replay_digest(*dir), digest(*store));
+  store->set_wal(nullptr);
+}
+
+TEST(DurableTsdb, CheckpointTruncatesWalAndRecoveryRestoresUnion) {
+  auto dir = std::make_shared<simfs::SimDurableDir>();
+  auto store = std::make_shared<TimeSeriesStore>();
+  DurableTsdb durable(store, dir);
+  auto open = durable.open();
+  EXPECT_EQ(open.snapshot_samples, 0u);
+
+  auto labels = InternedLabels(Labels{{"uuid", "1"}}.with_name("m"));
+  for (int r = 0; r < 10; ++r) {
+    SampleRef ref{&labels, r * 1000, static_cast<double>(r)};
+    store->append_refs(&ref, 1);
+  }
+  ASSERT_TRUE(durable.checkpoint());
+  // The checkpoint truncated every pre-snapshot segment.
+  std::size_t wal_records = 0;
+  for (const auto& name : dir->list()) {
+    if (Wal::parse_segment_name(name)) {
+      wal_records += record_ends(*dir->read(name)).size();
+    }
+  }
+  EXPECT_EQ(wal_records, 0u);
+
+  for (int r = 10; r < 15; ++r) {
+    SampleRef ref{&labels, r * 1000, static_cast<double>(r)};
+    store->append_refs(&ref, 1);
+  }
+  std::string before = digest(*store);
+
+  // Crash: unsynced state vanishes (group commit means there is none),
+  // then recover in place on the same StorePtr.
+  dir->crash();
+  auto recovered = durable.open();
+  EXPECT_EQ(recovered.snapshot_samples, 10u);
+  EXPECT_EQ(recovered.replay.samples_appended, 5u);
+  EXPECT_FALSE(recovered.replay.torn_tail);
+  EXPECT_EQ(digest(*store), before);
+}
+
+TEST(DurableTsdb, RecoveryAfterCheckpointPlusTornTail) {
+  auto dir = std::make_shared<simfs::SimDurableDir>();
+  auto store = std::make_shared<TimeSeriesStore>();
+  DurableTsdb durable(store, dir);
+  durable.open();
+
+  auto labels = InternedLabels(Labels{{"uuid", "1"}}.with_name("m"));
+  for (int r = 0; r < 10; ++r) {
+    SampleRef ref{&labels, r * 1000, static_cast<double>(r)};
+    store->append_refs(&ref, 1);
+  }
+  ASSERT_TRUE(durable.checkpoint());
+  for (int r = 10; r < 14; ++r) {
+    SampleRef ref{&labels, r * 1000, static_cast<double>(r)};
+    store->append_refs(&ref, 1);
+  }
+
+  // Tear the last record: chop 3 bytes off the live segment.
+  std::string segment = Wal::segment_name(durable.wal().current_seq());
+  std::size_t size = dir->read(segment)->size();
+  dir->truncate_durable(segment, size - 3);
+
+  auto recovered = durable.open();
+  EXPECT_EQ(recovered.snapshot_samples, 10u);
+  EXPECT_EQ(recovered.replay.samples_appended, 3u);
+  EXPECT_TRUE(recovered.replay.torn_tail);
+  EXPECT_EQ(store->stats().num_samples, 13u);
+
+  // The repaired log + new generation keep working: append and re-open.
+  SampleRef ref{&labels, 14000, 14.0};
+  store->append_refs(&ref, 1);
+  std::string before = digest(*store);
+  auto again = durable.open();
+  EXPECT_FALSE(again.replay.torn_tail);
+  EXPECT_EQ(digest(*store), before);
+}
+
+TEST(Wal, SegmentNamesRoundTrip) {
+  EXPECT_EQ(Wal::segment_name(7), "wal-00000007.log");
+  EXPECT_EQ(Wal::parse_segment_name("wal-00000007.log"), 7u);
+  EXPECT_EQ(Wal::parse_segment_name("wal-123456789.log"), 123456789u);
+  EXPECT_FALSE(Wal::parse_segment_name("snapshot"));
+  EXPECT_FALSE(Wal::parse_segment_name("wal-.log"));
+  EXPECT_FALSE(Wal::parse_segment_name("wal-12x4.log"));
+  EXPECT_FALSE(Wal::parse_segment_name("wal-1.log.tmp"));
+}
+
+}  // namespace
+}  // namespace ceems::tsdb

@@ -39,21 +39,32 @@ import argparse
 import json
 import sys
 
-# Counters that are deterministic functions of workload + code. Time-based
-# metrics are deliberately absent. The first group comes from bench_tsdb,
-# the second from the soak harness (cli/ceems_soak.cpp).
-GUARDED_COUNTERS = (
-    "points_scanned_per_query",
-    "decodes_per_query",
-    "bytes_per_sample",
-    "compression_ratio",
-    "peak_bytes",
-    "max_series",
-    "dropped_scrapes",
-    "samples_ingested",
-    "points_scanned",
-    "query_points_p99",
-)
+# Counters that are deterministic functions of workload + code. The first
+# group comes from bench_tsdb, the second from the soak harness
+# (cli/ceems_soak.cpp). A value of None uses the --tolerance default; a
+# float overrides it for that counter. Wall-clock-derived rates are almost
+# all deliberately absent; the two exceptions carry a wide explicit
+# tolerance and exist to catch order-of-magnitude collapses (e.g. the
+# scrape write path silently falling back to strict re-parsing), not to
+# police scheduler jitter on shared CI runners.
+GUARDED_COUNTERS = {
+    "points_scanned_per_query": None,
+    "decodes_per_query": None,
+    "bytes_per_sample": None,
+    "compression_ratio": None,
+    "peak_bytes": None,
+    "max_series": None,
+    "dropped_scrapes": None,
+    "samples_ingested": None,
+    "points_scanned": None,
+    "query_points_p99": None,
+    # End-to-end scrape→append path (BM_scrape_ingest_e2e). allocs_per_sample
+    # is near-deterministic (chunk seals amortize per sweep) but shifts a
+    # little with iteration count; samples_per_second is wall-clock and only
+    # guards against the fast path regressing to the legacy one (~8x).
+    "allocs_per_sample": 0.50,
+    "samples_per_second": 0.75,
+}
 
 
 def load_benchmarks(path):
@@ -96,12 +107,13 @@ def check_pair(current_path, baseline_path, tolerance):
         if base is None:
             print(f"note: {name} has no baseline entry (new benchmark?)")
             continue
-        for counter in GUARDED_COUNTERS:
+        for counter, override in GUARDED_COUNTERS.items():
             if counter not in bench:
                 continue
             if counter not in base:
                 print(f"note: {name}: baseline lacks counter {counter}")
                 continue
+            limit = tolerance if override is None else override
             cur_v = float(bench[counter])
             base_v = float(base[counter])
             compared += 1
@@ -109,11 +121,12 @@ def check_pair(current_path, baseline_path, tolerance):
                 drift = 0.0 if cur_v == 0.0 else float("inf")
             else:
                 drift = abs(cur_v - base_v) / abs(base_v)
-            status = "ok" if drift <= tolerance else "FAIL"
+            status = "ok" if drift <= limit else "FAIL"
             print(f"{status}: {name} {counter}: current={cur_v:g} "
-                  f"baseline={base_v:g} drift={drift:.1%}")
-            if drift > tolerance:
-                failures.append((name, counter, cur_v, base_v))
+                  f"baseline={base_v:g} drift={drift:.1%} "
+                  f"(limit {limit:.0%})")
+            if drift > limit:
+                failures.append((name, counter, cur_v, base_v, limit))
 
     for name in sorted(baseline):
         if name not in current:
@@ -121,10 +134,10 @@ def check_pair(current_path, baseline_path, tolerance):
                   f"(filtered out or retired)")
 
     if failures:
-        print(f"\n{len(failures)} counter(s) drifted beyond "
-              f"{tolerance:.0%}:")
-        for name, counter, cur_v, base_v in failures:
-            print(f"  {name} {counter}: {base_v:g} -> {cur_v:g}")
+        print(f"\n{len(failures)} counter(s) drifted beyond tolerance:")
+        for name, counter, cur_v, base_v, limit in failures:
+            print(f"  {name} {counter}: {base_v:g} -> {cur_v:g} "
+                  f"(limit {limit:.0%})")
         return False, compared
     return True, compared
 
@@ -158,8 +171,8 @@ def main():
         return 1
     if not all_ok:
         return 1
-    print(f"all {total_compared} guarded counters within "
-          f"{args.tolerance:.0%} of baseline")
+    print(f"all {total_compared} guarded counters within tolerance "
+          f"(default {args.tolerance:.0%})")
     return 0
 
 
